@@ -1,0 +1,1 @@
+bench/ablations.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_user List Microbench Printf Report String

@@ -1,0 +1,1 @@
+bench/api_sweep.ml: Komodo_core Komodo_machine Komodo_os Komodo_user List Report String

@@ -1,0 +1,1 @@
+bench/fig5.ml: Char Float Format Komodo_core Komodo_machine Komodo_os Komodo_user List Printf Report String

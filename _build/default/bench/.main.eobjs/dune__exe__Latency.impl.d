@@ -1,0 +1,1 @@
+bench/latency.ml: Komodo_core Komodo_machine Komodo_os List Printf Report String

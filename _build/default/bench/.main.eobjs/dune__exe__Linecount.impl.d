@@ -1,0 +1,1 @@
+bench/linecount.ml: Array Filename List Printf Report String Sys

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Api_sweep Array Fig5 Format Komodo_sec Latency Linecount List Microbench Printf Report String Sys Wallclock

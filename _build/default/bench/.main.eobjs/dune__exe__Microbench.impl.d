@@ -1,0 +1,1 @@
+bench/microbench.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_sgx Komodo_user List Printf Report String

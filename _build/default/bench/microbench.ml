@@ -1,0 +1,236 @@
+(** Table 3: monitor-call microbenchmarks, in simulated cycles.
+
+    Reproduces each row of the paper's Table 3 (Raspberry Pi 2,
+    900 MHz Cortex-A7) on the machine model's cycle accounting, plus
+    the SGX-crossing comparison the §8.1 discussion makes. "Enter only"
+    and "Resume only" are measured exactly as the paper frames them —
+    up to the first user-mode instruction — using a probe executor that
+    snapshots the cycle counter when user execution begins. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Cost = Komodo_machine.Cost
+module Insn = Komodo_machine.Insn
+module Os = Komodo_os.Os
+module Loader = Komodo_os.Loader
+module Image = Komodo_os.Image
+module Errors = Komodo_core.Errors
+module Monitor = Komodo_core.Monitor
+module Uexec = Komodo_core.Uexec
+module Uprog = Komodo_user.Uprog
+module Progs = Komodo_user.Progs
+open Uprog
+
+let exit0 =
+  [ Insn.I (Insn.Mov (r1, imm 0)); Insn.I (Insn.Mov (r0, imm 0)); Insn.I (Insn.Svc Word.zero) ]
+
+let load ?(spares = 0) ?(prog = exit0) os =
+  let code = Uprog.to_page_images (Uprog.code_words prog) in
+  let img = Image.empty ~name:"bench" in
+  let img = Image.add_blob img ~va:Word.zero ~w:false ~x:true code in
+  let img = Image.add_thread img ~entry:Word.zero in
+  let img = Image.with_spares img spares in
+  match Loader.load os img with
+  | Ok r -> r
+  | Error e -> failwith (Format.asprintf "microbench load: %a" Loader.pp_error e)
+
+let cycles_of f os =
+  let c0 = Os.cycles os in
+  let os = f os in
+  (Os.cycles os - c0, os)
+
+(** Probe executor: records the cycle counter the moment user execution
+    begins (i.e. after the Enter/Resume path completes). *)
+let probe_executor () =
+  let captured = ref [] in
+  let inner = Uexec.concrete () in
+  let exec =
+    {
+      Uexec.name = "probe";
+      run =
+        (fun mach ~entry_va ~start_pc ~iter ->
+          if iter = 0 then captured := mach.State.cycles :: !captured;
+          inner.Uexec.run mach ~entry_va ~start_pc ~iter);
+    }
+  in
+  (exec, captured)
+
+type row = { op : string; notes : string; paper : int; ours : int }
+
+let measure ?(optimised = false) () =
+  let os = Os.boot ~seed:31337 ~npages:64 ~optimised () in
+  (* Null SMC. *)
+  let null_smc, os =
+    cycles_of
+      (fun os ->
+        let os, e, _ = Os.get_phys_pages os in
+        assert (Errors.is_success e);
+        os)
+      os
+  in
+  (* Full crossing. *)
+  let os, h = load os in
+  let th = List.hd h.Loader.threads in
+  let crossing, os =
+    cycles_of
+      (fun os ->
+        let os, e, _ = Os.enter os ~thread:th ~args:(Word.zero, Word.zero, Word.zero) in
+        assert (Errors.is_success e);
+        os)
+      os
+  in
+  (* Enter only: cycles from SMC to first user instruction. *)
+  let probe, captured = probe_executor () in
+  let os_probe = { os with Os.exec = probe } in
+  let c0 = Os.cycles os_probe in
+  let _os_probe, e, _ = Os.enter os_probe ~thread:th ~args:(Word.zero, Word.zero, Word.zero) in
+  assert (Errors.is_success e);
+  let enter_only = List.nth !captured (List.length !captured - 1) - c0 in
+  (* Resume only: suspend a spinner, then resume with the probe. *)
+  let os_spin = Os.boot ~seed:31337 ~npages:64 ~optimised () in
+  let os_spin, h_spin = load ~prog:Progs.spin_forever os_spin in
+  let th_spin = List.hd h_spin.Loader.threads in
+  let set_budget n (os : Os.t) =
+    { os with Os.mon = { os.Os.mon with Monitor.mach = { os.Os.mon.Monitor.mach with State.irq_budget = Some n } } }
+  in
+  let os_spin, e, _ =
+    Os.enter (set_budget 40 os_spin) ~thread:th_spin ~args:(Word.zero, Word.zero, Word.zero)
+  in
+  assert (Errors.equal e Errors.Interrupted);
+  let probe_r, captured_r = probe_executor () in
+  let os_spin = { (set_budget 40 os_spin) with Os.exec = probe_r } in
+  let c0 = Os.cycles os_spin in
+  let os_spin, e, _ = Os.resume os_spin ~thread:th_spin in
+  assert (Errors.equal e Errors.Interrupted);
+  let resume_only = List.nth !captured_r (List.length !captured_r - 1) - c0 in
+  ignore os_spin;
+  (* Attest / Verify, as SVC-handler deltas over the bare crossing. *)
+  let os_att = Os.boot ~seed:31337 ~npages:64 ~optimised () in
+  let os_att, h_att = load ~prog:Progs.attest_zero os_att in
+  let attest_total, _ =
+    cycles_of
+      (fun os ->
+        let os, e, _ =
+          Os.enter os ~thread:(List.hd h_att.Loader.threads)
+            ~args:(Word.zero, Word.zero, Word.zero)
+        in
+        assert (Errors.is_success e);
+        os)
+      os_att
+  in
+  let attest = attest_total - crossing in
+  let verify_prog =
+    (* Attest into registers, store to scratch page at 0x1000 along with
+       data and measurement pre-staged by the OS... simpler: measure the
+       verify SVC on an OS-staged buffer (see declassification tests). *)
+    [
+      Insn.I (Insn.Mov (r1, imm 0x2000));
+      Insn.I (Insn.Mov (r0, imm Komodo_user.Svc_nums.verify));
+      Insn.I (Insn.Svc Word.zero);
+    ]
+    @ exit_with r1
+  in
+  let os_ver = Os.boot ~seed:31337 ~npages:64 ~optimised () in
+  let code = Uprog.to_page_images (Uprog.code_words verify_prog) in
+  let img = Image.empty ~name:"verify" in
+  let img = Image.add_blob img ~va:Word.zero ~w:false ~x:true code in
+  let img =
+    Image.add_insecure_mapping img
+      ~mapping:(Komodo_core.Mapping.make ~va:(Word.of_int 0x2000) ~w:false ~x:false)
+      ~target:Os.shared_base
+  in
+  let img = Image.add_thread img ~entry:Word.zero in
+  let os_ver, h_ver =
+    match Loader.load os_ver img with
+    | Ok r -> r
+    | Error e -> failwith (Format.asprintf "verify load: %a" Loader.pp_error e)
+  in
+  let os_ver = Os.write_bytes os_ver Os.shared_base (String.make 96 '\x42') in
+  let verify_total, _ =
+    cycles_of
+      (fun os ->
+        let os, e, _ =
+          Os.enter os ~thread:(List.hd h_ver.Loader.threads)
+            ~args:(Word.zero, Word.zero, Word.zero)
+        in
+        assert (Errors.is_success e);
+        os)
+      os_ver
+  in
+  let verify = verify_total - crossing in
+  (* AllocSpare. *)
+  let alloc_spare, os = cycles_of
+      (fun os ->
+        let os, e = Os.alloc_spare os ~addrspace:h.Loader.addrspace ~spare:60 in
+        assert (Errors.is_success e);
+        os)
+      os
+  in
+  ignore os;
+  (* MapData (dynamic allocation SVC). *)
+  let os_dyn = Os.boot ~seed:31337 ~npages:64 ~optimised () in
+  let os_dyn, h_dyn = load ~prog:Progs.map_and_use_spare ~spares:1 os_dyn in
+  let sp = List.hd h_dyn.Loader.spares in
+  let mapdata_total, _ =
+    cycles_of
+      (fun os ->
+        let os, e, v =
+          Os.enter os ~thread:(List.hd h_dyn.Loader.threads)
+            ~args:(Word.of_int sp, Word.of_int 0x3000, Word.zero)
+        in
+        assert (Errors.is_success e && Word.to_int v = 0xBEEF);
+        os)
+      os_dyn
+  in
+  (* Subtract the crossing and the few bookkeeping instructions. *)
+  let mapdata = mapdata_total - crossing in
+  [
+    { op = "GetPhysPages"; notes = "Null SMC"; paper = 123; ours = null_smc };
+    { op = "Enter + Exit"; notes = "Full enclave crossing"; paper = 738; ours = crossing };
+    { op = "Enter only"; notes = "(no return)"; paper = 496; ours = enter_only };
+    { op = "Resume only"; notes = "(no return)"; paper = 625; ours = resume_only };
+    { op = "Attest"; notes = "Construct attestation"; paper = 12411; ours = attest };
+    { op = "Verify"; notes = "Verify attestation"; paper = 13373; ours = verify };
+    { op = "AllocSpare"; notes = "Dynamic allocation"; paper = 217; ours = alloc_spare };
+    { op = "MapData"; notes = "Dynamic allocation"; paper = 5826; ours = mapdata };
+  ]
+
+let run () =
+  Report.print_header "Table 3: microbenchmarks (simulated cycles, 900 MHz model)";
+  let rows = measure () in
+  Report.print_table
+    ~columns:[ "Operation"; "Notes"; "Paper"; "Model"; "Model/Paper" ]
+    (List.map
+       (fun r ->
+         [ r.op; r.notes; string_of_int r.paper; string_of_int r.ours; Report.ratio r.ours r.paper ])
+       rows);
+  (* The SGX comparison from §8.1. *)
+  Report.print_header "Enclave crossing vs SGX (paper §8.1)";
+  let crossing = (List.nth rows 1).ours in
+  Report.print_table
+    ~columns:[ "System"; "Crossing (cycles)"; "Source" ]
+    [
+      [ "Komodo (model)"; string_of_int crossing; "this bench" ];
+      [ "Komodo (paper)"; "738"; "Table 3" ];
+      [ "SGX EENTER+EEXIT"; string_of_int Komodo_sgx.Cost.full_crossing; "Orenbach et al." ];
+    ];
+  Printf.printf "\nSGX/Komodo crossing ratio: %s (paper reports ~an order of magnitude)\n"
+    (Report.ratio Komodo_sgx.Cost.full_crossing crossing)
+
+let run_ablation () =
+  Report.print_header
+    "Ablation: conservative vs optimised Enter path (paper §8.1 optimisations)";
+  let conservative = measure () in
+  let optimised = measure ~optimised:true () in
+  let pick rows name = (List.find (fun r -> r.op = name) rows).ours in
+  Report.print_table
+    ~columns:[ "Operation"; "Conservative"; "Optimised"; "Saved" ]
+    (List.map
+       (fun name ->
+         let c = pick conservative name and o = pick optimised name in
+         [ name; string_of_int c; string_of_int o; string_of_int (c - o) ])
+       [ "Enter + Exit"; "Enter only"; "Resume only" ]);
+  Printf.printf
+    "\n(optimised = skip the unconditional TLB flush when provably consistent\n\
+    \ and skip the FIQ/IRQ banked-register save, the lemma-backed optimisations\n\
+    \ the paper proposes but had not yet implemented)\n"

@@ -1,0 +1,33 @@
+(** Table rendering for the benchmark reports. *)
+
+let rule width = String.make width '-'
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (rule (String.length title))
+
+(** Print a table with left-aligned first column. *)
+let print_table ~columns rows =
+  let ncols = List.length columns in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Printf.printf "%-*s" w cell else Printf.printf "  %*s" w cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> rule w) widths |> List.mapi (fun i s -> if i < ncols then s else s));
+  List.iter print_row rows
+
+let ratio a b = if b = 0 then "n/a" else Printf.sprintf "%.2fx" (float_of_int a /. float_of_int b)
+let cycles c = Printf.sprintf "%d" c
+let ms f = Printf.sprintf "%.2f" f

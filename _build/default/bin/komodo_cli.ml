@@ -1,0 +1,357 @@
+(* komodo: command-line driver for the Komodo model.
+
+   Subcommands:
+     run       boot the platform and run a named demo enclave
+     attest    run an enclave and print/check its attestation
+     inspect   boot, load, and dump the PageDB and memory layout
+     notary    drive the notary enclave over a document file
+     verify    check the noninterference harness at a chosen scale
+
+   Examples:
+     komodo run --program sum --arg 100
+     komodo notary --document README.md
+     komodo verify --seeds 10 --ops 100
+     komodo inspect *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Ptable = Komodo_machine.Ptable
+module Os = Komodo_os.Os
+module Loader = Komodo_os.Loader
+module Image = Komodo_os.Image
+module Errors = Komodo_core.Errors
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+module Mapping = Komodo_core.Mapping
+module Uprog = Komodo_user.Uprog
+module Progs = Komodo_user.Progs
+module Notary = Komodo_user.Notary
+module Sha256 = Komodo_crypto.Sha256
+open Cmdliner
+
+let programs =
+  [
+    ("add", (Progs.add_args, "add the three entry arguments"));
+    ("sum", (Progs.sum_to_n, "sum the integers 1..arg1"));
+    ("random", (Progs.random_word, "fetch one word from the monitor RNG"));
+    ("attest", (Progs.attest_zero, "attest to 32 zero bytes"));
+    ("fault", (Progs.fault_unmapped, "dereference an unmapped address"));
+    ("spin", (Progs.spin_forever, "loop until interrupted"));
+  ]
+
+let seed_arg =
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"Boot-time RNG seed.")
+
+let npages_arg =
+  Arg.(value & opt int 64 & info [ "pages" ] ~docv:"N" ~doc:"Secure pages reserved at boot.")
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let load_simple ?(spares = 0) os prog =
+  let code = Uprog.to_page_images (Uprog.code_words prog) in
+  let img = Image.empty ~name:"cli" in
+  let img = Image.add_blob img ~va:Word.zero ~w:false ~x:true code in
+  let img = Image.add_thread img ~entry:Word.zero in
+  let img = Image.with_spares img spares in
+  match Loader.load os img with
+  | Ok r -> r
+  | Error e -> failwith (Format.asprintf "load failed: %a" Loader.pp_error e)
+
+(* -- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let program =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, (p, _)) -> (n, p)) programs)) Progs.add_args
+      & info [ "program"; "p" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Demo program to run (%s)."
+               (String.concat ", " (List.map fst programs))))
+  in
+  let args =
+    Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Entry argument (up to 3).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "irq-budget" ] ~docv:"STEPS" ~doc:"Interrupt after this many user steps.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"PROG.kasm"
+          ~doc:"Assemble and run a .kasm program instead of a built-in demo.")
+  in
+  let spares =
+    Arg.(
+      value & opt int 0
+      & info [ "spares" ] ~docv:"N"
+          ~doc:
+            "Grant N spare pages to the enclave; their page numbers are \
+             appended to the entry arguments (a1 = first spare, ...).")
+  in
+  let run seed npages prog args budget file spares =
+    setup_logs ();
+    let prog =
+      match file with
+      | None -> prog
+      | Some path -> (
+          let ic = open_in_bin path in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Komodo_user.Kasm.parse src with
+          | Ok prog -> prog
+          | Error e -> failwith (Format.asprintf "%s: %a" path Komodo_user.Kasm.pp_error e))
+    in
+    let os = Os.boot ~seed ~npages () in
+    let os, h = load_simple ~spares os prog in
+    let th = List.hd h.Loader.threads in
+    (* Spare page numbers prepend the argument list so .kasm programs
+       that manage dynamic memory can find them in r0... *)
+    let args = List.map (fun s -> Word.of_int s) h.Loader.spares
+               @ List.map Word.of_int args in
+    if h.Loader.spares <> [] then
+      Printf.printf "spares granted: %s\n"
+        (String.concat ", " (List.map string_of_int h.Loader.spares));
+    let nth n = try List.nth args n with _ -> Word.zero in
+    let c0 = Os.cycles os in
+    let os, err, v =
+      match budget with
+      | None -> Os.enter os ~thread:th ~args:(nth 0, nth 1, nth 2)
+      | Some b -> Os.run_thread ~budget:b os ~thread:th ~args:(nth 0, nth 1, nth 2)
+    in
+    Printf.printf "result: %s, value = %d (0x%x)\n" (Errors.show err) (Word.to_int v)
+      (Word.to_int v);
+    Printf.printf "cycles: %d (%.3f ms at 900 MHz)\n" (Os.cycles os - c0)
+      (Komodo_machine.Cost.cycles_to_ms (Os.cycles os - c0));
+    if Errors.is_success err || Errors.equal err Errors.Fault then 0 else 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Boot the platform and run a demo enclave")
+    Term.(const run $ seed_arg $ npages_arg $ program $ args $ budget $ file $ spares)
+
+(* -- attest ----------------------------------------------------------- *)
+
+let attest_cmd =
+  let run seed npages =
+    setup_logs ();
+    let os = Os.boot ~seed ~npages () in
+    let os, h = load_simple os Progs.attest_zero in
+    let os, err, v = Os.enter os ~thread:(List.hd h.Loader.threads) ~args:(Word.zero, Word.zero, Word.zero) in
+    Printf.printf "enclave measurement: %s\n" (Sha256.to_hex h.Loader.measurement);
+    Printf.printf "enclave ran: %s; first MAC word: 0x%08x\n" (Errors.show err) (Word.to_int v);
+    (* Recompute with the boot secret to check. *)
+    let data = String.make 32 '\000' in
+    let mac =
+      Komodo_core.Attest.create ~key:os.Os.mon.Monitor.attest_key
+        ~measurement:h.Loader.measurement ~data
+    in
+    let expected = Word.to_int (List.hd (Sha256.digest_words_of mac)) in
+    Printf.printf "attestation %s (expected 0x%08x)\n"
+      (if expected = Word.to_int v then "VALID" else "INVALID")
+      expected;
+    if expected = Word.to_int v then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "attest" ~doc:"Run an attesting enclave and check its MAC against the boot secret")
+    Term.(const run $ seed_arg $ npages_arg)
+
+(* -- inspect ----------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run seed npages =
+    setup_logs ();
+    let os = Os.boot ~seed ~npages () in
+    let os, _ = load_simple os Progs.add_args in
+    let os, h2 = load_simple os Progs.sum_to_n in
+    Printf.printf "platform: %d secure pages at %s; monitor image at %s\n" npages
+      (Word.show Komodo_tz.Layout.secure_region_base)
+      (Word.show Komodo_tz.Layout.monitor_image_base);
+    Printf.printf "attestation key: %s...\n"
+      (String.sub (Sha256.to_hex os.Os.mon.Monitor.attest_key) 0 16);
+    print_endline "PageDB:";
+    Format.printf "%a@." Pagedb.pp os.Os.mon.Monitor.pagedb;
+    Printf.printf "second enclave measurement: %s\n" (Sha256.to_hex h2.Loader.measurement);
+    let wf =
+      Pagedb.wf os.Os.mon.Monitor.plat os.Os.mon.Monitor.mach.State.mem
+        os.Os.mon.Monitor.pagedb
+    in
+    Printf.printf "PageDB well-formed: %b\n" wf;
+    if wf then 0 else 1
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Dump the PageDB and platform layout of a loaded system")
+    Term.(const run $ seed_arg $ npages_arg)
+
+(* -- notary ------------------------------------------------------------ *)
+
+let notary_cmd =
+  let document =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "document"; "d" ] ~docv:"FILE" ~doc:"File to notarise (default: a demo string).")
+  in
+  let run seed npages document =
+    setup_logs ();
+    let os = Os.boot ~seed ~npages () in
+    let zero_page = String.make Ptable.page_size '\000' in
+    let code = Uprog.to_page_images (Uprog.native_words ~id:Notary.native_id) in
+    let img = Image.empty ~name:"notary" in
+    let img = Image.add_blob img ~va:Notary.code_va ~w:false ~x:true code in
+    let img =
+      Image.add_secure_page img
+        ~mapping:(Mapping.make ~va:Notary.state_va ~w:true ~x:false)
+        ~contents:zero_page
+    in
+    let img =
+      Image.add_secure_page img
+        ~mapping:(Mapping.make ~va:Notary.heap_va ~w:true ~x:false)
+        ~contents:zero_page
+    in
+    let img =
+      Image.add_insecure_mapping img
+        ~mapping:(Mapping.make ~va:Notary.output_va ~w:true ~x:false)
+        ~target:Os.shared_base
+    in
+    let img =
+      List.fold_left
+        (fun img i ->
+          Image.add_insecure_mapping img
+            ~mapping:
+              (Mapping.make
+                 ~va:(Word.add Notary.input_va (Word.of_int (i * Ptable.page_size)))
+                 ~w:false ~x:false)
+            ~target:(Word.add Os.document_base (Word.of_int (i * Ptable.page_size))))
+        img
+        (List.init 64 (fun i -> i))
+    in
+    let img = Image.add_thread img ~entry:Notary.code_va in
+    let os, h =
+      match Loader.load os img with
+      | Ok r -> r
+      | Error e -> failwith (Format.asprintf "notary load: %a" Loader.pp_error e)
+    in
+    let th = List.hd h.Loader.threads in
+    let os, err, _ = Os.enter os ~thread:th ~args:(Word.zero, Word.zero, Word.zero) in
+    assert (Errors.is_success err);
+    let doc =
+      match document with
+      | Some path ->
+          let ic = open_in_bin path in
+          let n = min (in_channel_length ic) (60 * Ptable.page_size) in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+      | None -> "komodo notary demo document"
+    in
+    let padded = doc ^ String.make ((4 - (String.length doc mod 4)) mod 4) '\000' in
+    let os = Os.write_bytes os Os.document_base padded in
+    let os, err, stamp =
+      Os.enter os ~thread:th
+        ~args:(Word.of_int Notary.cmd_notarize, Notary.input_va, Word.of_int (String.length padded))
+    in
+    if not (Errors.is_success err) then begin
+      Printf.printf "notarise failed: %s\n" (Errors.show err);
+      1
+    end
+    else begin
+      let signature = Os.read_bytes os Os.shared_base 128 in
+      Printf.printf "document: %d bytes\n" (String.length doc);
+      Printf.printf "counter stamp: %d\n" (Word.to_int stamp);
+      Printf.printf "signature: %s...\n" (String.sub (Sha256.to_hex signature) 0 32);
+      Printf.printf "measurement: %s\n" (Sha256.to_hex h.Loader.measurement);
+      0
+    end
+  in
+  Cmd.v (Cmd.info "notary" ~doc:"Notarise a document with the notary enclave")
+    Term.(const run $ seed_arg $ npages_arg $ document)
+
+(* -- asm ------------------------------------------------------------------ *)
+
+let asm_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"PROG.kasm" ~doc:"Program to assemble.")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Komodo_user.Kasm.parse src with
+    | Error e ->
+        Format.printf "%s: %a@." file Komodo_user.Kasm.pp_error e;
+        1
+    | Ok prog ->
+        let flat = Komodo_machine.Insn.flatten prog in
+        let words = Uprog.code_words prog in
+        let pages = Uprog.to_page_images words in
+        Printf.printf "%s: %d statements, %d flat ops, %d words, %d page(s)
+" file
+          (List.length prog) (Array.length flat) (List.length words)
+          (List.length pages);
+        (* The measurement a canonical single-thread image of this
+           program would carry: what a verifier should expect. *)
+        let img =
+          Image.empty ~name:file
+          |> fun img ->
+          Image.add_blob img ~va:Word.zero ~w:false ~x:true pages |> fun img ->
+          Image.add_thread img ~entry:Word.zero
+        in
+        Printf.printf "enclave measurement (code @0, one thread): %s
+"
+          (Sha256.to_hex (Image.expected_measurement img));
+        print_endline "disassembly:";
+        print_string (Komodo_user.Kasm.print prog);
+        0
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:"Assemble a .kasm program, report its size and expected measurement")
+    Term.(const run $ file)
+
+(* -- verify ------------------------------------------------------------- *)
+
+let verify_cmd =
+  let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seed count.") in
+  let ops = Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Adversarial ops per seed.") in
+  let run seeds ops =
+    setup_logs ();
+    let bad = ref 0 in
+    for seed = 1 to seeds do
+      (match Komodo_sec.Nonint.run_confidentiality ~seed ~nops:ops with
+      | None -> Printf.printf "seed %3d: confidentiality preserved (%d ops)\n" seed ops
+      | Some f ->
+          incr bad;
+          Format.printf "seed %3d: CONFIDENTIALITY VIOLATED: %a@." seed
+            Komodo_sec.Nonint.pp_failure f);
+      match Komodo_sec.Nonint.run_integrity ~seed ~nops:ops with
+      | None -> Printf.printf "seed %3d: integrity preserved (%d ops)\n" seed ops
+      | Some f ->
+          incr bad;
+          Format.printf "seed %3d: INTEGRITY VIOLATED: %a@." seed Komodo_sec.Nonint.pp_failure f
+    done;
+    List.iter
+      (fun (name, attack) ->
+        match attack () with
+        | Komodo_sec.Attacks.Defended -> Printf.printf "attack defended: %s\n" name
+        | Komodo_sec.Attacks.Leaked m ->
+            incr bad;
+            Printf.printf "ATTACK LEAKED: %s (%s)\n" name m)
+      Komodo_sec.Attacks.all_komodo;
+    if !bad = 0 then (print_endline "all security checks passed"; 0) else 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run the noninterference harness and attack library")
+    Term.(const run $ seeds $ ops)
+
+let () =
+  let info =
+    Cmd.info "komodo" ~version:"1.0.0"
+      ~doc:"A software secure-enclave monitor (Komodo, SOSP 2017) — executable model"
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; asm_cmd; attest_cmd; inspect_cmd; notary_cmd; verify_cmd ]))

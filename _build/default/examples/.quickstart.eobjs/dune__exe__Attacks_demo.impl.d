@@ -1,0 +1,1 @@
+examples/attacks_demo.ml: Komodo_sec List Printf String

@@ -1,0 +1,1 @@
+examples/attestation.ml: Char Format Komodo_core Komodo_crypto Komodo_machine Komodo_os Komodo_user List Printf String

@@ -1,0 +1,1 @@
+examples/dynamic_memory.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_sgx Komodo_user List Printf

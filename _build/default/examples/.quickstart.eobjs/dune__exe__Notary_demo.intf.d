@@ -1,0 +1,1 @@
+examples/notary_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Komodo_core Komodo_crypto Komodo_machine Komodo_os Komodo_user List Printf String

@@ -1,0 +1,1 @@
+examples/remote_attestation.ml: Format Komodo_core Komodo_crypto Komodo_machine Komodo_os Komodo_user List Printf String

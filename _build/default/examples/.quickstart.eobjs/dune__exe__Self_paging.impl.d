@@ -1,0 +1,1 @@
+examples/self_paging.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_user List Printf String

@@ -1,0 +1,95 @@
+(* Full enclave self-paging: a 4-page working set on 1 physical page.
+
+   The paper's §9.2 motivates a dispatcher interface precisely so that
+   enclaves can demand-page their own memory "without exposing page
+   faults to the untrusted OS" (citing Nemesis self-paging and Eleos).
+   This demo runs that whole vision on the implemented dispatcher:
+
+   - the enclave's heap is 4 virtual pages; it owns ONE spare page;
+   - every touch of a non-resident page faults into the enclave's own
+     paging dispatcher (the OS sees nothing);
+   - the dispatcher evicts the resident page into an insecure swap
+     window — XOR-enciphered, so the OS sees only ciphertext — unmaps
+     it, maps the spare at the faulting address, and decrypts any
+     previously evicted contents back;
+   - the program writes and reads all 4 pages and exits with the right
+     answer, proving every eviction round-trip preserved the data.
+
+   Run with: dune exec examples/paging.exe *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+module Os = Komodo_os.Os
+module Loader = Komodo_os.Loader
+module Image = Komodo_os.Image
+module Errors = Komodo_core.Errors
+module Pagedb = Komodo_core.Pagedb
+module Monitor = Komodo_core.Monitor
+module Mapping = Komodo_core.Mapping
+module Uprog = Komodo_user.Uprog
+module Progs = Komodo_user.Progs
+
+let swap_frames = Os.shared_base
+
+let image =
+  Image.empty ~name:"selfpager"
+  |> fun img ->
+  Image.add_blob img ~va:Word.zero ~w:false ~x:true
+    (Uprog.to_page_images (Uprog.code_words Progs.selfpager_main))
+  |> fun img ->
+  Image.add_blob img ~va:(Word.of_int Progs.selfpager_disp_va) ~w:false ~x:true
+    (Uprog.to_page_images (Uprog.code_words Progs.selfpager_dispatcher))
+  |> fun img ->
+  Image.add_secure_page img
+    ~mapping:(Mapping.make ~va:(Word.of_int Progs.selfpager_book) ~w:true ~x:false)
+    ~contents:(String.make Ptable.page_size '\000')
+  |> fun img ->
+  (* The 4-page insecure swap window. *)
+  List.fold_left
+    (fun img i ->
+      Image.add_insecure_mapping img
+        ~mapping:
+          (Mapping.make
+             ~va:(Word.of_int (Progs.selfpager_swap + (i * Ptable.page_size)))
+             ~w:true ~x:false)
+        ~target:(Word.add swap_frames (Word.of_int (i * Ptable.page_size))))
+    img
+    (List.init 4 (fun i -> i))
+  |> fun img ->
+  Image.add_thread img ~entry:Word.zero |> fun img -> Image.with_spares img 1
+
+let () =
+  let os = Os.boot ~seed:0x5ECE ~npages:48 () in
+  let os, h =
+    match Loader.load os image with
+    | Ok r -> r
+    | Error e -> failwith (Format.asprintf "load: %a" Loader.pp_error e)
+  in
+  let spare = List.hd h.Loader.spares in
+  Printf.printf "4-page working set, 1 physical page (spare %d)\n" spare;
+
+  let c0 = Os.cycles os in
+  let os, err, v =
+    Os.enter os ~thread:(List.hd h.Loader.threads)
+      ~args:(Word.of_int spare, Word.zero, Word.zero)
+  in
+  Printf.printf "Enter -> %s, sum = %#x (expected 0x286)\n" (Errors.show err)
+    (Word.to_int v);
+  assert (Errors.is_success err && Word.to_int v = 0x286);
+  Printf.printf "whole run: one OS-visible call, %.2f ms simulated\n"
+    (Komodo_machine.Cost.cycles_to_ms (Os.cycles os - c0));
+
+  (* What did the OS get to see? Only ciphertext in the swap window. *)
+  let plaintext0 = 0xA0 in
+  let swapped0 = Word.to_int (Os.read_word os swap_frames) in
+  Printf.printf "swap slot 0, word 0: %#x (plaintext would be %#x)\n" swapped0
+    plaintext0;
+  assert (swapped0 = plaintext0 lxor Progs.selfpager_key);
+  assert (swapped0 <> plaintext0);
+
+  (* And the one physical page is currently a data page of the enclave;
+     nothing else about the paging was observable. *)
+  (match Pagedb.get os.Os.mon.Monitor.pagedb spare with
+  | Pagedb.DataPage _ -> print_endline "spare is resident as a data page"
+  | _ -> assert false);
+  print_endline "self-paging-with-eviction demo: OK"

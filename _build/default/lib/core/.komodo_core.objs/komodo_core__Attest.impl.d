@@ -1,0 +1,1 @@
+lib/core/attest.pp.ml: Komodo_crypto Komodo_machine String

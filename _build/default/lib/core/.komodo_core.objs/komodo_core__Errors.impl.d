@@ -1,0 +1,1 @@
+lib/core/errors.pp.ml: Komodo_machine Ppx_deriving_runtime

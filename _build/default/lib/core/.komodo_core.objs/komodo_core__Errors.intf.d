@@ -1,0 +1,1 @@
+lib/core/errors.pp.mli: Format Komodo_machine

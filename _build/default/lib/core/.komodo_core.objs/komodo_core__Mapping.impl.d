@@ -1,0 +1,1 @@
+lib/core/mapping.pp.ml: Komodo_machine Ppx_deriving_runtime

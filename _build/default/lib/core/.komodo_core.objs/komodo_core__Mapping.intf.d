@@ -1,0 +1,1 @@
+lib/core/mapping.pp.mli: Format Komodo_machine

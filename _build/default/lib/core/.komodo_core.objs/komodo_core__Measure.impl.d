@@ -1,0 +1,1 @@
+lib/core/measure.pp.ml: Komodo_crypto Komodo_machine List Mapping String

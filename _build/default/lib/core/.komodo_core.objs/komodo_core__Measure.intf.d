@@ -1,0 +1,1 @@
+lib/core/measure.pp.mli: Komodo_crypto Komodo_machine Mapping

@@ -1,0 +1,1 @@
+lib/core/monitor.pp.ml: Errors Komodo_machine Komodo_tz Pagedb

@@ -1,0 +1,1 @@
+lib/core/monitor.pp.mli: Errors Komodo_machine Komodo_tz Pagedb

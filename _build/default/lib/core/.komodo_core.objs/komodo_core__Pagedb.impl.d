@@ -1,0 +1,1 @@
+lib/core/pagedb.pp.ml: Format Int Komodo_machine Komodo_tz List Map Measure Option Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/core/pagedb.pp.mli: Format Komodo_machine Komodo_tz Measure

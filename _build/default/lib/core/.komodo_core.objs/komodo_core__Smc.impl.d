@@ -1,0 +1,1 @@
+lib/core/smc.pp.ml: Errors Komodo_machine Komodo_tz List Logs Mapping Measure Monitor Option Pagedb Printf String Svc Uexec

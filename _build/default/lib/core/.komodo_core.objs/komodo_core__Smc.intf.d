@@ -1,0 +1,1 @@
+lib/core/smc.pp.mli: Errors Komodo_machine Logs Monitor Uexec

@@ -1,0 +1,1 @@
+lib/core/svc.pp.ml: Attest Errors Komodo_crypto Komodo_machine Komodo_tz List Mapping Measure Monitor Pagedb

@@ -1,0 +1,1 @@
+lib/core/svc.pp.mli: Errors Komodo_machine Monitor Pagedb

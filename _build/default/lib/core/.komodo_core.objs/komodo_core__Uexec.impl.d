@@ -1,0 +1,1 @@
+lib/core/uexec.pp.ml: Array Komodo_crypto Komodo_machine List Printf

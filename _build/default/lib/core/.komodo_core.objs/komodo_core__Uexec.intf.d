@@ -1,0 +1,1 @@
+lib/core/uexec.pp.mli: Komodo_machine

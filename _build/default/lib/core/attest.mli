@@ -1,0 +1,28 @@
+(** Local attestation (§4).
+
+    An attestation is a MAC, under a secret key generated at boot from
+    the hardware randomness source, over the attesting enclave's
+    measurement and 32 bytes of enclave-provided data — typically a
+    public-key binding used to bootstrap an encrypted channel. The
+    monitor offers creation and verification; remote attestation is
+    deferred to a trusted enclave ({!Komodo_user.Verifier} implements
+    it). *)
+
+val data_words : int
+(** 8 words (32 bytes) of enclave-provided data. *)
+
+val mac_words : int
+(** 8 words (32 bytes) of MAC. *)
+
+val create : key:string -> measurement:string -> data:string -> string
+(** The 32-byte attestation MAC.
+    @raise Invalid_argument unless measurement and data are 32 bytes. *)
+
+val verify : key:string -> measurement:string -> data:string -> mac:string -> bool
+(** Does [mac] attest that an enclave measured as [measurement] vouched
+    for [data] on this boot? Constant-shape comparison. *)
+
+val mac_cycles : int
+(** Cycle cost of one attestation MAC (HMAC compressions + marshalling). *)
+
+val verify_cycles : int

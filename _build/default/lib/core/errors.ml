@@ -1,0 +1,69 @@
+(** Monitor call result codes.
+
+    Mirrors the error set of the public Komodo sources. Every SMC and
+    SVC returns one of these in r0; a few calls also return a value in
+    r1 (§5.2's register discipline). *)
+
+module Word = Komodo_machine.Word
+
+type t =
+  | Success
+  | Invalid_pageno  (** page number out of range *)
+  | Page_in_use  (** target page is not free *)
+  | Invalid_addrspace  (** page is not an address space in a usable state *)
+  | Already_final  (** construction call on a finalised enclave *)
+  | Not_final  (** execution attempted before [Finalise] *)
+  | Invalid_mapping  (** malformed mapping word / missing L2 table *)
+  | Addr_in_use  (** virtual address already mapped *)
+  | Not_stopped  (** deallocation before [Stop] *)
+  | Interrupted  (** enclave execution suspended by an interrupt *)
+  | Fault  (** enclave faulted (only the exception type is released) *)
+  | Already_entered  (** Enter on a suspended thread *)
+  | Not_entered  (** Resume on a thread with no saved context *)
+  | Invalid_thread  (** page is not a thread of a final enclave *)
+  | Pages_exhausted  (** no secure page available *)
+  | In_use  (** refcount prevents removal *)
+  | Invalid_arg  (** malformed argument (alignment, insecure range, ...) *)
+[@@deriving eq, show { with_path = false }]
+
+let to_word = function
+  | Success -> Word.zero
+  | Invalid_pageno -> Word.of_int 1
+  | Page_in_use -> Word.of_int 2
+  | Invalid_addrspace -> Word.of_int 3
+  | Already_final -> Word.of_int 4
+  | Not_final -> Word.of_int 5
+  | Invalid_mapping -> Word.of_int 6
+  | Addr_in_use -> Word.of_int 7
+  | Not_stopped -> Word.of_int 8
+  | Interrupted -> Word.of_int 9
+  | Fault -> Word.of_int 10
+  | Already_entered -> Word.of_int 11
+  | Not_entered -> Word.of_int 12
+  | Invalid_thread -> Word.of_int 13
+  | Pages_exhausted -> Word.of_int 14
+  | In_use -> Word.of_int 15
+  | Invalid_arg -> Word.of_int 16
+
+let of_word w =
+  match Word.to_int w with
+  | 0 -> Some Success
+  | 1 -> Some Invalid_pageno
+  | 2 -> Some Page_in_use
+  | 3 -> Some Invalid_addrspace
+  | 4 -> Some Already_final
+  | 5 -> Some Not_final
+  | 6 -> Some Invalid_mapping
+  | 7 -> Some Addr_in_use
+  | 8 -> Some Not_stopped
+  | 9 -> Some Interrupted
+  | 10 -> Some Fault
+  | 11 -> Some Already_entered
+  | 12 -> Some Not_entered
+  | 13 -> Some Invalid_thread
+  | 14 -> Some Pages_exhausted
+  | 15 -> Some In_use
+  | 16 -> Some Invalid_arg
+  | _ -> None
+
+let is_success = function Success -> true | _ -> false

@@ -1,0 +1,32 @@
+(** Monitor call result codes.
+
+    Mirrors the error set of the public Komodo sources. Every SMC and
+    SVC returns one of these in r0; a few calls also return a value in
+    r1 (the §5.2 register discipline). *)
+
+type t =
+  | Success
+  | Invalid_pageno  (** page number out of range or page free *)
+  | Page_in_use  (** target page is not free *)
+  | Invalid_addrspace  (** page is not an address space in a usable state *)
+  | Already_final  (** construction call on a finalised enclave *)
+  | Not_final  (** execution attempted before Finalise *)
+  | Invalid_mapping  (** malformed mapping word / missing second-level table *)
+  | Addr_in_use  (** virtual address already mapped *)
+  | Not_stopped  (** deallocation before Stop *)
+  | Interrupted  (** enclave execution suspended by an interrupt *)
+  | Fault  (** enclave faulted (only the exception type is released) *)
+  | Already_entered  (** Enter on a suspended thread *)
+  | Not_entered  (** Resume on a thread with no saved context *)
+  | Invalid_thread  (** page is not a thread of a finalised enclave *)
+  | Pages_exhausted  (** no secure page available *)
+  | In_use  (** reference count prevents removal *)
+  | Invalid_arg  (** malformed argument (alignment, insecure range, ...) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val to_word : t -> Komodo_machine.Word.t
+val of_word : Komodo_machine.Word.t -> t option
+val is_success : t -> bool

@@ -1,0 +1,33 @@
+(** The [Mapping] argument of the page-mapping calls.
+
+    A single word packs the page-aligned enclave virtual address with
+    the requested permissions, exactly as the API of Table 1 passes
+    them. Permissions sit in the low (page-offset) bits: bit 0 read
+    (must be set), bit 1 write, bit 2 execute. *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+
+type t = { va : Word.t; (* page-aligned *) perms : Ptable.perms }
+[@@deriving eq, show { with_path = false }]
+
+let encode t =
+  let p =
+    1 lor (if t.perms.Ptable.w then 2 else 0) lor if t.perms.Ptable.x then 4 else 0
+  in
+  Word.logor t.va (Word.of_int p)
+
+(** Decode and validate: the address must be page-aligned (modulo the
+    permission bits), readable, and inside the enclave's 1 GB space. *)
+let decode w =
+  let va = Ptable.page_base w in
+  let bits = Word.to_int (Ptable.page_offset w) in
+  if bits land 1 = 0 then None (* unreadable mappings are meaningless *)
+  else if bits land lnot 7 <> 0 then None (* stray offset bits *)
+  else if not (Word.ult va Ptable.va_limit) then None
+  else Some { va; perms = { Ptable.w = bits land 2 <> 0; x = bits land 4 <> 0 } }
+
+let make ~va ~w ~x =
+  if not (Ptable.page_aligned va) then invalid_arg "Mapping.make: unaligned va";
+  if not (Word.ult va Ptable.va_limit) then invalid_arg "Mapping.make: va beyond 1 GB";
+  { va; perms = { Ptable.w; x } }

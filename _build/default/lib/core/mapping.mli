@@ -1,0 +1,24 @@
+(** The [Mapping] argument of the page-mapping calls (Table 1).
+
+    One word packs the page-aligned enclave virtual address with the
+    requested permissions: bit 0 read (must be set), bit 1 write,
+    bit 2 execute. *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+
+type t = { va : Word.t;  (** page-aligned *) perms : Ptable.perms }
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val encode : t -> Word.t
+
+val decode : Word.t -> t option
+(** Validates as it decodes: the address must be page-aligned (modulo
+    the permission bits), readable, inside the 1 GB enclave space, and
+    carry no stray bits. *)
+
+val make : va:Word.t -> w:bool -> x:bool -> t
+(** @raise Invalid_argument on an unaligned or out-of-range address. *)

@@ -1,0 +1,71 @@
+(** Enclave measurement (§4, "Attestation").
+
+    As an enclave is constructed the monitor hashes the sequence of
+    page-allocation calls and their parameters: the virtual address,
+    permissions and initial contents of each secure data page, and the
+    entry point of every thread. When the enclave is finalised the hash
+    becomes its immutable measurement. The OS may build enclaves in any
+    order, but any change in layout changes the measurement.
+
+    Records are padded to 64-byte blocks so the monitor only ever
+    invokes SHA-256 on block-aligned data — the precondition the paper
+    exploits to avoid reasoning about padding (§7.2). *)
+
+module Word = Komodo_machine.Word
+module Sha256 = Komodo_crypto.Sha256
+
+type t = In_progress of Sha256.ctx | Finalised of Sha256.digest
+
+let tag_thread = Word.of_int 0x7468_7264 (* "thrd" *)
+let tag_data = Word.of_int 0x6461_7461 (* "data" *)
+
+let initial = In_progress Sha256.init
+
+let record_block words =
+  if List.length words > 16 then invalid_arg "Measure.record_block: too long";
+  let padded = words @ List.init (16 - List.length words) (fun _ -> Word.zero) in
+  String.concat "" (List.map Word.to_bytes_be padded)
+
+let absorb_record ctx words = Sha256.absorb_block ctx (record_block words)
+
+(** Extend with a thread creation: tag + entry point. *)
+let add_thread t ~entry_point =
+  match t with
+  | Finalised _ -> invalid_arg "Measure.add_thread: already finalised"
+  | In_progress ctx -> In_progress (absorb_record ctx [ tag_thread; entry_point ])
+
+(** Extend with a secure data page: tag + mapping word (address and
+    permissions), then the page's 4096-byte initial contents. *)
+let add_data_page t ~mapping ~contents =
+  match t with
+  | Finalised _ -> invalid_arg "Measure.add_data_page: already finalised"
+  | In_progress ctx ->
+      if String.length contents <> Komodo_machine.Ptable.page_size then
+        invalid_arg "Measure.add_data_page: need exactly one page of contents";
+      let ctx = absorb_record ctx [ tag_data; Mapping.encode mapping ] in
+      let rec absorb ctx off =
+        if off >= String.length contents then ctx
+        else absorb (Sha256.absorb_block ctx (String.sub contents off 64)) (off + 64)
+      in
+      In_progress (absorb ctx 0)
+
+let finalise = function
+  | Finalised _ -> invalid_arg "Measure.finalise: already finalised"
+  | In_progress ctx -> Finalised (Sha256.finalize ctx)
+
+let digest = function
+  | Finalised d -> Some d
+  | In_progress _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Finalised x, Finalised y -> String.equal x y
+  | In_progress x, In_progress y -> Sha256.equal_ctx x y
+  | _ -> false
+
+(** Cycles charged for one measurement extension over [bytes] bytes of
+    content (header block + content blocks). *)
+let extend_cycles ~content_bytes =
+  Komodo_machine.Cost.sha256_block * (1 + ((content_bytes + 63) / 64))
+
+let finalise_cycles = Komodo_machine.Cost.sha256_block

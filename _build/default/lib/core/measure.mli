@@ -1,0 +1,43 @@
+(** Enclave measurement (§4, "Attestation").
+
+    As an enclave is constructed the monitor hashes the sequence of
+    page-allocation calls and their parameters: the virtual address,
+    permissions and initial contents of each secure data page, and the
+    entry point of every thread. When the enclave is finalised the hash
+    becomes its immutable measurement. The OS may build enclaves in any
+    order, but any change in layout changes the measurement.
+
+    Records are padded to 64-byte blocks so the monitor only ever runs
+    SHA-256 on block-aligned data — the precondition the paper exploits
+    to avoid reasoning about padding (§7.2). *)
+
+module Word = Komodo_machine.Word
+module Sha256 = Komodo_crypto.Sha256
+
+type t = In_progress of Sha256.ctx | Finalised of Sha256.digest
+
+val initial : t
+
+val add_thread : t -> entry_point:Word.t -> t
+(** Extend with a thread creation.
+    @raise Invalid_argument if already finalised. *)
+
+val add_data_page : t -> mapping:Mapping.t -> contents:string -> t
+(** Extend with a secure data page: the mapping word (address and
+    permissions) then the page's 4096-byte initial contents.
+    @raise Invalid_argument if finalised or [contents] is not one
+    page. *)
+
+val finalise : t -> t
+(** @raise Invalid_argument if already finalised. *)
+
+val digest : t -> Sha256.digest option
+(** The measurement, available only once finalised. *)
+
+val equal : t -> t -> bool
+
+val extend_cycles : content_bytes:int -> int
+(** Cycles charged for one measurement extension (header block plus
+    content blocks). *)
+
+val finalise_cycles : int

@@ -1,0 +1,78 @@
+(** Monitor state and shared helpers.
+
+    The verified artefact in the paper is the relation
+    [smchandler(s, d, s', d')] over machine states and abstract PageDBs;
+    accordingly the monitor state here is exactly that pair plus the
+    boot-time platform facts. The SMC and SVC handlers live in {!Smc}
+    and {!Svc}; this module holds the state type and the page-access and
+    register-discipline helpers they share. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Regs = Komodo_machine.Regs
+module Platform = Komodo_tz.Platform
+module Rng = Komodo_tz.Rng
+
+type t = {
+  mach : State.t;
+  pagedb : Pagedb.t;
+  plat : Platform.t;
+  attest_key : string;  (** 32-byte boot-derived attestation secret *)
+  rng : Rng.t;
+  optimised : bool;
+      (** §8.1 ablation switch: skip the conservative FIQ/IRQ
+          banked-register saves and redundant TTBR reload + TLB flush.
+          Functionally identical (property-tested). *)
+}
+
+val of_boot : ?optimised:bool -> Komodo_tz.Boot.t -> t
+val charge : int -> t -> t
+val cycles : t -> int
+
+(* Secure-page access *)
+
+val page_pa : t -> Pagedb.pagenr -> Word.t
+val load_page_word : t -> Pagedb.pagenr -> int -> Word.t
+val store_page_word : t -> Pagedb.pagenr -> int -> Word.t -> t
+
+val page_bytes : t -> Pagedb.pagenr -> string
+(** Whole-page contents, big-endian (for measurement). *)
+
+val zero_page : t -> Pagedb.pagenr -> t
+(** Scrub a page, charging the zero-fill cost. *)
+
+val fill_page_from_insecure : t -> Pagedb.pagenr -> src:Word.t -> t
+(** Copy one page from (already-validated) insecure memory; [src = 0]
+    means zero-fill, as in the Komodo sources. *)
+
+val dirty_tlb : t -> t
+(** Mark the TLB inconsistent after a store into a live page table. *)
+
+(* Page-table manipulation *)
+
+val install_l1e : t -> l1pt:Pagedb.pagenr -> l2pt:Pagedb.pagenr -> i1:int -> t
+val l2pt_for : t -> l1pt:Pagedb.pagenr -> Word.t -> Pagedb.pagenr option
+val read_l2e : t -> l2pt:Pagedb.pagenr -> Word.t -> Word.t
+val write_l2e : t -> l2pt:Pagedb.pagenr -> Word.t -> Word.t -> t
+
+(* Register discipline (§5.2): non-volatile registers preserved across
+   every SMC, non-return registers zeroed, insecure memory invariant. *)
+
+type os_context
+
+val save_os_context : t -> t * os_context
+val restore_os_context : t -> os_context -> err:Errors.t -> retval:Word.t -> t
+
+val arg : t -> int -> Word.t
+(** SMC argument register r{i} as captured at SMC entry. *)
+
+(* Validation helpers *)
+
+val valid_pagenr : t -> Word.t -> int option
+
+val free_page : t -> Word.t -> (int, Errors.t) result
+(** The argument as a page number, provided it denotes a free page. *)
+
+val addrspace_page :
+  t -> ?want:Pagedb.addrspace_state -> Word.t -> (int * Pagedb.addrspace_info, Errors.t) result
+(** The argument as an address space, optionally in a required state. *)

@@ -1,0 +1,1 @@
+lib/crypto/bignum.pp.ml: Array Buffer Char Format Int List String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.pp.ml: Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.pp.ml: Bignum String

@@ -1,0 +1,1 @@
+lib/crypto/sha256.pp.ml: Array Buffer Bytes Char Komodo_machine List Printf String

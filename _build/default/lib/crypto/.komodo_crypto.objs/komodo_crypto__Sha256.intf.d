@@ -1,0 +1,1 @@
+lib/crypto/sha256.pp.mli: Komodo_machine

@@ -1,0 +1,365 @@
+(* Little-endian limbs in base 2^26; invariant: no trailing zero limb. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero a = Array.length a = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec go n acc = if n = 0 then acc else go (n lsr limb_bits) ((n land limb_mask) :: acc) in
+  normalize (Array.of_list (List.rev (go n [])))
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int a =
+  Array.to_list a |> List.rev
+  |> List.fold_left
+       (fun acc l ->
+         if acc > (max_int - l) lsr limb_bits then failwith "Bignum.to_int: overflow"
+         else (acc lsl limb_bits) lor l)
+       0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * limb_bits) + width 0
+
+let test_bit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land limb_mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left a n =
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and off = n mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a n =
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and off = n mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let r = Array.make (la - limbs) 0 in
+      for i = 0 to la - limbs - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi =
+          if off > 0 && i + limbs + 1 < la then
+            (a.(i + limbs + 1) lsl (limb_bits - off)) land limb_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Knuth Algorithm D (TAOCP 4.3.1) specialised to base 2^26. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* Single-limb divisor: simple long division. *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, of_int !r)
+  end
+  else begin
+    (* Normalise so the divisor's top limb has its high bit set. *)
+    let shift =
+      let top = b.(Array.length b - 1) in
+      let rec go s = if top lsl s land (base lsr 1) <> 0 then s else go (s + 1) in
+      go 0
+    in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    (* Working copy of u with one extra high limb. *)
+    let w = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 w 0 (Array.length u);
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsecond = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let qhat = ref (min (num / vtop) (base - 1)) in
+      let rhat = ref (num - (!qhat * vtop)) in
+      while
+        !rhat < base && !qhat * vsecond > (!rhat lsl limb_bits) lor w.(j + n - 2)
+      do
+        decr qhat;
+        rhat := !rhat + vtop
+      done;
+      (* Multiply-subtract qhat * v from w[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = w.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          w.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          w.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = w.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add v back. *)
+        w.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = w.(i + j) + v.(i) + !carry in
+          w.(i + j) <- s land limb_mask;
+          carry := s lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry) land limb_mask
+      end
+      else w.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub w 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let rem a b = snd (divmod a b)
+
+let modpow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let b = rem b modulus in
+    let result = ref one and b = ref b in
+    let nbits = bits exp in
+    for i = 0 to nbits - 1 do
+      if test_bit exp i then result := rem (mul !result !b) modulus;
+      if i < nbits - 1 then b := rem (mul !b !b) modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid on signed limb pairs, tracked as (sign, magnitude). *)
+let modinv a m =
+  if is_zero m then invalid_arg "Bignum.modinv: zero modulus";
+  let rec go r0 r1 (s0_neg, s0) (s1_neg, s1) =
+    if is_zero r1 then
+      if equal r0 one then Some (if s0_neg then sub m (rem s0 m) else rem s0 m)
+      else None
+    else
+      let q, r = divmod r0 r1 in
+      (* s2 = s0 - q * s1, in sign-magnitude form. *)
+      let qs1 = mul q s1 in
+      let s2 =
+        if s0_neg = s1_neg then
+          if compare s0 qs1 >= 0 then (s0_neg, sub s0 qs1) else (not s0_neg, sub qs1 s0)
+        else (s0_neg, add s0 qs1)
+      in
+      go r1 r (s1_neg, s1) s2
+  in
+  go (rem a m) m (false, one) (false, zero)
+
+(* Miller-Rabin with the deterministic witness set for 64-bit inputs;
+   the same witnesses give overwhelming confidence for larger inputs. *)
+let is_probable_prime n =
+  if compare n two < 0 then false
+  else if equal n two then true
+  else if not (test_bit n 0) then false
+  else begin
+    let small = [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ] in
+    if List.exists (fun p -> equal n (of_int p)) small then true
+    else if List.exists (fun p -> is_zero (rem n (of_int p))) small then false
+    else begin
+      let n1 = sub n one in
+      let rec split d r = if test_bit d 0 then (d, r) else split (shift_right d 1) (r + 1) in
+      let d, r = split n1 0 in
+      let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
+      let check a =
+        let a = of_int a in
+        if is_zero (rem a n) then true
+        else begin
+          let x = ref (modpow ~base:a ~exp:d ~modulus:n) in
+          if equal !x one || equal !x n1 then true
+          else begin
+            let ok = ref false in
+            (try
+               for _ = 1 to r - 1 do
+                 x := rem (mul !x !x) n;
+                 if equal !x n1 then begin
+                   ok := true;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            !ok
+          end
+        end
+      in
+      List.for_all check witnesses
+    end
+  end
+
+let random_bits ~rng n =
+  if n <= 0 then invalid_arg "Bignum.random_bits: need positive width";
+  let nwords = (n + 31) / 32 in
+  let acc = ref zero in
+  for _ = 1 to nwords do
+    acc := add (shift_left !acc 32) (of_int (rng () land 0xFFFF_FFFF))
+  done;
+  (* Trim to n bits and force the top bit so the width is exact. *)
+  let excess = bits !acc - n in
+  let v = if excess > 0 then shift_right !acc excess else !acc in
+  let top = shift_left one (n - 1) in
+  if test_bit v (n - 1) then v else add v top
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?pad_to a =
+  let nbytes = max 1 ((bits a + 7) / 8) in
+  let body =
+    String.init nbytes (fun i ->
+        let shift = 8 * (nbytes - 1 - i) in
+        Char.chr (to_int (rem (shift_right a shift) (of_int 256))))
+  in
+  match pad_to with
+  | None -> body
+  | Some n ->
+      if nbytes > n then invalid_arg "Bignum.to_bytes_be: value exceeds pad width"
+      else String.make (n - nbytes) '\x00' ^ body
+
+let of_hex s =
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bignum.of_hex: bad digit"
+      in
+      acc := add (shift_left !acc 4) (of_int v))
+    s;
+  !acc
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let ten = of_int 10 in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod a ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int r))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

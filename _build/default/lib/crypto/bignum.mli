@@ -1,0 +1,65 @@
+(** Arbitrary-precision natural numbers.
+
+    Built from scratch (the sealed environment has no zarith) to support
+    the RSA signatures used by the notary enclave of §8.2. Numbers are
+    immutable, little-endian limb arrays in base 2^26 so limb products
+    fit comfortably in OCaml's 63-bit native ints. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+(** @raise Failure if the value exceeds [max_int]. *)
+
+val of_bytes_be : string -> t
+val to_bytes_be : ?pad_to:int -> t -> string
+(** Big-endian bytes, minimal length unless [pad_to] asks for left
+    zero-padding. @raise Invalid_argument if the value needs more than
+    [pad_to] bytes. *)
+
+val of_hex : string -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val bits : t -> int
+(** Position of the highest set bit + 1; [bits zero = 0]. *)
+
+val test_bit : t -> int -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : t -> t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [0 <= r < b].
+    @raise Division_by_zero on zero divisor. *)
+
+val rem : t -> t -> t
+val modpow : base:t -> exp:t -> modulus:t -> t
+val gcd : t -> t -> t
+
+val modinv : t -> t -> t option
+(** [modinv a m] is the inverse of [a] modulo [m], if coprime. *)
+
+val is_probable_prime : t -> bool
+(** Miller-Rabin with a fixed deterministic witness set (sound for all
+    64-bit values; strongly probabilistic beyond). *)
+
+val random_bits : rng:(unit -> int) -> int -> t
+(** A uniformly random [n]-bit number with the top bit set, drawing
+    32-bit values from [rng]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Decimal rendering. *)

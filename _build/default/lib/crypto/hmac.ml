@@ -1,0 +1,44 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+    Komodo attestations are MACs under a boot-time secret over the
+    attesting enclave's measurement and 32 bytes of enclave-provided
+    data (§4). The monitor both creates ([Attest]) and checks
+    ([Verify]) these MACs, so a plain MAC (rather than signatures)
+    suffices for local attestation. *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_bytes s c = String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+(** [mac ~key msg] is HMAC-SHA256(key, msg), 32 raw bytes. *)
+let mac ~key msg =
+  let k = normalize_key key in
+  let inner = Sha256.digest (xor_bytes k 0x36 ^ msg) in
+  Sha256.digest (xor_bytes k 0x5c ^ inner)
+
+(** Constant-shape comparison (the model analogue of a data-independent
+    compare: always scans the full length). *)
+let verify ~key msg tag =
+  let computed = mac ~key msg in
+  String.length tag = String.length computed
+  &&
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code computed.[i]))
+    tag;
+  !diff = 0
+
+(** Number of SHA-256 compressions a MAC over [n] message bytes costs:
+    two keyed blocks plus the padded message on the inner hash, plus the
+    outer hash of two blocks (key block + padded digest). Used by the
+    cycle cost model for Attest/Verify. *)
+let compressions n =
+  let inner = 1 + ((n + 1 + 8 + 63) / 64) in
+  let outer = 1 + 1 in
+  inner + outer

@@ -1,0 +1,75 @@
+(** Textbook RSA with PKCS#1 v1.5-style signature padding.
+
+    Used by the notary enclave (§8.2): on first entry the notary
+    generates an RSA key pair, and each notarisation hashes the document
+    with the monotonic counter and signs the digest. Key generation draws
+    primes from the caller-supplied RNG, so a deterministic RNG (the
+    platform CSPRNG model) gives reproducible keys for testing. *)
+
+type pub = { n : Bignum.t; e : Bignum.t }
+type priv = { pub : pub; d : Bignum.t }
+
+let default_e = Bignum.of_int 65537
+
+let rec gen_prime ~rng bits =
+  let candidate = Bignum.random_bits ~rng bits in
+  (* Force odd. *)
+  let candidate =
+    if Bignum.test_bit candidate 0 then candidate
+    else Bignum.add candidate Bignum.one
+  in
+  if Bignum.is_probable_prime candidate then candidate
+  else gen_prime ~rng bits
+
+(** Generate a key pair with a modulus of [bits] bits (e = 65537).
+    [rng] supplies 32-bit random values. *)
+let rec generate ~rng ~bits =
+  let half = bits / 2 in
+  let p = gen_prime ~rng half in
+  let q = gen_prime ~rng (bits - half) in
+  if Bignum.equal p q then generate ~rng ~bits
+  else begin
+    let n = Bignum.mul p q in
+    let p1 = Bignum.sub p Bignum.one and q1 = Bignum.sub q Bignum.one in
+    let phi = Bignum.mul p1 q1 in
+    match Bignum.modinv default_e phi with
+    | None -> generate ~rng ~bits (* e not coprime to phi; retry *)
+    | Some d -> { pub = { n; e = default_e }; d }
+  end
+
+let key_bytes pub = (Bignum.bits pub.n + 7) / 8
+
+(** EMSA-PKCS1-v1_5-style encoding of a 32-byte digest (we bind the raw
+    digest rather than a DER DigestInfo; the structure — 00 01 FF..FF 00
+    digest — is what matters for the model). *)
+let pad_digest ~k digest =
+  if String.length digest + 11 > k then invalid_arg "Rsa.pad_digest: modulus too small";
+  let ps = String.make (k - String.length digest - 3) '\xFF' in
+  "\x00\x01" ^ ps ^ "\x00" ^ digest
+
+let sign priv digest =
+  let k = key_bytes priv.pub in
+  let m = Bignum.of_bytes_be (pad_digest ~k digest) in
+  Bignum.to_bytes_be ~pad_to:k (Bignum.modpow ~base:m ~exp:priv.d ~modulus:priv.pub.n)
+
+let verify pub ~digest ~signature =
+  let k = key_bytes pub in
+  String.length signature = k
+  &&
+  let s = Bignum.of_bytes_be signature in
+  Bignum.compare s pub.n < 0
+  &&
+  let m = Bignum.modpow ~base:s ~exp:pub.e ~modulus:pub.n in
+  String.equal (Bignum.to_bytes_be ~pad_to:k m) (pad_digest ~k digest)
+
+(** Estimated signing cost in cycles on the modelled 900 MHz Cortex-A7.
+    RSA-1024 private-key ops land near 9-10 ms on that class of core;
+    cost scales cubically with modulus size. Used by the notary's cycle
+    accounting for Figure 5. *)
+let sign_cycles ~bits =
+  let r = float_of_int bits /. 1024. in
+  int_of_float (9.0e6 *. r *. r *. r)
+
+let verify_cycles ~bits =
+  (* e = 65537: 17 modular multiplications instead of ~1.5*bits. *)
+  max 1 (sign_cycles ~bits * 17 / (3 * bits / 2))

@@ -1,0 +1,31 @@
+(** Textbook RSA with PKCS#1 v1.5-style signature padding.
+
+    Used by the notary enclave (§8.2) and the attestation-verifier
+    enclave: key generation draws from a caller-supplied RNG, so the
+    deterministic platform CSPRNG gives reproducible keys for testing. *)
+
+type pub = { n : Bignum.t; e : Bignum.t }
+type priv = { pub : pub; d : Bignum.t }
+
+val default_e : Bignum.t
+(** 65537. *)
+
+val generate : rng:(unit -> int) -> bits:int -> priv
+(** A key pair with a modulus of about [bits] bits; [rng] supplies
+    32-bit random values. *)
+
+val key_bytes : pub -> int
+(** Modulus length in bytes = signature length. *)
+
+val sign : priv -> string -> string
+(** Sign a 32-byte digest (00 01 FF..FF 00 ‖ digest padding).
+    @raise Invalid_argument if the modulus is too small. *)
+
+val verify : pub -> digest:string -> signature:string -> bool
+
+val sign_cycles : bits:int -> int
+(** Estimated signing cost on the modelled 900 MHz core (cubic in
+    modulus size; ~9 Mcycles at 1024 bits). Drives Figure 5. *)
+
+val verify_cycles : bits:int -> int
+(** Much cheaper: e = 65537 needs only 17 modular multiplications. *)

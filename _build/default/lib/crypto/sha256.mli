@@ -1,0 +1,57 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Komodo uses SHA-256 twice: to build the enclave measurement as pages
+    and threads are added during construction, and (as HMAC-SHA256) for
+    local attestation MACs. The incremental interface mirrors the
+    monitor's usage: the measurement context lives in the address-space
+    page and absorbs data across many monitor calls before being
+    finalised by [Finalise].
+
+    The implementation additionally exposes a whole-block absorb path
+    because the monitor only ever hashes block-aligned data — the paper
+    leverages that precondition to avoid reasoning about padding
+    mid-stream (§7.2). *)
+
+type ctx
+(** An in-progress hash. Immutable; absorbing returns a new context. *)
+
+type digest = string
+(** 32-byte raw digest. *)
+
+val init : ctx
+
+val absorb : ctx -> string -> ctx
+(** Absorb arbitrary bytes. *)
+
+val absorb_block : ctx -> string -> ctx
+(** Absorb exactly one 64-byte block; checks the monitor's block-aligned
+    precondition. @raise Invalid_argument if not 64 bytes or the context
+    has buffered a partial block. *)
+
+val finalize : ctx -> digest
+(** Pad and produce the digest. The context may be reused/finalised more
+    than once (finalisation does not mutate). *)
+
+val digest : string -> digest
+(** One-shot hash. *)
+
+val digest_words : Komodo_machine.Word.t list -> digest
+(** Hash a word list in big-endian byte order (how the monitor hashes
+    page contents and call parameters). *)
+
+val blocks_absorbed : ctx -> int
+(** Number of 64-byte compressions performed so far (cost accounting). *)
+
+val equal_ctx : ctx -> ctx -> bool
+
+val to_hex : digest -> string
+val of_hex : string -> digest
+(** @raise Invalid_argument on non-hex or odd-length input. *)
+
+val digest_words_of : digest -> Komodo_machine.Word.t list
+(** The digest as 8 big-endian words — the form stored in the PageDB and
+    passed through the attestation SVCs ([u32 data\[8\]]). *)
+
+val digest_of_words : Komodo_machine.Word.t list -> digest
+(** Inverse of {!digest_words_of}. @raise Invalid_argument unless given
+    exactly 8 words. *)

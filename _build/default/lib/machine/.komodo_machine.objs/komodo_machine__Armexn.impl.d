@@ -1,0 +1,1 @@
+lib/machine/armexn.pp.ml: Cost Mode Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/armexn.pp.mli: Format Mode

@@ -1,0 +1,1 @@
+lib/machine/exec.pp.ml: Array Insn List Memory Option Ppx_deriving_runtime Psr Ptable State Word

@@ -1,0 +1,1 @@
+lib/machine/exec.pp.mli: Format Insn Ptable State Word

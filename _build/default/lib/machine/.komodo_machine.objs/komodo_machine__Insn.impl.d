@@ -1,0 +1,1 @@
+lib/machine/insn.pp.ml: Array Cost Fmt List Option Ppx_deriving_runtime Psr Regs Word

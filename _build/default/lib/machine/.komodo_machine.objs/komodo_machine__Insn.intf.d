@@ -1,0 +1,1 @@
+lib/machine/insn.pp.mli: Format Psr Regs Word

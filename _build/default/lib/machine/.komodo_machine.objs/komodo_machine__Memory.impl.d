@@ -1,0 +1,1 @@
+lib/machine/memory.pp.ml: Buffer Format Int List Map String Word

@@ -1,0 +1,1 @@
+lib/machine/memory.pp.mli: Format Word

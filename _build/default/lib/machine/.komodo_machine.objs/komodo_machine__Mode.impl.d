@@ -1,0 +1,1 @@
+lib/machine/mode.pp.ml: Ppx_deriving_runtime

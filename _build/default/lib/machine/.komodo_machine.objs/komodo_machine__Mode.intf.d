@@ -1,0 +1,1 @@
+lib/machine/mode.pp.mli: Format

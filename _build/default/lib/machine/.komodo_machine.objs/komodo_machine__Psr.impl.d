@@ -1,0 +1,1 @@
+lib/machine/psr.pp.ml: Mode Ppx_deriving_runtime Word

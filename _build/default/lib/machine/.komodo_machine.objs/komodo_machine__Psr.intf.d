@@ -1,0 +1,1 @@
+lib/machine/psr.pp.mli: Format Mode Word

@@ -1,0 +1,1 @@
+lib/machine/ptable.pp.ml: List Memory Ppx_deriving_runtime Word

@@ -1,0 +1,1 @@
+lib/machine/ptable.pp.mli: Format Memory Word

@@ -1,0 +1,1 @@
+lib/machine/regs.pp.ml: Array Format List Map Mode Ppx_deriving_runtime Word

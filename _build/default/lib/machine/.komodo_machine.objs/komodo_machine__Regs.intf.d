@@ -1,0 +1,1 @@
+lib/machine/regs.pp.mli: Format Mode Word

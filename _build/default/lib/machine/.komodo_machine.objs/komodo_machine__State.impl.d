@@ -1,0 +1,1 @@
+lib/machine/state.pp.ml: Armexn Cost Format Memory Mode Psr Regs Tlb Word

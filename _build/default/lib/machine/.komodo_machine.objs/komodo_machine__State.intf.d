@@ -1,0 +1,1 @@
+lib/machine/state.pp.mli: Armexn Format Memory Mode Psr Regs Tlb Word

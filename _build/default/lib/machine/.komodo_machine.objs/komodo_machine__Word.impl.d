@@ -1,0 +1,1 @@
+lib/machine/word.pp.ml: Bytes Char Format Int String

@@ -1,0 +1,1 @@
+lib/machine/word.pp.mli: Format

@@ -1,0 +1,34 @@
+(** ARM exception kinds and their vectoring behaviour.
+
+    Taking an exception switches to the exception's mode, banks the
+    pre-exception PC into that mode's LR, copies CPSR into the mode's
+    SPSR, and masks IRQs (FIQ and SMC entry also mask FIQs). SMC
+    exceptions are taken in monitor mode and switch to the secure world;
+    this is the control-transfer path into the Komodo monitor. *)
+
+type kind =
+  | Undefined_instr
+  | Svc  (** supervisor call — enclave -> monitor API *)
+  | Prefetch_abort
+  | Data_abort
+  | Irq
+  | Fiq
+  | Smc  (** secure monitor call — OS -> monitor API *)
+[@@deriving eq, ord, show { with_path = false }]
+
+let target_mode = function
+  | Undefined_instr -> Mode.Undefined
+  | Svc -> Mode.Supervisor
+  | Prefetch_abort | Data_abort -> Mode.Abort
+  | Irq -> Mode.Irq
+  | Fiq -> Mode.Fiq
+  | Smc -> Mode.Monitor
+
+(** Does taking this exception also mask FIQs? *)
+let masks_fiq = function Fiq | Smc -> true | _ -> false
+
+let cycle_cost = function
+  | Smc -> Cost.smc_trap
+  | Svc -> Cost.svc_trap
+  | Irq | Fiq -> Cost.irq_trap
+  | Undefined_instr | Prefetch_abort | Data_abort -> Cost.svc_trap

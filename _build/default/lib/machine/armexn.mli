@@ -1,0 +1,25 @@
+(** ARM exception kinds and their vectoring behaviour.
+
+    Taking an exception switches to the exception's mode, banks the
+    pre-exception PC into that mode's LR, copies CPSR into the mode's
+    SPSR, and masks IRQs (FIQ and SMC entry also mask FIQs). SMCs are
+    taken in monitor mode and switch to the secure world — the control
+    transfer into the Komodo monitor. *)
+
+type kind =
+  | Undefined_instr
+  | Svc  (** supervisor call: enclave -> monitor API *)
+  | Prefetch_abort
+  | Data_abort
+  | Irq
+  | Fiq
+  | Smc  (** secure monitor call: OS -> monitor API *)
+
+val equal_kind : kind -> kind -> bool
+val compare_kind : kind -> kind -> int
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+
+val target_mode : kind -> Mode.t
+val masks_fiq : kind -> bool
+val cycle_cost : kind -> int

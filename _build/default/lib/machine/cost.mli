@@ -1,0 +1,60 @@
+(** Cycle cost model.
+
+    The paper evaluates on a 900 MHz Cortex-A7 and reports monitor-call
+    latencies in cycles (Table 3). The interpreter and the monitor
+    charge cycles for every architectural operation using these
+    constants, calibrated so the *shape* of Table 3 holds (see
+    DESIGN.md on what calibration means here). *)
+
+val cpu_hz : int
+(** 900 MHz: the modelled clock, used to convert cycles to wall time
+    (Figure 5). *)
+
+val cycles_to_ms : int -> float
+
+(** Per-instruction costs charged by the interpreter. *)
+
+val alu : int
+val mul : int
+val mem_access : int
+val branch : int
+val banked_access : int
+val svc_trap : int
+val smc_trap : int
+val exception_return : int
+val irq_trap : int
+
+(** Memory-management costs. *)
+
+val ttbr_load : int
+val tlb_flush : int
+val barrier : int
+
+(** Cryptography. *)
+
+val sha256_block : int
+(** One SHA-256 compression of a 64-byte block. *)
+
+val rng_word : int
+(** Hardware RNG read of one 32-bit word. *)
+
+(** Helpers. *)
+
+val reg_save : int -> int
+(** Saving or restoring [n] registers (LDM/STM-style). *)
+
+val word_copy : int -> int
+val word_zero : int -> int
+
+val sha256_bytes : ?finalise:bool -> int -> int
+(** Hashing [n] bytes (block count rounded up; [finalise] adds the
+    padding block). *)
+
+(** Monitor-path overheads, calibrated against Table 3. *)
+
+val enter_validate : int
+val exit_path : int
+val resume_ctx : int
+val banked_save_full : int
+val banked_save_opt : int
+val smc_body_small : int

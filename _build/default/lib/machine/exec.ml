@@ -1,0 +1,249 @@
+(** User-mode execution.
+
+    The paper's machine model runs enclave code in user mode under the
+    page table in TTBR0, taking an exception (SVC, interrupt, or fault)
+    to end each burst of execution. Here we execute flat programs
+    ({!Insn.fop}) fetched from enclave memory through the page table —
+    code pages are ordinary measured data pages — with every data access
+    translated and permission-checked, and external interrupts modelled
+    by a step budget ([State.irq_budget]).
+
+    Native programs: a page beginning with {!native_magic} names a
+    registered native service by id instead of carrying bytecode. These
+    model enclaves (like the notary) whose inner loops would be
+    impractical in bytecode; they receive the same translated view of
+    memory and must encode any resumable state into registers and enclave
+    memory, exactly as real code would. *)
+
+type fault = Alignment | Translation | Permission | Prefetch | Undef_insn
+[@@deriving eq, show { with_path = false }]
+
+type event =
+  | Ev_svc of Word.t  (** SVC taken; immediate is the call hint *)
+  | Ev_irq
+  | Ev_fiq
+  | Ev_fault of fault
+[@@deriving eq, show { with_path = false }]
+
+(** First word of an enclave code page: bytecode program ("KODC"). *)
+let code_magic = Word.of_int 0x4B4F4443
+
+(** First word of a native-service code page ("KONV"). *)
+let native_magic = Word.of_int 0x4B4F4E56
+
+(* -- Translated user view of memory ----------------------------------- *)
+
+module Uview = struct
+  (** Loads and stores as issued by user-mode code: virtual addresses,
+      translated through the enclave table in TTBR0, permission-checked.
+      Also usable by native programs, which keeps them honest: they can
+      only touch memory their page table maps. *)
+
+  let translate s va =
+    match Ptable.translate s.State.mem ~ttbr:s.State.ttbr0_s va with
+    | None -> Error Translation
+    | Some f -> Ok f
+
+  let load s va =
+    if not (Word.is_aligned va) then Error Alignment
+    else
+      match translate s va with
+      | Error f -> Error f
+      | Ok f -> Ok (Memory.load s.State.mem f.Ptable.pa)
+
+  let store s va v =
+    if not (Word.is_aligned va) then Error Alignment
+    else
+      match translate s va with
+      | Error f -> Error f
+      | Ok f ->
+          if not f.Ptable.perms.Ptable.w then Error Permission
+          else Ok (State.store s f.Ptable.pa v)
+
+  (** Fetch one word with execute permission (instruction fetch). *)
+  let fetch s va =
+    if not (Word.is_aligned va) then Error Prefetch
+    else
+      match translate s va with
+      | Error _ -> Error Prefetch
+      | Ok f ->
+          if not f.Ptable.perms.Ptable.x then Error Prefetch
+          else Ok (Memory.load s.State.mem f.Ptable.pa)
+end
+
+type native_outcome = { nstate : State.t; nevent : event }
+
+(** A native service: runs on the machine state (accessing memory only
+    through {!Uview}) and reports how its burst of execution ended. *)
+type native = State.t -> native_outcome
+
+(** What an entry-point page contains. *)
+type code_image =
+  | Bytecode of Insn.fop array
+  | Native_ref of int
+  | Bad_image  (** unrecognised or undecodable — prefetch abort *)
+
+(** Read and decode the program at [entry_va] (header: magic, length in
+    words, then the body), fetching through the page table. *)
+let fetch_image s ~entry_va =
+  match Uview.fetch s entry_va with
+  | Error _ -> Bad_image
+  | Ok magic ->
+      if Word.equal magic native_magic then
+        match Uview.fetch s (Word.add entry_va (Word.of_int 4)) with
+        | Ok id -> Native_ref (Word.to_int id)
+        | Error _ -> Bad_image
+      else if Word.equal magic code_magic then
+        match Uview.fetch s (Word.add entry_va (Word.of_int 4)) with
+        | Error _ -> Bad_image
+        | Ok n ->
+            let n = Word.to_int n in
+            if n < 0 || n > 4 * Ptable.words_per_page then Bad_image
+            else
+              let rec fetch_words i acc =
+                if i = n then Some (List.rev acc)
+                else
+                  match
+                    Uview.fetch s (Word.add entry_va (Word.of_int (8 + (4 * i))))
+                  with
+                  | Error _ -> None
+                  | Ok w -> fetch_words (i + 1) (w :: acc)
+              in
+              (match fetch_words 0 [] with
+              | None -> Bad_image
+              | Some ws -> (
+                  match Insn.decode_flat ws with
+                  | Some prog -> Bytecode prog
+                  | None -> Bad_image))
+      else Bad_image
+
+(* -- Bytecode interpretation ------------------------------------------ *)
+
+let operand_value s = function
+  | Insn.Reg r -> State.read_reg s r
+  | Insn.Imm w -> w
+
+let add_with_flags a b =
+  let result = Word.add a b in
+  let carry = Word.to_int a + Word.to_int b > 0xFFFF_FFFF in
+  let sa = Word.bit a 31 and sb = Word.bit b 31 and sr = Word.bit result 31 in
+  let overflow = sa = sb && sr <> sa in
+  (result, carry, overflow)
+
+let sub_with_flags a b =
+  let result = Word.sub a b in
+  let carry = Word.to_int a >= Word.to_int b (* NOT borrow *) in
+  let sa = Word.bit a 31 and sb = Word.bit b 31 and sr = Word.bit result 31 in
+  let overflow = sa <> sb && sr <> sa in
+  (result, carry, overflow)
+
+(** Execute one non-control instruction. [Ok] is the next state; SVC and
+    faults surface as [Error] carrying the event and the state at the
+    event (with the fault-address register set for data aborts). *)
+let step_insn s (i : Insn.insn) : (State.t, event * State.t) result =
+  let binop rd rn op f =
+    let v = f (State.read_reg s rn) (operand_value s op) in
+    Ok (State.write_reg s rd v)
+  in
+  let shift rd rn op f =
+    let amount = Word.to_int (operand_value s op) land 0xFF in
+    Ok (State.write_reg s rd (f (State.read_reg s rn) amount))
+  in
+  match i with
+  | Mov (rd, op) -> Ok (State.write_reg s rd (operand_value s op))
+  | Mvn (rd, op) -> Ok (State.write_reg s rd (Word.lognot (operand_value s op)))
+  | Add (rd, rn, op) -> binop rd rn op Word.add
+  | Sub (rd, rn, op) -> binop rd rn op Word.sub
+  | Rsb (rd, rn, op) ->
+      Ok (State.write_reg s rd (Word.sub (operand_value s op) (State.read_reg s rn)))
+  | Mul (rd, rn, rm) ->
+      Ok (State.write_reg s rd (Word.mul (State.read_reg s rn) (State.read_reg s rm)))
+  | And_ (rd, rn, op) -> binop rd rn op Word.logand
+  | Orr (rd, rn, op) -> binop rd rn op Word.logor
+  | Eor (rd, rn, op) -> binop rd rn op Word.logxor
+  | Bic (rd, rn, op) -> binop rd rn op (fun a b -> Word.logand a (Word.lognot b))
+  | Lsl (rd, rn, op) -> shift rd rn op Word.shift_left
+  | Lsr (rd, rn, op) -> shift rd rn op Word.shift_right_logical
+  | Asr (rd, rn, op) -> shift rd rn op Word.shift_right_arith
+  | Ror (rd, rn, op) -> shift rd rn op Word.rotate_right
+  | Cmp (rn, op) ->
+      let result, carry, overflow =
+        sub_with_flags (State.read_reg s rn) (operand_value s op)
+      in
+      Ok { s with State.cpsr = Psr.set_flags s.State.cpsr ~result ~carry ~overflow }
+  | Cmn (rn, op) ->
+      let result, carry, overflow =
+        add_with_flags (State.read_reg s rn) (operand_value s op)
+      in
+      Ok { s with State.cpsr = Psr.set_flags s.State.cpsr ~result ~carry ~overflow }
+  | Tst (rn, op) ->
+      let result = Word.logand (State.read_reg s rn) (operand_value s op) in
+      let cpsr =
+        Psr.set_flags s.State.cpsr ~result ~carry:s.State.cpsr.Psr.c
+          ~overflow:s.State.cpsr.Psr.v
+      in
+      Ok { s with State.cpsr }
+  | Ldr (rd, rn, op) -> (
+      let va = Word.add (State.read_reg s rn) (operand_value s op) in
+      match Uview.load s va with
+      | Error f -> Error (Ev_fault f, { s with State.far = va })
+      | Ok v -> Ok (State.write_reg s rd v))
+  | Str (rd, rn, op) -> (
+      let va = Word.add (State.read_reg s rn) (operand_value s op) in
+      match Uview.store s va (State.read_reg s rd) with
+      | Error f -> Error (Ev_fault f, { s with State.far = va })
+      | Ok s -> Ok s)
+  | Svc imm -> Error (Ev_svc imm, s)
+  | Udf -> Error (Ev_fault Undef_insn, s)
+  | Nop -> Ok s
+
+(** Run the bytecode program from flat index [start_pc] until an event.
+    [fuel] bounds total steps (exhaustion models a timer interrupt).
+    On return, [State.upc] holds the flat index at which execution
+    stopped — the resumption PC. *)
+let run_bytecode s (prog : Insn.fop array) ~start_pc ~fuel =
+  let n = Array.length prog in
+  let rec loop s pc fuel =
+    if fuel <= 0 then ({ s with State.upc = Word.of_int pc }, Ev_irq)
+    else
+      match s.State.irq_budget with
+      | Some 0 -> ({ s with State.upc = Word.of_int pc }, Ev_irq)
+      | budget ->
+          let s = { s with State.irq_budget = Option.map (fun b -> b - 1) budget } in
+          if pc < 0 || pc >= n then
+            ({ s with State.upc = Word.of_int pc }, Ev_fault Prefetch)
+          else
+            let op = prog.(pc) in
+            let s = State.charge (Insn.fop_cost op) s in
+            (match op with
+            | Insn.FJmp t -> loop s t (fuel - 1)
+            | Insn.FJcc (c, t) ->
+                if Insn.holds c s.State.cpsr then loop s t (fuel - 1)
+                else loop s (pc + 1) (fuel - 1)
+            | Insn.FI i -> (
+                match step_insn s i with
+                | Ok s -> loop s (pc + 1) (fuel - 1)
+                | Error (ev, s) ->
+                    (* For SVC the banked PC points past the SVC so a
+                       return resumes after it; faults report the
+                       faulting instruction itself (so a dispatcher can
+                       fix the mapping and retry it). *)
+                    let resume_pc =
+                      match ev with Ev_svc _ -> pc + 1 | _ -> pc
+                    in
+                    ({ s with State.upc = Word.of_int resume_pc }, ev)))
+  in
+  loop s start_pc fuel
+
+(** Execute user code at/under [entry_va] starting from flat index
+    [start_pc], dispatching native services through [native]. *)
+let run s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
+  match fetch_image s ~entry_va with
+  | Bad_image -> (s, Ev_fault Prefetch)
+  | Native_ref id -> (
+      match native id with
+      | None -> (s, Ev_fault Undef_insn)
+      | Some prog ->
+          let { nstate; nevent } = prog s in
+          (nstate, nevent))
+  | Bytecode prog -> run_bytecode s prog ~start_pc ~fuel

@@ -1,0 +1,78 @@
+(** User-mode execution.
+
+    Runs flat programs ({!Insn.fop}) fetched from enclave memory through
+    the page table — code pages are ordinary measured data pages — with
+    every data access translated and permission-checked, and external
+    interrupts modelled by [State.irq_budget]. A burst of user execution
+    always ends with an {!event}, which the monitor's Enter/Resume loop
+    turns into the corresponding ARM exception.
+
+    Native services: a code page beginning with {!native_magic} names a
+    registered native function instead of bytecode. These model
+    enclaves (the notary, the verifier) whose inner loops would be
+    impractical in bytecode; they receive the same translated view of
+    memory and must keep any resumable state in registers and enclave
+    memory, like real code. *)
+
+type fault = Alignment | Translation | Permission | Prefetch | Undef_insn
+
+val equal_fault : fault -> fault -> bool
+val pp_fault : Format.formatter -> fault -> unit
+val show_fault : fault -> string
+
+type event =
+  | Ev_svc of Word.t  (** SVC taken; the immediate is a call hint *)
+  | Ev_irq
+  | Ev_fiq
+  | Ev_fault of fault
+
+val equal_event : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+val show_event : event -> string
+
+val code_magic : Word.t
+(** First word of a bytecode code page ("KODC"). *)
+
+val native_magic : Word.t
+(** First word of a native-service code page ("KONV"). *)
+
+(** Loads and stores as issued by user-mode code: virtual addresses
+    translated through TTBR0, permission-checked. Also the only memory
+    access native services may use, which keeps them honest. *)
+module Uview : sig
+  val translate : State.t -> Word.t -> (Ptable.frame, fault) result
+  val load : State.t -> Word.t -> (Word.t, fault) result
+  val store : State.t -> Word.t -> Word.t -> (State.t, fault) result
+
+  val fetch : State.t -> Word.t -> (Word.t, fault) result
+  (** Instruction fetch: requires execute permission. *)
+end
+
+type native_outcome = { nstate : State.t; nevent : event }
+
+type native = State.t -> native_outcome
+(** A native service invocation: one burst of execution ending in an
+    event. *)
+
+type code_image = Bytecode of Insn.fop array | Native_ref of int | Bad_image
+
+val fetch_image : State.t -> entry_va:Word.t -> code_image
+(** Read and decode the program at [entry_va] (header: magic, length,
+    body), fetching through the page table. *)
+
+val run_bytecode : State.t -> Insn.fop array -> start_pc:int -> fuel:int -> State.t * event
+(** Interpret from flat index [start_pc] until an event; [fuel] bounds
+    total steps (exhaustion models a timer interrupt). On return,
+    [State.upc] holds the flat index at which execution stopped — the
+    resumption PC (for SVCs, past the SVC; for faults, the faulting
+    instruction itself so it can be retried). *)
+
+val run :
+  State.t ->
+  entry_va:Word.t ->
+  start_pc:int ->
+  fuel:int ->
+  native:(int -> native option) ->
+  State.t * event
+(** Execute user code at [entry_va], dispatching native services through
+    [native]. An undecodable image is a prefetch abort. *)

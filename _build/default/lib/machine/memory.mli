@@ -1,0 +1,55 @@
+(** Physical memory: a map from word-aligned addresses to 32-bit values.
+
+    Matches the paper's memory model (§5.1): only aligned word accesses
+    exist, so distinct addresses are independent; unmapped addresses
+    read as zero. The map is immutable, making whole-machine snapshots
+    and comparisons (as the noninterference harness performs constantly)
+    cheap. *)
+
+type t
+
+val empty : t
+
+exception Unaligned of Word.t
+(** Raised by any access to a non-word-aligned address. *)
+
+val load : t -> Word.t -> Word.t
+val store : t -> Word.t -> Word.t -> t
+(** Storing zero erases the binding, so states that read equal are
+    structurally equal. *)
+
+val load_range : t -> Word.t -> int -> Word.t list
+(** [load_range t a n] reads [n] consecutive words from [a]. *)
+
+val store_range : t -> Word.t -> Word.t list -> t
+
+val zero_range : t -> Word.t -> int -> t
+(** Zero [n] words from the given address — page scrubbing. *)
+
+val copy_range : t -> src:Word.t -> dst:Word.t -> int -> t
+
+val to_bytes_be : t -> Word.t -> int -> string
+(** Big-endian serialisation of [n] words — the form fed to the
+    measurement hash. *)
+
+val of_bytes_be : t -> Word.t -> string -> t
+(** @raise Invalid_argument if the string length is not a multiple
+    of 4. *)
+
+val equal_range : t -> t -> Word.t -> int -> bool
+(** Do two memories agree on the [n] words from the given base?
+    (Page-level observational equivalence.) *)
+
+val equal : t -> t -> bool
+
+val restrict : t -> f:(int -> bool) -> t
+(** Keep only words whose address satisfies [f] — e.g. "insecure memory
+    only" when building the adversary's view. *)
+
+val fold : (int -> Word.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over explicitly-stored (nonzero) words. *)
+
+val cardinal : t -> int
+(** Number of explicitly-stored words (debugging aid). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Privilege modes and TrustZone worlds (Figure 1 of the paper).
+
+    A TrustZone processor runs in one of two worlds; each world has user
+    mode and five equally-privileged exception modes, and secure world has
+    a sixth [Monitor] mode used to switch worlds. *)
+
+type t =
+  | User
+  | Fiq
+  | Irq
+  | Supervisor
+  | Abort
+  | Undefined
+  | Monitor  (** Secure world only; entered by SMC and world switches. *)
+[@@deriving eq, ord, show { with_path = false }]
+
+type world = Normal | Secure [@@deriving eq, ord, show { with_path = false }]
+
+let all = [ User; Fiq; Irq; Supervisor; Abort; Undefined; Monitor ]
+
+let is_privileged = function User -> false | _ -> true
+
+(** Modes with their own banked SPSR (every exception mode; user mode has
+    no SPSR). *)
+let has_spsr = function User -> false | _ -> true
+
+(** ARMv7 CPSR.M field encodings (ARM ARM B1.3.1). *)
+let encode = function
+  | User -> 0b10000
+  | Fiq -> 0b10001
+  | Irq -> 0b10010
+  | Supervisor -> 0b10011
+  | Monitor -> 0b10110
+  | Abort -> 0b10111
+  | Undefined -> 0b11011
+
+let decode = function
+  | 0b10000 -> Some User
+  | 0b10001 -> Some Fiq
+  | 0b10010 -> Some Irq
+  | 0b10011 -> Some Supervisor
+  | 0b10110 -> Some Monitor
+  | 0b10111 -> Some Abort
+  | 0b11011 -> Some Undefined
+  | _ -> None
+
+(** A mode is legal in a given world; [Monitor] exists only in secure
+    world (it *is* the world-switch mechanism). *)
+let legal_in_world mode world =
+  match (mode, world) with Monitor, Normal -> false | _ -> true

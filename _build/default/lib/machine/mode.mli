@@ -1,0 +1,47 @@
+(** Privilege modes and TrustZone worlds (Figure 1 of the paper).
+
+    A TrustZone processor runs in one of two {!world}s: normal world,
+    where a regular OS and applications live, and secure world. Each
+    world contains user mode and five equally-privileged exception
+    modes; secure world adds a sixth, {!Monitor}, used to switch
+    worlds — an SMC instruction in normal world traps into it. *)
+
+type t =
+  | User
+  | Fiq
+  | Irq
+  | Supervisor
+  | Abort
+  | Undefined
+  | Monitor  (** secure world only; entered by SMC and world switches *)
+
+type world = Normal | Secure
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal_world : world -> world -> bool
+val compare_world : world -> world -> int
+val pp_world : Format.formatter -> world -> unit
+val show_world : world -> string
+
+val all : t list
+(** Every mode, in a fixed order. *)
+
+val is_privileged : t -> bool
+(** All modes except [User]. *)
+
+val has_spsr : t -> bool
+(** Modes with their own banked saved program status register: every
+    exception mode; user mode has none. *)
+
+val encode : t -> int
+(** The architectural CPSR.M field encoding (ARM ARM B1.3.1). *)
+
+val decode : int -> t option
+(** Inverse of {!encode}; [None] for the reserved encodings. *)
+
+val legal_in_world : t -> world -> bool
+(** [Monitor] exists only in the secure world; every other mode exists
+    in both. *)

@@ -1,0 +1,63 @@
+(** Program status registers (CPSR / SPSR).
+
+    The paper models "portions of the current and saved program status
+    registers": the mode field, the condition flags used by structured
+    control flow, and the IRQ/FIQ mask bits that the interrupt model
+    depends on (§5.1, §7.2). *)
+
+type t = {
+  mode : Mode.t;
+  n : bool;  (** negative flag *)
+  z : bool;  (** zero flag *)
+  c : bool;  (** carry flag *)
+  v : bool;  (** overflow flag *)
+  irq_masked : bool;  (** CPSR.I: 1 = IRQs disabled *)
+  fiq_masked : bool;  (** CPSR.F: 1 = FIQs disabled *)
+}
+[@@deriving eq, show { with_path = false }]
+
+let make ?(n = false) ?(z = false) ?(c = false) ?(v = false)
+    ?(irq_masked = true) ?(fiq_masked = true) mode =
+  { mode; n; z; c; v; irq_masked; fiq_masked }
+
+(** Reset state: supervisor mode, interrupts masked, flags clear. *)
+let reset = make Mode.Supervisor
+
+(** User-mode entry state used by [MOVS PC, LR]-style returns: interrupts
+    are enabled while an enclave executes (§7.2). *)
+let user_entry = make Mode.User ~irq_masked:false ~fiq_masked:false
+
+let with_mode t mode = { t with mode }
+
+(** Encode to the architectural 32-bit layout: N,Z,C,V at bits 31..28,
+    I at bit 7, F at bit 6, M at bits 4..0. *)
+let encode t =
+  let b v i w = if v then Word.set_bit w i true else w in
+  Word.of_int (Mode.encode t.mode)
+  |> b t.n 31 |> b t.z 30 |> b t.c 29 |> b t.v 28 |> b t.irq_masked 7
+  |> b t.fiq_masked 6
+
+let decode w =
+  match Mode.decode (Word.to_int (Word.extract w ~hi:4 ~lo:0)) with
+  | None -> None
+  | Some mode ->
+      Some
+        {
+          mode;
+          n = Word.bit w 31;
+          z = Word.bit w 30;
+          c = Word.bit w 29;
+          v = Word.bit w 28;
+          irq_masked = Word.bit w 7;
+          fiq_masked = Word.bit w 6;
+        }
+
+(** Update the NZCV flags from a computed result and carry/overflow. *)
+let set_flags t ~result ~carry ~overflow =
+  {
+    t with
+    n = Word.bit result 31;
+    z = Word.equal result Word.zero;
+    c = carry;
+    v = overflow;
+  }

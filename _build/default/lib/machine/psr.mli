@@ -1,0 +1,50 @@
+(** Program status registers (CPSR / SPSR).
+
+    The model covers the portions the paper's machine model covers
+    (§5.1): the mode field, the NZCV condition flags driving structured
+    control flow, and the IRQ/FIQ mask bits the interrupt model depends
+    on (§7.2). *)
+
+type t = {
+  mode : Mode.t;
+  n : bool;  (** negative flag *)
+  z : bool;  (** zero flag *)
+  c : bool;  (** carry flag *)
+  v : bool;  (** overflow flag *)
+  irq_masked : bool;  (** CPSR.I: true = IRQs disabled *)
+  fiq_masked : bool;  (** CPSR.F: true = FIQs disabled *)
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val make :
+  ?n:bool ->
+  ?z:bool ->
+  ?c:bool ->
+  ?v:bool ->
+  ?irq_masked:bool ->
+  ?fiq_masked:bool ->
+  Mode.t ->
+  t
+(** Flags default to clear and interrupts to masked. *)
+
+val reset : t
+(** Reset state: supervisor mode, interrupts masked, flags clear. *)
+
+val user_entry : t
+(** The status installed when the monitor drops into an enclave:
+    user mode with interrupts enabled (§7.2). *)
+
+val with_mode : t -> Mode.t -> t
+
+val encode : t -> Word.t
+(** Architectural 32-bit layout: N,Z,C,V at bits 31..28, I at 7, F at
+    6, M at 4..0. *)
+
+val decode : Word.t -> t option
+(** [None] if the mode field is a reserved encoding. *)
+
+val set_flags : t -> result:Word.t -> carry:bool -> overflow:bool -> t
+(** Update NZCV from an ALU result (N and Z derived from [result]). *)

@@ -1,0 +1,132 @@
+(** The whole-machine state.
+
+    Execution is modelled as a series of machine states, where a state
+    includes everything architecturally visible: registers (with banking),
+    status registers, the current world, memory, the banked MMU base
+    registers, TLB consistency, interrupt pending-ness, and the cycle
+    counter used by the cost model. The program counter is not modelled
+    for privileged code (structured control flow instead, §5.1); the user
+    program counter [upc] exists so that the hardware can bank it into LR
+    on exceptions taken from user mode. *)
+
+type t = {
+  regs : Regs.t;
+  cpsr : Psr.t;
+  world : Mode.world;
+  mem : Memory.t;
+  ttbr0_s : Word.t;  (** secure-world user/enclave table base *)
+  ttbr1_s : Word.t;  (** secure-world monitor static table base *)
+  ttbr0_ns : Word.t;  (** normal-world OS table base (uninterpreted) *)
+  tlb : Tlb.t;
+  scr_ns : bool;
+      (** Secure Configuration Register NS bit: selects the world entered
+          when monitor mode performs an exception return. *)
+  upc : Word.t;  (** user-mode program counter (banked into LR on traps) *)
+  far : Word.t;
+      (** fault address register (ARM DFAR): the data address whose
+          access aborted. Read by the monitor's dispatcher interface;
+          never released to the OS. *)
+  cycles : int;
+  irq_budget : int option;
+      (** If [Some n], an external interrupt (non-deterministic in the
+          paper's model) fires after [n] further user-mode steps. *)
+}
+
+let initial =
+  {
+    regs = Regs.zeroed;
+    cpsr = Psr.reset;
+    world = Mode.Secure;
+    mem = Memory.empty;
+    ttbr0_s = Word.zero;
+    ttbr1_s = Word.zero;
+    ttbr0_ns = Word.zero;
+    tlb = Tlb.initial;
+    scr_ns = false;
+    upc = Word.zero;
+    far = Word.zero;
+    cycles = 0;
+    irq_budget = None;
+  }
+
+let mode t = t.cpsr.Psr.mode
+let charge n t = { t with cycles = t.cycles + n }
+
+(* -- Register access in the current mode ----------------------------- *)
+
+let read_reg t r = Regs.read t.regs ~mode:(mode t) r
+let write_reg t r v = { t with regs = Regs.write t.regs ~mode:(mode t) r v }
+let read_sreg t sr = Regs.read_sreg t.regs sr
+let write_sreg t sr v = { t with regs = Regs.write_sreg t.regs sr v }
+
+(* -- Memory ----------------------------------------------------------- *)
+
+let load t a = Memory.load t.mem a
+let store t a v = { t with mem = Memory.store t.mem a v }
+
+(* -- MMU -------------------------------------------------------------- *)
+
+let set_ttbr0_s t v =
+  { t with ttbr0_s = v; tlb = Tlb.mark_inconsistent t.tlb }
+
+let flush_tlb t = charge Cost.tlb_flush { t with tlb = Tlb.flush t.tlb }
+
+(* -- Exceptions ------------------------------------------------------- *)
+
+(** Take exception [k]: bank PC and CPSR, switch mode (and world for
+    SMC), mask interrupts, charge the trap cost. [return_pc] is the
+    value banked into the target mode's LR — for traps from user mode
+    this is [upc]; for SMCs from the OS it is an opaque normal-world
+    return token. *)
+let take_exception t k ~return_pc =
+  let target = Armexn.target_mode k in
+  let regs = Regs.write_sreg t.regs (Regs.SPSR_of target) (Psr.encode t.cpsr) in
+  let regs = Regs.write_sreg regs (Regs.LR_of target) return_pc in
+  let cpsr =
+    {
+      t.cpsr with
+      Psr.mode = target;
+      irq_masked = true;
+      fiq_masked = t.cpsr.Psr.fiq_masked || Armexn.masks_fiq k;
+    }
+  in
+  let world = if Armexn.equal_kind k Armexn.Smc then Mode.Secure else t.world in
+  charge (Armexn.cycle_cost k) { t with regs; cpsr; world }
+
+(** Exception return ([MOVS PC, LR] and friends): restore CPSR from the
+    current mode's SPSR and transfer to [LR]; for the monitor this is
+    the only way to reach user mode. Returns the new state and the
+    resumed PC. *)
+let exception_return t =
+  let m = mode t in
+  if not (Mode.has_spsr m) then invalid_arg "State.exception_return from user mode";
+  let spsr = Regs.read_sreg t.regs (Regs.SPSR_of m) in
+  let pc = Regs.read_sreg t.regs (Regs.LR_of m) in
+  match Psr.decode spsr with
+  | None -> invalid_arg "State.exception_return: malformed SPSR"
+  | Some cpsr ->
+      (* Leaving monitor mode enters the world selected by SCR.NS; other
+         exception returns stay in the current world. *)
+      let world =
+        if Mode.equal m Mode.Monitor then
+          if t.scr_ns then Mode.Normal else Mode.Secure
+        else t.world
+      in
+      (charge Cost.exception_return { t with cpsr; world; upc = pc }, pc)
+
+(* -- Equality / diffing (noninterference harness) --------------------- *)
+
+let equal a b =
+  Regs.equal a.regs b.regs
+  && Psr.equal a.cpsr b.cpsr
+  && Mode.equal_world a.world b.world
+  && Memory.equal a.mem b.mem
+  && Word.equal a.ttbr0_s b.ttbr0_s
+  && Word.equal a.ttbr1_s b.ttbr1_s
+  && Word.equal a.ttbr0_ns b.ttbr0_ns
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>mode=%s world=%s cycles=%d upc=%a@ regs: %a@]"
+    (Mode.show (mode t))
+    (Mode.show_world t.world)
+    t.cycles Word.pp t.upc Regs.pp t.regs

@@ -1,0 +1,71 @@
+(** The whole-machine state.
+
+    Execution is a series of immutable machine states, each containing
+    everything architecturally visible: registers with banking, status
+    registers, the current world, memory, banked MMU base registers,
+    TLB consistency, the fault-address register, interrupt pending-ness,
+    and the cycle counter driving the cost model. The program counter is
+    not modelled for privileged code (structured control flow instead,
+    §5.1); the user program counter {!t.upc} exists so the hardware can
+    bank it into LR on exceptions taken from user mode. *)
+
+type t = {
+  regs : Regs.t;
+  cpsr : Psr.t;
+  world : Mode.world;
+  mem : Memory.t;
+  ttbr0_s : Word.t;  (** secure-world enclave table base *)
+  ttbr1_s : Word.t;  (** secure-world monitor static table base *)
+  ttbr0_ns : Word.t;  (** normal-world OS table base (uninterpreted) *)
+  tlb : Tlb.t;
+  scr_ns : bool;
+      (** SCR.NS: selects the world entered when monitor mode performs
+          an exception return *)
+  upc : Word.t;  (** user-mode program counter *)
+  far : Word.t;
+      (** fault address register (DFAR): the data address whose access
+          aborted; read by the dispatcher interface, never released to
+          the OS *)
+  cycles : int;
+  irq_budget : int option;
+      (** when [Some n], an external interrupt (non-deterministic in the
+          paper's model) fires after [n] further user-mode steps *)
+}
+
+val initial : t
+(** Secure supervisor mode, everything zeroed, TLB inconsistent. *)
+
+val mode : t -> Mode.t
+val charge : int -> t -> t
+(** Add cycles to the cost counter. *)
+
+val read_reg : t -> Regs.reg -> Word.t
+(** Access in the current mode (banking applies). *)
+
+val write_reg : t -> Regs.reg -> Word.t -> t
+val read_sreg : t -> Regs.sreg -> Word.t
+val write_sreg : t -> Regs.sreg -> Word.t -> t
+val load : t -> Word.t -> Word.t
+val store : t -> Word.t -> Word.t -> t
+
+val set_ttbr0_s : t -> Word.t -> t
+(** Loading a table base marks the TLB inconsistent. *)
+
+val flush_tlb : t -> t
+(** Marks consistent and charges {!Cost.tlb_flush}. *)
+
+val take_exception : t -> Armexn.kind -> return_pc:Word.t -> t
+(** Vector to the exception's mode: bank [return_pc] into its LR and
+    the CPSR into its SPSR, mask interrupts, switch worlds for SMC,
+    charge the trap cost. *)
+
+val exception_return : t -> t * Word.t
+(** [MOVS PC, LR]-style return: restore CPSR from the current mode's
+    SPSR and transfer to LR, returning the resumed PC. From monitor
+    mode the destination world follows [scr_ns].
+    @raise Invalid_argument from user mode or with a malformed SPSR. *)
+
+val equal : t -> t -> bool
+(** Architectural equality (ignores [cycles] and [irq_budget]). *)
+
+val pp : Format.formatter -> t -> unit

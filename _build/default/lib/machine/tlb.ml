@@ -1,0 +1,15 @@
+(** TLB consistency, modelled as in §5.1 of the paper.
+
+    Executing a TLB flush marks the TLB consistent. Loading a page-table
+    base register, or storing to an address inside a live first- or
+    second-level page table, marks it inconsistent. This gives the
+    monitor the choice the paper describes: either flush before entering
+    an enclave, or prove its stores never touched the tables. Only
+    whole-TLB flushes are modelled (no tag- or region-based flushes). *)
+
+type t = Consistent | Inconsistent [@@deriving eq, show { with_path = false }]
+
+let initial = Inconsistent
+let flush _ = Consistent
+let mark_inconsistent _ = Inconsistent
+let is_consistent = function Consistent -> true | Inconsistent -> false

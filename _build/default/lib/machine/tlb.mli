@@ -1,0 +1,20 @@
+(** TLB consistency, modelled as in §5.1 of the paper.
+
+    A TLB flush marks the TLB consistent; loading a page-table base
+    register or storing into a live page table marks it inconsistent.
+    The monitor may then either flush before entering an enclave or
+    prove its stores never touched the tables. Only whole-TLB flushes
+    exist (no tag- or region-based flushes). *)
+
+type t = Consistent | Inconsistent
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val initial : t
+(** Inconsistent: nothing is known at reset. *)
+
+val flush : t -> t
+val mark_inconsistent : t -> t
+val is_consistent : t -> bool

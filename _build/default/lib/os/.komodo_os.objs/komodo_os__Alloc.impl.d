@@ -1,0 +1,1 @@
+lib/os/alloc.pp.ml: List

@@ -1,0 +1,1 @@
+lib/os/image.pp.ml: Int Komodo_core Komodo_crypto Komodo_machine List String

@@ -1,0 +1,1 @@
+lib/os/image.pp.mli: Komodo_core Komodo_machine

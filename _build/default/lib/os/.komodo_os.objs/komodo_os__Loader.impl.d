@@ -1,0 +1,1 @@
+lib/os/loader.pp.ml: Alloc Format Image Komodo_core Komodo_machine List Os

@@ -1,0 +1,1 @@
+lib/os/loader.pp.mli: Format Image Komodo_core Os

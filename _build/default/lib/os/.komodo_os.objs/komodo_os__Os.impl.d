@@ -1,0 +1,1 @@
+lib/os/os.pp.ml: Alloc Komodo_core Komodo_machine Komodo_tz Komodo_user String

@@ -1,0 +1,1 @@
+lib/os/os.pp.mli: Alloc Komodo_core Komodo_machine

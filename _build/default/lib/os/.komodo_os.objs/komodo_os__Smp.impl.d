@@ -1,0 +1,1 @@
+lib/os/smp.pp.ml: Komodo_core Komodo_machine List Os

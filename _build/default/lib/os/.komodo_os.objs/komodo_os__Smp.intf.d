@@ -1,0 +1,1 @@
+lib/os/smp.pp.mli: Komodo_core Komodo_machine Os

@@ -1,0 +1,28 @@
+(** The OS's secure-page allocator.
+
+    Komodo's monitor does no allocation of its own: the OS must choose
+    pages it knows to be free, or API calls fail (§4). This is the OS's
+    book-keeping of which secure page numbers it has handed out. Being
+    untrusted, it can of course be wrong — the monitor rejects bad
+    choices — but the honest OS keeps it accurate. *)
+
+type t = { free : int list; total : int }
+
+let make ~npages = { free = List.init npages (fun i -> i); total = npages }
+
+let take t =
+  match t.free with
+  | [] -> None
+  | n :: free -> Some (n, { t with free })
+
+let take_exn t =
+  match take t with
+  | Some r -> r
+  | None -> failwith "Alloc.take_exn: out of secure pages"
+
+(** Return page [n] to the free list (after a successful Remove). *)
+let put t n =
+  if List.mem n t.free then invalid_arg "Alloc.put: double free";
+  { t with free = n :: t.free }
+
+let available t = List.length t.free

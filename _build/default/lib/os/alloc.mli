@@ -1,0 +1,20 @@
+(** The OS's secure-page allocator.
+
+    Komodo's monitor does no allocation of its own: the OS must choose
+    pages it knows to be free, or calls fail (§4). Being untrusted it
+    may be wrong — the monitor rejects bad choices — but the honest OS
+    keeps this book-keeping accurate. *)
+
+type t
+
+val make : npages:int -> t
+val take : t -> (int * t) option
+
+val take_exn : t -> int * t
+(** @raise Failure when out of pages. *)
+
+val put : t -> int -> t
+(** Return a page after a successful Remove.
+    @raise Invalid_argument on double free. *)
+
+val available : t -> int

@@ -1,0 +1,143 @@
+(** The enclave loader: replays an {!Image} through the monitor API.
+
+    Allocation order mirrors the measurement: second-level tables first
+    (unmeasured), then data pages in image order, then threads, then
+    finalisation, then any spare pages. Initial contents are staged
+    into insecure memory and passed to MapSecure by physical address,
+    exactly as a real driver hands the monitor pages to copy in. *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+module Errors = Komodo_core.Errors
+module Mapping = Komodo_core.Mapping
+
+type handle = {
+  name : string;
+  addrspace : int;
+  l1pt : int;
+  l2pts : (int * int) list;  (** (first-level index, page nr) *)
+  data_pages : int list;
+  threads : int list;  (** thread page numbers, in image order *)
+  spares : int list;
+  measurement : string;  (** as predicted from the image *)
+}
+
+type error = { failed_call : string; err : Errors.t }
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s failed: %s" e.failed_call (Errors.show e.err)
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let step name (t, err) = if Errors.is_success err then Ok t else Error { failed_call = name; err }
+
+(** Load [img], drawing secure pages from the OS allocator. On success
+    the enclave is finalised and ready to enter. *)
+let load (t : Os.t) (img : Image.t) : (Os.t * handle, error) result =
+  let need = Image.pages_needed img in
+  if Alloc.available t.Os.alloc < need then
+    Error { failed_call = "alloc"; err = Errors.Pages_exhausted }
+  else begin
+    let take t =
+      let n, alloc = Alloc.take_exn t.Os.alloc in
+      ({ t with Os.alloc }, n)
+    in
+    let t, as_pg = take t in
+    let t, l1_pg = take t in
+    let* t = step "InitAddrspace" (Os.init_addrspace t ~addrspace:as_pg ~l1pt:l1_pg) in
+    (* Second-level tables for every needed slot. *)
+    let* t, l2pts =
+      List.fold_left
+        (fun acc l1index ->
+          let* t, l2pts = acc in
+          let t, l2_pg = take t in
+          let* t =
+            step "InitL2PTable" (Os.init_l2ptable t ~addrspace:as_pg ~l2pt:l2_pg ~l1index)
+          in
+          Ok (t, (l1index, l2_pg) :: l2pts))
+        (Ok (t, []))
+        (Image.l1_indices img)
+    in
+    let l2pts = List.rev l2pts in
+    (* Secure data pages, staged through insecure memory. *)
+    let* t, data_pages =
+      List.fold_left
+        (fun acc (p : Image.secure_page) ->
+          let* t, pages = acc in
+          let t, data_pg = take t in
+          let t = Os.write_bytes t Os.staging_base p.Image.contents in
+          let* t =
+            step "MapSecure"
+              (Os.map_secure t ~addrspace:as_pg ~data:data_pg ~mapping:p.Image.mapping
+                 ~content:Os.staging_base)
+          in
+          Ok (t, data_pg :: pages))
+        (Ok (t, []))
+        img.Image.secure_pages
+    in
+    let data_pages = List.rev data_pages in
+    (* Insecure shared mappings. *)
+    let* t =
+      List.fold_left
+        (fun acc (m : Image.insecure_mapping) ->
+          let* t = acc in
+          step "MapInsecure"
+            (Os.map_insecure t ~addrspace:as_pg ~mapping:m.Image.mapping
+               ~target:m.Image.target))
+        (Ok t) img.Image.insecure_mappings
+    in
+    (* Threads. *)
+    let* t, threads =
+      List.fold_left
+        (fun acc entry ->
+          let* t, ths = acc in
+          let t, th_pg = take t in
+          let* t = step "InitThread" (Os.init_thread t ~addrspace:as_pg ~thread:th_pg ~entry) in
+          Ok (t, th_pg :: ths))
+        (Ok (t, []))
+        img.Image.threads
+    in
+    let threads = List.rev threads in
+    let* t = step "Finalise" (Os.finalise t ~addrspace:as_pg) in
+    (* Spare pages for dynamic allocation (post-finalise is fine). *)
+    let* t, spares =
+      List.fold_left
+        (fun acc _ ->
+          let* t, sps = acc in
+          let t, sp_pg = take t in
+          let* t = step "AllocSpare" (Os.alloc_spare t ~addrspace:as_pg ~spare:sp_pg) in
+          Ok (t, sp_pg :: sps))
+        (Ok (t, []))
+        (List.init img.Image.spares (fun i -> i))
+    in
+    Ok
+      ( t,
+        {
+          name = img.Image.name;
+          addrspace = as_pg;
+          l1pt = l1_pg;
+          l2pts;
+          data_pages;
+          threads;
+          spares = List.rev spares;
+          measurement = Image.expected_measurement img;
+        } )
+  end
+
+(** Tear an enclave down: Stop, then Remove every owned page and the
+    address space, returning the pages to the allocator. *)
+let unload (t : Os.t) (h : handle) : (Os.t, error) result =
+  let* t = step "Stop" (Os.stop t ~addrspace:h.addrspace) in
+  let owned =
+    h.spares @ h.threads @ h.data_pages @ List.map snd h.l2pts @ [ h.l1pt ]
+  in
+  let* t =
+    List.fold_left
+      (fun acc pg ->
+        let* t = acc in
+        let* t = step "Remove" (Os.remove t ~page:pg) in
+        Ok { t with Os.alloc = Alloc.put t.Os.alloc pg })
+      (Ok t) owned
+  in
+  let* t = step "Remove(addrspace)" (Os.remove t ~page:h.addrspace) in
+  Ok { t with Os.alloc = Alloc.put t.Os.alloc h.addrspace }

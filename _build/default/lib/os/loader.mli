@@ -1,0 +1,31 @@
+(** The enclave loader: replays an {!Image} through the monitor API.
+
+    Allocation order mirrors the measurement: second-level tables
+    (unmeasured), then data pages in image order, then threads, then
+    finalisation, then spare pages. Initial contents are staged into
+    insecure memory and passed to MapSecure by physical address, as a
+    real driver hands the monitor pages to copy in. *)
+
+module Errors = Komodo_core.Errors
+
+type handle = {
+  name : string;
+  addrspace : int;
+  l1pt : int;
+  l2pts : (int * int) list;  (** (first-level slot, page number) *)
+  data_pages : int list;  (** in image order *)
+  threads : int list;  (** thread pages, in image order *)
+  spares : int list;
+  measurement : string;  (** as predicted from the image *)
+}
+
+type error = { failed_call : string; err : Errors.t }
+
+val pp_error : Format.formatter -> error -> unit
+
+val load : Os.t -> Image.t -> (Os.t * handle, error) result
+(** On success the enclave is finalised and ready to enter. *)
+
+val unload : Os.t -> handle -> (Os.t, error) result
+(** Stop, Remove every owned page and the address space, and return
+    the pages to the allocator. *)

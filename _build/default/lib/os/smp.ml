@@ -1,0 +1,109 @@
+(** Multi-core execution with a global monitor lock (paper §9.2).
+
+    Komodo's prototype restricts the monitor and enclaves to a single
+    core while the OS may run on many. The paper's proposed route to
+    multi-core support is "a single shared lock around all monitor
+    activities, which would preserve the sequential (Floyd-Hoare)
+    reasoning used in our current proofs", noting microkernel experience
+    that coarse locking need not hurt performance.
+
+    This module implements that design at the model level: several OS
+    cores each hold a queue of monitor calls; a seeded scheduler
+    interleaves them; every call acquires the single monitor lock
+    (charging acquisition cycles, and spinning — with cycles charged —
+    when another core holds it). Because the lock serialises all
+    monitor activity, the per-call semantics are exactly the verified
+    sequential ones — which the interleaving-independence tests check. *)
+
+module Word = Komodo_machine.Word
+module Errors = Komodo_core.Errors
+module Monitor = Komodo_core.Monitor
+
+type call = { call : int; args : Word.t list }
+
+type core = {
+  id : int;
+  mutable queue : call list;
+  mutable results : (Errors.t * Word.t) list;  (** reverse order *)
+}
+
+type stats = {
+  total_calls : int;
+  contended_acquisitions : int;
+      (** lock acquisitions while another core had work pending *)
+  lock_cycles : int;  (** cycles spent acquiring/releasing the lock *)
+}
+
+(** Cost of an uncontended acquire/release pair (LDREX/STREX + barrier)
+    and of each spin iteration while waiting. *)
+let lock_cost = 40
+
+let spin_cost = 12
+
+(** Run [scripts] (one per core) against the shared monitor, with the
+    scheduler choosing the next core by [seed]. Returns the final OS
+    state, per-core results in issue order, and lock statistics. *)
+let run ?(seed = 1) (os : Os.t) ~(scripts : call list list) =
+  let cores =
+    List.mapi (fun id queue -> { id; queue; results = [] }) scripts
+  in
+  let lcg = ref (((seed * 2654435761) lor 1) land 0x3FFFFFFF) in
+  let next_choice n =
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    !lcg mod n
+  in
+  let total = ref 0 and contended = ref 0 and lock_cycles = ref 0 in
+  let rec step os =
+    let ready = List.filter (fun c -> c.queue <> []) cores in
+    match ready with
+    | [] -> os
+    | _ ->
+        let core = List.nth ready (next_choice (List.length ready)) in
+        (match core.queue with
+        | [] -> assert false
+        | op :: rest ->
+            core.queue <- rest;
+            incr total;
+            (* Lock acquisition: contended when any other core also has
+               pending monitor work at this instant; the loser spins. *)
+            let others_waiting = List.length ready > 1 in
+            let spin = if others_waiting then spin_cost * (1 + next_choice 4) else 0 in
+            if others_waiting then incr contended;
+            lock_cycles := !lock_cycles + lock_cost + spin;
+            let os = { os with Os.mon = Monitor.charge (lock_cost + spin) os.Os.mon } in
+            let os, err, v = Os.smc os ~call:op.call ~args:op.args in
+            core.results <- (err, v) :: core.results;
+            step os)
+  in
+  let os = step os in
+  let results = List.map (fun c -> (c.id, List.rev c.results)) cores in
+  ( os,
+    results,
+    { total_calls = !total; contended_acquisitions = !contended; lock_cycles = !lock_cycles }
+  )
+
+(** Convenience: a construction script building a minimal enclave out of
+    the five given pages (addrspace, l1pt, l2pt, data, thread). *)
+let build_script ~pages:(asp, l1, l2, data, thread) =
+  [
+    { call = Komodo_core.Smc.sm_init_addrspace; args = [ Word.of_int asp; Word.of_int l1 ] };
+    {
+      call = Komodo_core.Smc.sm_init_l2ptable;
+      args = [ Word.of_int asp; Word.of_int l2; Word.zero ];
+    };
+    {
+      call = Komodo_core.Smc.sm_map_secure;
+      args =
+        [
+          Word.of_int asp;
+          Word.of_int data;
+          Word.of_int 0x1003 (* va 0x1000 | RW *);
+          Word.zero;
+        ];
+    };
+    {
+      call = Komodo_core.Smc.sm_init_thread;
+      args = [ Word.of_int asp; Word.of_int thread; Word.zero ];
+    };
+    { call = Komodo_core.Smc.sm_finalise; args = [ Word.of_int asp ] };
+  ]

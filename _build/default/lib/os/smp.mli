@@ -1,0 +1,41 @@
+(** Multi-core execution with a global monitor lock (paper §9.2).
+
+    The paper's proposed route to multi-core support is "a single
+    shared lock around all monitor activities", preserving the
+    sequential reasoning of its proofs. Modelled here: several OS cores
+    each hold a queue of monitor calls; a seeded scheduler interleaves
+    them; every call acquires the one lock (charging acquisition
+    cycles, plus spin cycles under contention). Because the lock
+    serialises all monitor activity, per-call semantics are exactly the
+    sequential ones — which the interleaving-independence tests
+    check. *)
+
+module Word = Komodo_machine.Word
+module Errors = Komodo_core.Errors
+
+type call = { call : int; args : Word.t list }
+
+type stats = {
+  total_calls : int;
+  contended_acquisitions : int;
+      (** acquisitions while another core had pending work *)
+  lock_cycles : int;
+}
+
+val lock_cost : int
+(** Uncontended acquire/release pair (LDREX/STREX + barrier). *)
+
+val spin_cost : int
+(** One spin iteration while waiting. *)
+
+val run :
+  ?seed:int ->
+  Os.t ->
+  scripts:call list list ->
+  Os.t * (int * (Errors.t * Word.t) list) list * stats
+(** Run one script per core against the shared monitor; returns the
+    final state, per-core results in issue order, and lock stats. *)
+
+val build_script : pages:int * int * int * int * int -> call list
+(** A construction script for a minimal enclave out of the given
+    (addrspace, l1pt, l2pt, data, thread) pages. *)

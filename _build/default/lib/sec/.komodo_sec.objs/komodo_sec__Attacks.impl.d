@@ -1,0 +1,1 @@
+lib/sec/attacks.pp.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_sgx Komodo_tz Komodo_user List Option Printf String

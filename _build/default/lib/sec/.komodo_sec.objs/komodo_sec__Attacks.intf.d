@@ -1,0 +1,1 @@
+lib/sec/attacks.pp.mli:

@@ -1,0 +1,1 @@
+lib/sec/declass.pp.mli:

@@ -1,0 +1,1 @@
+lib/sec/nonint.pp.ml: Format Komodo_core Komodo_machine Komodo_os Komodo_user List Obs Option Printf String

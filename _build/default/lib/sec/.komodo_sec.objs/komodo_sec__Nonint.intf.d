@@ -1,0 +1,1 @@
+lib/sec/nonint.pp.mli: Format Komodo_core Komodo_machine Komodo_os

@@ -1,0 +1,1 @@
+lib/sec/obs.pp.ml: Int Komodo_core Komodo_machine Komodo_tz List

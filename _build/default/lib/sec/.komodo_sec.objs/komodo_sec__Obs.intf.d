@@ -1,0 +1,1 @@
+lib/sec/obs.pp.mli: Komodo_core Komodo_machine

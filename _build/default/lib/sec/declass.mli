@@ -1,0 +1,24 @@
+(** Declassification (§6.2): the released channels — and only those —
+    carry information.
+
+    Komodo's noninterference is relaxed by four delimited-release
+    channels: (i) the exception type ending enclave execution, (ii) the
+    Exit value, (iii) which spare pages the enclave consumed (visible
+    because Remove fails on them), (iv) which data pages it freed.
+    Crucially the OS cannot tell *how* a consumed spare is used (data
+    vs page table) — the SGXv2 side channel the paper closes (§4).
+    Each check drives the real monitor. *)
+
+type check_result = Ok_channel | Broken of string
+
+val exit_value_released : unit -> check_result
+val exception_type_released : unit -> check_result
+val spare_allocation_released : unit -> check_result
+
+val spare_use_not_released : unit -> check_result
+(** The closed channel: two enclaves consume their spare differently;
+    everything the OS can observe must coincide. *)
+
+val freed_pages_released : unit -> check_result
+
+val all : (string * (unit -> check_result)) list

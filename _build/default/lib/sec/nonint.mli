@@ -1,0 +1,75 @@
+(** The noninterference harness: an executable rendition of Theorem 6.1.
+
+    The paper proves, by bisimulation over pairs of states related by
+    ≈adv (confidentiality) or ≈enc (integrity), that every monitor call
+    preserves the relation. This harness runs the *statement*: two
+    whole-system states related by the relation are driven through the
+    same adversarial call sequence with equal non-determinism seeds
+    (the §6.3 hypothesis, via {!Komodo_core.Uexec.havoc}); after every
+    call the relation must still hold and the declassified outputs
+    (§6.2: error code and return value) must be equal.
+
+    Confidentiality pairs differ only in a victim enclave's secrets;
+    integrity pairs differ in adversary-controlled state (insecure
+    memory, OS scratch registers, a colluding enclave's contents), and
+    the victim's pages must additionally be bit-invariant. *)
+
+module Word = Komodo_machine.Word
+module Monitor = Komodo_core.Monitor
+module Errors = Komodo_core.Errors
+module Os = Komodo_os.Os
+module Loader = Komodo_os.Loader
+
+type world = {
+  os_a : Os.t;
+  os_b : Os.t;
+  victim : Loader.handle;
+  adv : Loader.handle;  (** the enclave colluding with the OS *)
+}
+
+val inject_secret : Monitor.t -> Komodo_core.Pagedb.pagenr -> string -> Monitor.t
+(** Test-only backdoor: write contents directly into a secure data
+    page, standing in for "the enclave previously computed different
+    secrets". Unreachable through any API. *)
+
+val make_world : seed:int -> perturb:[ `Victim_secret | `Adversary_state ] -> world
+(** Boot, load a victim and an adversary enclave, and make the two runs
+    differ per [perturb]. *)
+
+type op =
+  | Op_smc of { call : int; args : Word.t list }
+  | Op_write_insecure of { addr : Word.t; value : Word.t }
+
+val pp_op : Format.formatter -> op -> unit
+
+val gen_ops : seed:int -> world:world -> n:int -> op list
+(** A deterministic adversarial op stream: every SMC with colliding
+    page arguments, Enter/Resume aimed at the live threads, insecure
+    writes. *)
+
+type failure = { step : int; op : op; reason : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type check =
+  world ->
+  int ->
+  op ->
+  (Errors.t * Word.t) option ->
+  (Errors.t * Word.t) option ->
+  string option
+(** Post-step predicate: given the worlds and both runs' released
+    results, name a violated clause or return [None]. *)
+
+val run_pair : world -> ops:op list -> check:check -> failure option
+
+val confidentiality_check : check
+(** ≈adv (with the colluding enclave as observer) preserved, released
+    results equal. *)
+
+val integrity_check : check
+(** Victim PageDB entries and page contents bit-identical across runs,
+    ≈enc (victim) preserved. *)
+
+val run_confidentiality : seed:int -> nops:int -> failure option
+val run_integrity : seed:int -> nops:int -> failure option

@@ -1,0 +1,122 @@
+(** Observational equivalence (Definitions 1 and 2 of the paper).
+
+    Two relations characterise what different observers can see:
+
+    - [enc_equiv] (≈enc): the view of one enclave. Its own pages
+      (PageDB entries *and* concrete contents) must agree; pages outside
+      its address space need only be weakly equal ([entry_weak_equal],
+      Definition 1) — an enclave cannot observe data-page contents or
+      thread contexts that are not its own, but page-table and
+      address-space metadata (layout, measurements) are API-observable
+      and must match exactly.
+
+    - [adv_equiv] (≈adv): the view of a malicious OS colluding with an
+      enclave — ≈enc for the colluding enclave plus the general-purpose
+      registers, the banked registers (excluding monitor mode), and the
+      entire insecure memory.
+
+    These executable relations are exactly what the noninterference
+    harness ({!Nonint}) checks before and after every monitor call. *)
+
+module Word = Komodo_machine.Word
+module Memory = Komodo_machine.Memory
+module State = Komodo_machine.State
+module Regs = Komodo_machine.Regs
+module Mode = Komodo_machine.Mode
+module Ptable = Komodo_machine.Ptable
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+module Platform = Komodo_tz.Platform
+module Layout = Komodo_tz.Layout
+
+(** Definition 1: weak equivalence of PageDB entries, the observational
+    power of an enclave over pages outside its own address space. *)
+let entry_weak_equal (e1 : Pagedb.entry) (e2 : Pagedb.entry) =
+  match (e1, e2) with
+  | Pagedb.DataPage _, Pagedb.DataPage _ -> true
+  | Pagedb.SparePage _, Pagedb.SparePage _ -> true
+  | Pagedb.Thread t1, Pagedb.Thread t2 -> t1.Pagedb.entered = t2.Pagedb.entered
+  | ( (Pagedb.L1PTable _ | Pagedb.L2PTable _ | Pagedb.Addrspace _),
+      (Pagedb.L1PTable _ | Pagedb.L2PTable _ | Pagedb.Addrspace _) ) ->
+      Pagedb.equal_entry e1 e2
+  | Pagedb.Free, Pagedb.Free -> true
+  | _ -> false
+
+(** The set A_enc(d): pages belonging to address space [enc], including
+    the address-space page itself. *)
+let owned_set (db : Pagedb.t) enc =
+  enc :: Pagedb.owned_pages db enc |> List.sort_uniq Int.compare
+
+let free_set (db : Pagedb.t) =
+  List.filter (fun n -> Pagedb.is_free db n) (List.init (Pagedb.npages db) (fun i -> i))
+
+let page_contents_equal (a : Monitor.t) (b : Monitor.t) n =
+  Memory.equal_range a.Monitor.mach.State.mem b.Monitor.mach.State.mem
+    (Monitor.page_pa a n) Ptable.words_per_page
+
+(** Definition 2: ≈enc. [enc] is the observer's address-space page
+    number ([None] models an observer with no enclave, e.g. a freshly
+    booted system). Beyond the PageDB clauses of the definition, the
+    refinement to concrete state requires the observer's page contents
+    to agree (data the enclave can reach is determined by its PageDB
+    pages). *)
+let enc_equiv ?enc (a : Monitor.t) (b : Monitor.t) =
+  let da = a.Monitor.pagedb and db_ = b.Monitor.pagedb in
+  Pagedb.npages da = Pagedb.npages db_
+  && free_set da = free_set db_
+  &&
+  let owned = match enc with None -> [] | Some e -> owned_set da e in
+  (match enc with
+  | None -> true
+  | Some e -> owned_set da e = owned_set db_ e)
+  && List.for_all
+       (fun n ->
+         if List.mem n owned then
+           Pagedb.equal_entry (Pagedb.get da n) (Pagedb.get db_ n)
+           && page_contents_equal a b n
+         else entry_weak_equal (Pagedb.get da n) (Pagedb.get db_ n))
+       (List.init (Pagedb.npages da) (fun i -> i))
+
+let insecure_restrict (t : Monitor.t) =
+  let plat = t.Monitor.plat in
+  Memory.restrict t.Monitor.mach.State.mem ~f:(fun addr ->
+      Platform.normal_world_accessible plat (Word.of_int addr))
+
+(** Registers the OS can observe: every general-purpose register and
+    the banked SP/LR/SPSR of all modes except monitor. *)
+let os_visible_regs_equal (a : State.t) (b : State.t) =
+  let modes = List.filter (fun m -> not (Mode.equal m Mode.Monitor)) Mode.all in
+  List.for_all
+    (fun i -> Word.equal (Regs.read a.State.regs ~mode:Mode.User (Regs.R i))
+                (Regs.read b.State.regs ~mode:Mode.User (Regs.R i)))
+    (List.init 13 (fun i -> i))
+  && List.for_all
+       (fun m ->
+         Word.equal (Regs.read_sreg a.State.regs (Regs.SP_of m))
+           (Regs.read_sreg b.State.regs (Regs.SP_of m))
+         && Word.equal (Regs.read_sreg a.State.regs (Regs.LR_of m))
+              (Regs.read_sreg b.State.regs (Regs.LR_of m))
+         && (not (Mode.has_spsr m)
+            || Word.equal (Regs.read_sreg a.State.regs (Regs.SPSR_of m))
+                 (Regs.read_sreg b.State.regs (Regs.SPSR_of m))))
+       modes
+
+(** ≈adv: the malicious-OS-plus-enclave view. [enc], if given, is the
+    colluding enclave's address space. *)
+let adv_equiv ?enc (a : Monitor.t) (b : Monitor.t) =
+  enc_equiv ?enc a b
+  && os_visible_regs_equal a.Monitor.mach b.Monitor.mach
+  && Memory.equal (insecure_restrict a) (insecure_restrict b)
+  && Mode.equal (State.mode a.Monitor.mach) (State.mode b.Monitor.mach)
+  && Mode.equal_world a.Monitor.mach.State.world b.Monitor.mach.State.world
+
+(** Diagnostic version: name the first clause that fails. *)
+let adv_equiv_explain ?enc a b =
+  if not (enc_equiv ?enc a b) then Some "enc_equiv (PageDB / page contents)"
+  else if not (os_visible_regs_equal a.Monitor.mach b.Monitor.mach) then
+    Some "OS-visible registers"
+  else if not (Memory.equal (insecure_restrict a) (insecure_restrict b)) then
+    Some "insecure memory"
+  else if not (Mode.equal (State.mode a.Monitor.mach) (State.mode b.Monitor.mach))
+  then Some "mode"
+  else None

@@ -1,0 +1,46 @@
+(** Observational equivalence (Definitions 1 and 2 of the paper).
+
+    - {!enc_equiv} (≈enc): one enclave's view — its own pages (PageDB
+      entries and concrete contents) must agree; outside pages need
+      only be weakly equal ({!entry_weak_equal}, Definition 1): an
+      enclave cannot observe foreign data-page contents or thread
+      contexts, but page-table and address-space metadata are
+      API-observable and must match exactly.
+    - {!adv_equiv} (≈adv): a malicious OS colluding with an enclave —
+      ≈enc for the colluding enclave, plus the general-purpose
+      registers, the banked registers excluding monitor mode, and the
+      entire insecure memory.
+
+    These are exactly the relations {!Nonint} checks before and after
+    every monitor call. *)
+
+module Memory = Komodo_machine.Memory
+module State = Komodo_machine.State
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+
+val entry_weak_equal : Pagedb.entry -> Pagedb.entry -> bool
+(** Definition 1: the observational power of an enclave over pages
+    outside its address space. *)
+
+val owned_set : Pagedb.t -> Pagedb.pagenr -> Pagedb.pagenr list
+(** A_enc(d): pages of an address space, including its own page. *)
+
+val free_set : Pagedb.t -> Pagedb.pagenr list
+
+val page_contents_equal : Monitor.t -> Monitor.t -> Pagedb.pagenr -> bool
+
+val enc_equiv : ?enc:Pagedb.pagenr -> Monitor.t -> Monitor.t -> bool
+(** Definition 2. [enc] is the observer's address-space page ([None]
+    models an observer with no enclave yet). *)
+
+val insecure_restrict : Monitor.t -> Memory.t
+(** Memory the normal world can address. *)
+
+val os_visible_regs_equal : State.t -> State.t -> bool
+(** General-purpose registers plus every non-monitor bank. *)
+
+val adv_equiv : ?enc:Pagedb.pagenr -> Monitor.t -> Monitor.t -> bool
+
+val adv_equiv_explain : ?enc:Pagedb.pagenr -> Monitor.t -> Monitor.t -> string option
+(** Like {!adv_equiv} but names the first violated clause. *)

@@ -1,0 +1,1 @@
+lib/sgx/channel.pp.ml: Komodo_machine Lifecycle List

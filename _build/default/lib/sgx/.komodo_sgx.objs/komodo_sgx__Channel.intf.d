@@ -1,0 +1,1 @@
+lib/sgx/channel.pp.mli: Komodo_machine Lifecycle

@@ -1,0 +1,1 @@
+lib/sgx/epcm.pp.ml: Array Komodo_machine List Ppx_deriving_runtime

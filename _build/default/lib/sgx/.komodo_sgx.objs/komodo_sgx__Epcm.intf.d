@@ -1,0 +1,1 @@
+lib/sgx/epcm.pp.mli: Format Komodo_machine

@@ -1,0 +1,1 @@
+lib/sgx/lifecycle.pp.ml: Cost Epcm Komodo_crypto Komodo_machine List Ppx_deriving_runtime String

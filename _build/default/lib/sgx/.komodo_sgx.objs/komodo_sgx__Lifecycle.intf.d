@@ -1,0 +1,1 @@
+lib/sgx/lifecycle.pp.mli: Epcm Format Komodo_crypto Komodo_machine

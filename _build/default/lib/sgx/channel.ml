@@ -1,0 +1,69 @@
+(** The controlled channel (§2), demonstrated on the baseline.
+
+    In SGX, the OS manages enclave page tables: it can revoke a PTE, let
+    the enclave fault, observe the faulting page address, and repeat —
+    deterministically reconstructing the enclave's page-granular access
+    trace (Xu et al., cited by the paper). Komodo is immune by design:
+    the OS neither builds the enclave's page table (the monitor does)
+    nor learns anything but the bare exception type on a fault (§3.1).
+
+    This module makes the asymmetry executable: the same secret-
+    dependent access pattern leaks the secret through the SGX model's
+    fault trace, and provably cannot leak through the Komodo API —
+    the tests drive both sides. *)
+
+module Word = Komodo_machine.Word
+
+(** The OS revokes the mapping for [va] of enclave [secs]. In SGX this
+    is an ordinary page-table write the hardware cannot prevent. *)
+let revoke (t : Lifecycle.t) ~secs ~va =
+  { t with Lifecycle.revoked = (secs, va) :: t.Lifecycle.revoked }
+
+let restore (t : Lifecycle.t) ~secs ~va =
+  {
+    t with
+    Lifecycle.revoked =
+      List.filter (fun r -> r <> (secs, va)) t.Lifecycle.revoked;
+  }
+
+let is_revoked (t : Lifecycle.t) ~secs ~va = List.mem (secs, va) t.Lifecycle.revoked
+
+(** Model the enclave touching [va]: if revoked, the access faults, and
+    SGX delivers the *full faulting address's page* to the OS handler. *)
+let enclave_access (t : Lifecycle.t) ~secs ~va =
+  if is_revoked t ~secs ~va then
+    let page = Word.of_int (Word.to_int va land lnot 0xFFF) in
+    ( { t with Lifecycle.fault_trace = (secs, page) :: t.Lifecycle.fault_trace },
+      `Faulted page )
+  else (t, `Ok)
+
+(** What the OS has learned: the page-granular access trace. *)
+let observed_trace (t : Lifecycle.t) ~secs =
+  List.rev
+    (List.filter_map
+       (fun (s, va) -> if s = secs then Some va else None)
+       t.Lifecycle.fault_trace)
+
+(** The attack from the paper's motivation: a victim whose memory
+    accesses depend on a secret bit (e.g. branching to one of two
+    functions). The OS revokes both candidate pages, lets the victim
+    run, and reads the secret off the fault trace. Returns the
+    recovered bits. *)
+let infer_secret_bits t ~secs ~page_a ~page_b ~accesses =
+  let t = revoke t ~secs ~va:page_a in
+  let t = revoke t ~secs ~va:page_b in
+  let recovered, t =
+    List.fold_left
+      (fun (bits, t) secret_bit ->
+        (* The victim touches page_a for a 0 bit, page_b for a 1 bit. *)
+        let target = if secret_bit then page_b else page_a in
+        let t, _ = enclave_access t ~secs ~va:target in
+        let bit =
+          match observed_trace t ~secs with
+          | [] -> false
+          | trace -> Word.equal (List.nth trace (List.length trace - 1)) page_b
+        in
+        (bit :: bits, t))
+      ([], t) accesses
+  in
+  (List.rev recovered, t)

@@ -1,0 +1,36 @@
+(** The controlled channel (§2), demonstrated on the SGX baseline.
+
+    In SGX the OS manages enclave page tables: it can revoke a PTE, let
+    the enclave fault, observe the faulting page, and repeat —
+    deterministically reconstructing the enclave's page-granular access
+    trace (Xu et al.). Komodo is immune by design: the monitor builds
+    the enclave's table and reveals only the bare exception type on a
+    fault. This module makes the asymmetry executable. *)
+
+module Word = Komodo_machine.Word
+
+val revoke : Lifecycle.t -> secs:int -> va:Word.t -> Lifecycle.t
+(** The OS removes the mapping — an ordinary page-table write SGX
+    hardware cannot prevent. *)
+
+val restore : Lifecycle.t -> secs:int -> va:Word.t -> Lifecycle.t
+val is_revoked : Lifecycle.t -> secs:int -> va:Word.t -> bool
+
+val enclave_access :
+  Lifecycle.t -> secs:int -> va:Word.t -> Lifecycle.t * [ `Faulted of Word.t | `Ok ]
+(** The enclave touches [va]; if revoked, the fault delivers the
+    page-granular address to the OS handler. *)
+
+val observed_trace : Lifecycle.t -> secs:int -> Word.t list
+(** What the OS has learned: the access trace. *)
+
+val infer_secret_bits :
+  Lifecycle.t ->
+  secs:int ->
+  page_a:Word.t ->
+  page_b:Word.t ->
+  accesses:bool list ->
+  bool list * Lifecycle.t
+(** The attack: a victim whose accesses depend on secret bits touches
+    [page_a] for 0 and [page_b] for 1; the OS revokes both and reads
+    the bits off its fault trace. *)

@@ -1,0 +1,29 @@
+(** Published SGX latencies used for the §8.1 comparison.
+
+    Orenbach et al. (Eleos, EuroSys'17), cited by the paper, report
+    EENTER at about 3,800 and EEXIT at about 3,300 cycles on a 2 GHz
+    Skylake, i.e. ~7,100 cycles for a full enclave crossing — an order
+    of magnitude above Komodo's 738 (Table 3 discussion). Other numbers
+    are ballpark figures from the SGX literature, present so the
+    baseline's costs have the right relative shape. *)
+
+let cpu_hz = 2_000_000_000
+let eenter = 3_800
+let eexit = 3_300
+let eresume = 3_900
+let aex = 3_300 (* asynchronous exit *)
+let full_crossing = eenter + eexit
+
+let ecreate = 10_000
+let eadd = 12_000 (* includes copying the page into EPC *)
+let eextend = 2_000 (* measures 256 bytes per invocation *)
+let eextend_per_page = 16 * eextend
+let einit = 60_000 (* launch-token & measurement finalisation *)
+let eaug = 10_000
+let eaccept = 4_000
+let eremove = 2_000
+
+(** EREPORT-style local attestation. *)
+let ereport = 15_000
+
+let cycles_to_ms cycles = float_of_int cycles /. (float_of_int cpu_hz /. 1000.)

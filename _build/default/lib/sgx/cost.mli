@@ -1,0 +1,24 @@
+(** Published SGX latencies used for the §8.1 comparison.
+
+    Orenbach et al. (Eleos), cited by the paper, report EENTER ≈ 3,800
+    and EEXIT ≈ 3,300 cycles (2 GHz Skylake) — ~7,100 for a full
+    crossing, an order of magnitude above Komodo's 738 (Table 3
+    discussion). Other figures are ballpark values from the SGX
+    literature so the baseline has the right relative shape. *)
+
+val cpu_hz : int
+val eenter : int
+val eexit : int
+val eresume : int
+val aex : int
+val full_crossing : int
+val ecreate : int
+val eadd : int
+val eextend : int
+val eextend_per_page : int
+val einit : int
+val eaug : int
+val eaccept : int
+val eremove : int
+val ereport : int
+val cycles_to_ms : int -> float

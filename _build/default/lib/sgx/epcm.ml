@@ -1,0 +1,61 @@
+(** The SGX enclave page cache map (EPCM), modelled for the baseline.
+
+    SGX's EPCM is the hardware-maintained analogue of Komodo's PageDB
+    (§2): metadata for every encrypted page — allocation state, type,
+    owning enclave, permissions and virtual address — consulted on every
+    TLB miss to enforce enclave protections. We model enough of it to
+    mirror the comparison the paper draws: the same reference-monitor
+    state machine, implemented as instructions rather than monitor
+    calls. *)
+
+module Word = Komodo_machine.Word
+
+type page_type =
+  | PT_SECS  (** enclave control structure *)
+  | PT_REG  (** regular enclave page *)
+  | PT_TCS  (** thread control structure *)
+[@@deriving eq, show { with_path = false }]
+
+type perms = { r : bool; w : bool; x : bool } [@@deriving eq, show { with_path = false }]
+
+type entry = {
+  page_type : page_type;
+  owner : int;  (** EPC index of the owning SECS *)
+  va : Word.t;  (** enclave linear address *)
+  perms : perms;
+  pending : bool;  (** EAUG'd, awaiting EACCEPT (SGXv2) *)
+}
+[@@deriving eq, show { with_path = false }]
+
+type slot = Free | Valid of entry [@@deriving eq, show { with_path = false }]
+
+type t = { slots : slot array; size : int }
+
+let make ~size = { slots = Array.make size Free; size }
+let valid_index t i = i >= 0 && i < t.size
+
+let get t i =
+  if not (valid_index t i) then invalid_arg "Epcm.get: EPC index out of range";
+  t.slots.(i)
+
+let set t i s =
+  if not (valid_index t i) then invalid_arg "Epcm.set: EPC index out of range";
+  let slots = Array.copy t.slots in
+  slots.(i) <- s;
+  { t with slots }
+
+let is_free t i = match get t i with Free -> true | Valid _ -> false
+
+(** Pages owned by SECS [secs] (excluding the SECS itself). *)
+let owned t secs =
+  let acc = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Valid e when e.owner = secs && i <> secs -> acc := i :: !acc
+      | _ -> ())
+    t.slots;
+  List.rev !acc
+
+let free_count t =
+  Array.fold_left (fun n s -> match s with Free -> n + 1 | Valid _ -> n) 0 t.slots

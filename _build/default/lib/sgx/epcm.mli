@@ -1,0 +1,57 @@
+(** The SGX enclave page cache map (EPCM), for the baseline model.
+
+    SGX's hardware-maintained analogue of Komodo's PageDB (§2):
+    metadata for every encrypted page — type, owning enclave,
+    permissions, linear address — consulted on every TLB miss. Modelled
+    far enough to mirror the comparison the paper draws. *)
+
+module Word = Komodo_machine.Word
+
+type page_type =
+  | PT_SECS  (** enclave control structure *)
+  | PT_REG  (** regular enclave page *)
+  | PT_TCS  (** thread control structure *)
+
+val equal_page_type : page_type -> page_type -> bool
+val pp_page_type : Format.formatter -> page_type -> unit
+val show_page_type : page_type -> string
+
+type perms = { r : bool; w : bool; x : bool }
+
+val equal_perms : perms -> perms -> bool
+val pp_perms : Format.formatter -> perms -> unit
+val show_perms : perms -> string
+
+type entry = {
+  page_type : page_type;
+  owner : int;  (** EPC index of the owning SECS *)
+  va : Word.t;
+  perms : perms;
+  pending : bool;  (** EAUG'd, awaiting EACCEPT (SGXv2) *)
+}
+
+val equal_entry : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+val show_entry : entry -> string
+
+type slot = Free | Valid of entry
+
+val equal_slot : slot -> slot -> bool
+val pp_slot : Format.formatter -> slot -> unit
+val show_slot : slot -> string
+
+type t
+
+val make : size:int -> t
+val valid_index : t -> int -> bool
+
+val get : t -> int -> slot
+(** @raise Invalid_argument out of range. *)
+
+val set : t -> int -> slot -> t
+val is_free : t -> int -> bool
+
+val owned : t -> int -> int list
+(** Pages owned by a SECS, excluding the SECS itself. *)
+
+val free_count : t -> int

@@ -1,0 +1,216 @@
+(** The SGX instruction-level enclave lifecycle (baseline model).
+
+    Implements the enclave-management instruction set sketched in §2 as
+    a state machine over the {!Epcm}: ECREATE/EADD/EEXTEND/EINIT build
+    and measure an enclave, EENTER/ERESUME/EEXIT/AEX cross into and out
+    of it, EAUG/EACCEPT add the SGXv2 dynamic pages, EREMOVE reclaims.
+    Costs come from {!Cost}, giving the comparison series for Table 3.
+
+    Deliberately mirrored differences from Komodo (used by the tests and
+    the controlled-channel demonstration in {!Channel}):
+    - the OS controls type, address and permissions of dynamic (EAUG)
+      allocations, where Komodo's spare pages hide that choice (§4);
+    - enclave page faults are reported to the OS with the faulting page
+      address, and the OS can revoke mappings to induce them — the
+      controlled channel (§2). *)
+
+module Word = Komodo_machine.Word
+module Sha256 = Komodo_crypto.Sha256
+
+type error =
+  | Invalid_index
+  | Page_in_use
+  | Not_secs
+  | Already_initialised
+  | Not_initialised
+  | Pending_page
+  | Bad_argument
+[@@deriving eq, show { with_path = false }]
+
+type secs_state = Building of Sha256.ctx | Initialised of Sha256.digest
+
+type enclave = {
+  secs : int;
+  state : secs_state;
+  tcs_entered : (int * bool) list;  (** TCS EPC index -> entered *)
+}
+
+type t = {
+  epcm : Epcm.t;
+  enclaves : (int * enclave) list;  (** keyed by SECS index *)
+  cycles : int;
+  (* Controlled-channel state: which enclave pages the OS has revoked
+     from the page tables, and the fault trace it observes. *)
+  revoked : (int * Word.t) list;  (** (secs, va) with PTE removed *)
+  fault_trace : (int * Word.t) list;  (** (secs, faulting va) seen by OS *)
+}
+
+let make ~epc_size =
+  {
+    epcm = Epcm.make ~size:epc_size;
+    enclaves = [];
+    cycles = 0;
+    revoked = [];
+    fault_trace = [];
+  }
+
+let charge n t = { t with cycles = t.cycles + n }
+let enclave t secs = List.assoc_opt secs t.enclaves
+
+let update_enclave t secs e =
+  { t with enclaves = (secs, e) :: List.remove_assoc secs t.enclaves }
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let need_building t secs =
+  match enclave t secs with
+  | None -> Error Not_secs
+  | Some e -> (
+      match e.state with
+      | Building ctx -> Ok (e, ctx)
+      | Initialised _ -> Error Already_initialised)
+
+(** ECREATE: allocate a SECS page and begin the measurement. *)
+let ecreate t ~secs =
+  if not (Epcm.valid_index t.epcm secs) then Error Invalid_index
+  else if not (Epcm.is_free t.epcm secs) then Error Page_in_use
+  else begin
+    let epcm =
+      Epcm.set t.epcm secs
+        (Epcm.Valid
+           {
+             Epcm.page_type = Epcm.PT_SECS;
+             owner = secs;
+             va = Word.zero;
+             perms = { Epcm.r = false; w = false; x = false };
+             pending = false;
+           })
+    in
+    let e = { secs; state = Building Sha256.init; tcs_entered = [] } in
+    Ok (charge Cost.ecreate (update_enclave { t with epcm } secs e))
+  end
+
+(** EADD: add a page (REG or TCS) with contents, measuring the metadata;
+    EEXTEND (16x) then measures the contents — we fold both in, as
+    drivers invariably pair them. *)
+let eadd t ~secs ~index ~page_type ~va ~perms ~contents =
+  let* e, ctx = need_building t secs in
+  if not (Epcm.valid_index t.epcm index) then Error Invalid_index
+  else if not (Epcm.is_free t.epcm index) then Error Page_in_use
+  else if String.length contents <> 4096 then Error Bad_argument
+  else begin
+    let epcm =
+      Epcm.set t.epcm index
+        (Epcm.Valid { Epcm.page_type; owner = secs; va; perms; pending = false })
+    in
+    let ctx =
+      Sha256.absorb ctx
+        (Word.to_bytes_be va
+        ^ (match page_type with Epcm.PT_TCS -> "tcs!" | _ -> "reg!")
+        ^ contents)
+    in
+    let e =
+      {
+        e with
+        state = Building ctx;
+        tcs_entered =
+          (match page_type with
+          | Epcm.PT_TCS -> (index, false) :: e.tcs_entered
+          | _ -> e.tcs_entered);
+      }
+    in
+    Ok
+      (charge
+         (Cost.eadd + Cost.eextend_per_page)
+         (update_enclave { t with epcm } secs e))
+  end
+
+(** EINIT: finalise the measurement; the enclave becomes executable. *)
+let einit t ~secs =
+  let* e, ctx = need_building t secs in
+  let e = { e with state = Initialised (Sha256.finalize ctx) } in
+  Ok (charge Cost.einit (update_enclave t secs e))
+
+let measurement t ~secs =
+  match enclave t secs with
+  | Some { state = Initialised d; _ } -> Some d
+  | _ -> None
+
+let need_initialised t secs =
+  match enclave t secs with
+  | None -> Error Not_secs
+  | Some e -> (
+      match e.state with
+      | Initialised _ -> Ok e
+      | Building _ -> Error Not_initialised)
+
+(** EENTER through a TCS. *)
+let eenter t ~secs ~tcs =
+  let* e = need_initialised t secs in
+  match List.assoc_opt tcs e.tcs_entered with
+  | None -> Error Bad_argument
+  | Some true -> Error Page_in_use
+  | Some false ->
+      let e =
+        { e with tcs_entered = (tcs, true) :: List.remove_assoc tcs e.tcs_entered }
+      in
+      Ok (charge Cost.eenter (update_enclave t secs e))
+
+let exit_kind_cost = function `Eexit -> Cost.eexit | `Aex -> Cost.aex
+
+(** EEXIT or AEX: leave the enclave, freeing the TCS for re-entry
+    (AEX leaves resumable state; we track only entered-ness). *)
+let eleave t ~secs ~tcs kind =
+  let* e = need_initialised t secs in
+  match List.assoc_opt tcs e.tcs_entered with
+  | Some true ->
+      let e =
+        { e with tcs_entered = (tcs, false) :: List.remove_assoc tcs e.tcs_entered }
+      in
+      Ok (charge (exit_kind_cost kind) (update_enclave t secs e))
+  | _ -> Error Bad_argument
+
+(** SGXv2 dynamic allocation: the OS chooses everything (type, address,
+    permissions) — the side channel Komodo chose not to mirror (§4). *)
+let eaug t ~secs ~index ~va =
+  let* _ = need_initialised t secs in
+  if not (Epcm.valid_index t.epcm index) then Error Invalid_index
+  else if not (Epcm.is_free t.epcm index) then Error Page_in_use
+  else begin
+    let epcm =
+      Epcm.set t.epcm index
+        (Epcm.Valid
+           {
+             Epcm.page_type = Epcm.PT_REG;
+             owner = secs;
+             va;
+             perms = { Epcm.r = true; w = true; x = false };
+             pending = true;
+           })
+    in
+    Ok (charge Cost.eaug { t with epcm })
+  end
+
+(** EACCEPT from inside the enclave. *)
+let eaccept t ~secs ~index =
+  let* _ = need_initialised t secs in
+  match Epcm.get t.epcm index with
+  | Epcm.Valid ({ pending = true; owner; _ } as e) when owner = secs ->
+      let epcm = Epcm.set t.epcm index (Epcm.Valid { e with Epcm.pending = false }) in
+      Ok (charge Cost.eaccept { t with epcm })
+  | _ -> Error Pending_page
+
+let eremove t ~index =
+  match Epcm.get t.epcm index with
+  | Epcm.Free -> Error Invalid_index
+  | Epcm.Valid { page_type = Epcm.PT_SECS; owner; _ } ->
+      if Epcm.owned t.epcm owner <> [] then Error Page_in_use
+      else Ok (charge Cost.eremove { t with epcm = Epcm.set t.epcm index Epcm.Free })
+  | Epcm.Valid _ ->
+      Ok (charge Cost.eremove { t with epcm = Epcm.set t.epcm index Epcm.Free })
+
+(** EREPORT-style local attestation MAC over measurement and user data. *)
+let ereport t ~secs ~key ~data =
+  match measurement t ~secs with
+  | None -> Error Not_initialised
+  | Some m -> Ok (charge Cost.ereport t, Komodo_crypto.Hmac.mac ~key (m ^ data))

@@ -1,0 +1,73 @@
+(** The SGX instruction-level enclave lifecycle (baseline model).
+
+    The enclave-management instruction set sketched in the paper's §2
+    as a state machine over the {!Epcm}: ECREATE/EADD/EEXTEND/EINIT
+    build and measure an enclave, EENTER/ERESUME/EEXIT/AEX cross in and
+    out, EAUG/EACCEPT add SGXv2 dynamic pages, EREMOVE reclaims. Costs
+    come from {!Cost}, giving the Table 3 comparison series.
+
+    Deliberately mirrored differences from Komodo (exercised by tests
+    and {!Channel}): the OS controls the type, address and permissions
+    of dynamic allocations (the side channel Komodo closes, §4), and
+    enclave page faults are visible to — and inducible by — the OS (the
+    controlled channel, §2). *)
+
+module Word = Komodo_machine.Word
+module Sha256 = Komodo_crypto.Sha256
+
+type error =
+  | Invalid_index
+  | Page_in_use
+  | Not_secs
+  | Already_initialised
+  | Not_initialised
+  | Pending_page
+  | Bad_argument
+
+val equal_error : error -> error -> bool
+val pp_error : Format.formatter -> error -> unit
+val show_error : error -> string
+
+type secs_state = Building of Sha256.ctx | Initialised of Sha256.digest
+
+type enclave = {
+  secs : int;
+  state : secs_state;
+  tcs_entered : (int * bool) list;
+}
+
+type t = {
+  epcm : Epcm.t;
+  enclaves : (int * enclave) list;
+  cycles : int;
+  revoked : (int * Word.t) list;  (** (secs, va) whose PTE the OS removed *)
+  fault_trace : (int * Word.t) list;  (** (secs, faulting page) the OS saw *)
+}
+
+val make : epc_size:int -> t
+val charge : int -> t -> t
+val enclave : t -> int -> enclave option
+
+val ecreate : t -> secs:int -> (t, error) result
+
+val eadd :
+  t ->
+  secs:int ->
+  index:int ->
+  page_type:Epcm.page_type ->
+  va:Word.t ->
+  perms:Epcm.perms ->
+  contents:string ->
+  (t, error) result
+(** EADD + the 16 EEXTENDs measuring the page, as drivers pair them. *)
+
+val einit : t -> secs:int -> (t, error) result
+val measurement : t -> secs:int -> Sha256.digest option
+val eenter : t -> secs:int -> tcs:int -> (t, error) result
+val eleave : t -> secs:int -> tcs:int -> [ `Eexit | `Aex ] -> (t, error) result
+val eaug : t -> secs:int -> index:int -> va:Word.t -> (t, error) result
+val eaccept : t -> secs:int -> index:int -> (t, error) result
+val eremove : t -> index:int -> (t, error) result
+
+val ereport : t -> secs:int -> key:string -> data:string -> (t * string, error) result
+(** EREPORT-style local attestation MAC. *)

@@ -1,0 +1,1 @@
+lib/tz/boot.pp.ml: Komodo_crypto Komodo_machine Layout Platform Rng

@@ -1,0 +1,1 @@
+lib/tz/boot.pp.mli: Komodo_machine Platform Rng

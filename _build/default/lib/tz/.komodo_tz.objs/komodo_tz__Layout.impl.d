@@ -1,0 +1,1 @@
+lib/tz/layout.pp.ml: Komodo_machine Option

@@ -1,0 +1,1 @@
+lib/tz/layout.pp.mli: Komodo_machine

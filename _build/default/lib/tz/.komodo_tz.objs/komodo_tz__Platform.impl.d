@@ -1,0 +1,1 @@
+lib/tz/platform.pp.ml: Komodo_machine Layout Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tz/platform.pp.mli: Format Komodo_machine

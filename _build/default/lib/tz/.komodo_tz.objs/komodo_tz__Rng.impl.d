@@ -1,0 +1,1 @@
+lib/tz/rng.pp.ml: Buffer Int64 Komodo_machine Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/tz/rng.pp.mli: Komodo_machine

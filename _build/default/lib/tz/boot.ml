@@ -1,0 +1,56 @@
+(** The bootloader.
+
+    The paper's prototype boots via a small loader that loads the
+    monitor in secure world, sets up its memory map and exception
+    vectors, reserves a configurable amount of RAM as secure memory,
+    derives the attestation secret, and then switches to normal world to
+    boot Linux (§7.2, §8.1). The monitor's security assumes this
+    boot-time configuration; we model it as the function that constructs
+    the initial machine state and platform secrets. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Mode = Komodo_machine.Mode
+module Regs = Komodo_machine.Regs
+
+type t = {
+  state : State.t;  (** machine as left by the bootloader: normal world *)
+  plat : Platform.t;
+  attest_key : string;  (** 32-byte boot-derived attestation secret *)
+  rng : Rng.t;  (** hardware RNG, post key derivation *)
+}
+
+(** Domain-separation label for deriving the attestation secret from raw
+    hardware entropy. *)
+let attest_key_label = "komodo-attestation-key-v1"
+
+(** [boot ~seed ~plat] performs the boot sequence:
+    1. start in secure supervisor mode with zeroed registers;
+    2. reserve the secure region (modelled by [plat]);
+    3. draw entropy and derive the attestation secret;
+    4. install the monitor's static TTBR1 direct mapping;
+    5. drop to normal world, where the OS will run and issue SMCs. *)
+let boot ?(seed = 0xB007) ?(plat = Platform.default) () =
+  let rng = Rng.seed seed in
+  let raw_entropy, rng = Rng.next_bytes rng 32 in
+  let attest_key =
+    Komodo_crypto.Hmac.mac ~key:raw_entropy attest_key_label
+  in
+  let state = State.initial in
+  (* The monitor's static page table root lives inside the monitor
+     image; enclave TTBR0 starts empty (no enclave loaded). *)
+  let state =
+    {
+      state with
+      State.ttbr1_s = Layout.monitor_image_base;
+      world = Mode.Normal;
+      cpsr = Komodo_machine.Psr.make Mode.Supervisor ~irq_masked:false ~fiq_masked:false;
+      scr_ns = true;
+    }
+  in
+  (* Scrub boot-time register state so no entropy leaks to the OS. *)
+  let state = { state with State.regs = Regs.clear_user_visible state.State.regs } in
+  { state; plat; attest_key; rng }
+
+(** Number of 32-bit words of entropy consumed at boot (cost model). *)
+let boot_entropy_words = 8

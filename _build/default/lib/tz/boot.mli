@@ -1,0 +1,25 @@
+(** The bootloader.
+
+    The paper's prototype boots via a small loader that loads the
+    monitor in secure world, sets up its memory map and vectors,
+    reserves RAM as secure memory, derives the attestation secret, and
+    switches to normal world to boot the OS (§7.2, §8.1). The monitor's
+    security assumes this configuration; it is modelled as the function
+    constructing the initial machine state and platform secrets. *)
+
+val attest_key_label : string
+(** Domain separation for deriving the attestation secret from raw
+    entropy. *)
+
+type t = {
+  state : Komodo_machine.State.t;  (** machine as left by the bootloader *)
+  plat : Platform.t;
+  attest_key : string;  (** 32-byte boot-derived attestation secret *)
+  rng : Rng.t;  (** hardware RNG, post key derivation *)
+}
+
+val boot : ?seed:int -> ?plat:Platform.t -> unit -> t
+(** Run the boot sequence; the resulting machine is in the normal
+    world, supervisor mode, with scrubbed registers. *)
+
+val boot_entropy_words : int

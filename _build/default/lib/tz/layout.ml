@@ -1,0 +1,72 @@
+(** Physical and secure-world virtual memory layout (Figure 4).
+
+    The bootloader reserves a region of physical RAM as secure memory
+    and configures an isolated mapping for the monitor. The monitor's
+    virtual space (TTBR1, privileged-only) contains its own code and
+    data plus a large direct (offset) mapping of physical memory, which
+    is where secure pages are accessed; enclave spaces (TTBR0) cover
+    only the low 1 GB. *)
+
+module Word = Komodo_machine.Word
+
+(* -- Physical layout --------------------------------------------------- *)
+
+(** Insecure (normal-world-accessible) RAM: [0, 1 GB). *)
+let insecure_base = Word.zero
+
+let insecure_limit = Word.of_int 0x3000_0000 (* 768 MB of OS RAM *)
+
+(** Monitor image, stack and globals: 1 MB at 0x4000_0000. *)
+let monitor_image_base = Word.of_int 0x4000_0000
+
+let monitor_image_size = 0x10_0000
+
+(** Secure page region: directly after the monitor image. Its page
+    count is a boot-time choice ([GetPhysPages] reports it). *)
+let secure_region_base = Word.of_int 0x4010_0000
+
+let default_npages = 256
+let page_size = Komodo_machine.Ptable.page_size
+let words_per_page = Komodo_machine.Ptable.words_per_page
+
+(** Physical base address of secure page number [n]. *)
+let page_base n = Word.add secure_region_base (Word.of_int (n * page_size))
+
+(** The secure page number containing physical address [pa], if any. *)
+let page_of_pa ~npages pa =
+  let off = Word.to_int pa - Word.to_int secure_region_base in
+  if off < 0 || off >= npages * page_size then None else Some (off / page_size)
+
+let in_monitor_image pa =
+  let p = Word.to_int pa and b = Word.to_int monitor_image_base in
+  p >= b && p < b + monitor_image_size
+
+let in_secure_region ~npages pa =
+  Option.is_some (page_of_pa ~npages pa)
+
+(** Is [pa] valid insecure memory for OS/enclave sharing? This check
+    must exclude the monitor's own image as well as secure pages — a
+    subtlety the paper reports finding only during verification (§9.1:
+    the monitor's text and data exist in the direct map too). *)
+let is_valid_insecure ~npages pa =
+  Word.ule insecure_base pa
+  && Word.ult pa insecure_limit
+  && (not (in_monitor_image pa))
+  && not (in_secure_region ~npages pa)
+
+(* -- Secure-world virtual layout (monitor / TTBR1 side) --------------- *)
+
+(** Base of the privileged direct mapping of physical memory: monitor
+    virtual address = physical address + this offset. *)
+let directmap_vbase = Word.of_int 0x8000_0000
+
+let monitor_vbase = Word.of_int 0x4000_0000 (* monitor code/data VA *)
+let monitor_stack_vtop = Word.of_int 0x4400_0000
+
+let phys_to_monitor_va pa = Word.add pa directmap_vbase
+
+let monitor_va_to_phys va =
+  if Word.ule directmap_vbase va then Some (Word.sub va directmap_vbase) else None
+
+(** Enclave virtual addresses live below this bound (TTBCR split). *)
+let enclave_va_limit = Komodo_machine.Ptable.va_limit

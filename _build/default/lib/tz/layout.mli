@@ -1,0 +1,42 @@
+(** Physical and secure-world virtual memory layout (Figure 4).
+
+    The bootloader reserves a region of physical RAM as secure memory
+    and configures an isolated mapping for the monitor. The monitor's
+    virtual space (TTBR1, privileged-only) holds its code and data plus
+    a large direct mapping of physical memory; enclave spaces (TTBR0)
+    cover only the low 1 GB. *)
+
+module Word = Komodo_machine.Word
+
+(** Physical layout. *)
+
+val insecure_base : Word.t
+val insecure_limit : Word.t  (** OS RAM: [insecure_base, insecure_limit) *)
+val monitor_image_base : Word.t
+val monitor_image_size : int
+val secure_region_base : Word.t
+val default_npages : int
+val page_size : int
+val words_per_page : int
+
+val page_base : int -> Word.t
+(** Physical base of secure page [n]. *)
+
+val page_of_pa : npages:int -> Word.t -> int option
+val in_monitor_image : Word.t -> bool
+val in_secure_region : npages:int -> Word.t -> bool
+
+val is_valid_insecure : npages:int -> Word.t -> bool
+(** Valid insecure memory for sharing: OS RAM minus the monitor image
+    minus the secure region — the §9.1 check. *)
+
+(** Secure-world virtual layout (monitor / TTBR1 side). *)
+
+val directmap_vbase : Word.t
+(** Monitor VA = physical address + this offset. *)
+
+val monitor_vbase : Word.t
+val monitor_stack_vtop : Word.t
+val phys_to_monitor_va : Word.t -> Word.t
+val monitor_va_to_phys : Word.t -> Word.t option
+val enclave_va_limit : Word.t

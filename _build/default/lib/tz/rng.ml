@@ -1,0 +1,54 @@
+(** The hardware random-number source.
+
+    Komodo requires a hardware-backed cryptographically secure source of
+    randomness (§3.2); the Raspberry Pi 2 prototype used its hardware
+    RNG. We model it as a deterministic keyed generator (SplitMix64
+    core) so that whole-system runs are reproducible: the bootloader
+    seeds it, and identical seeds give identical boots — which is also
+    exactly the "same seed" hypothesis the noninterference proofs place
+    on the non-determinism source (§6.3). *)
+
+type t = { state : int64 } [@@deriving eq]
+
+let seed n = { state = Int64.of_int n }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  let state = Int64.add t.state golden_gamma in
+  (mix state, { state })
+
+(** Draw one 32-bit word (the RDRAND-style primitive the monitor's
+    GetRandom SVC exposes). *)
+let next_word t =
+  let v, t = next64 t in
+  (Komodo_machine.Word.of_int (Int64.to_int v land 0xFFFF_FFFF), t)
+
+(** Draw [n] bytes (used to derive the boot-time attestation secret). *)
+let next_bytes t n =
+  let buf = Buffer.create n in
+  let rec go t =
+    if Buffer.length buf >= n then (String.sub (Buffer.contents buf) 0 n, t)
+    else begin
+      let w, t = next_word t in
+      Buffer.add_string buf (Komodo_machine.Word.to_bytes_be w);
+      go t
+    end
+  in
+  go t
+
+(** An impure convenience wrapper for callers (like RSA keygen) that
+    want a [unit -> int] source; they must thread [commit] back. *)
+let as_fun t =
+  let r = ref t in
+  let f () =
+    let w, t' = next_word !r in
+    r := t';
+    Komodo_machine.Word.to_int w
+  in
+  (f, fun () -> !r)

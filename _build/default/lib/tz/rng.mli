@@ -1,0 +1,24 @@
+(** The hardware random-number source.
+
+    Komodo requires a hardware-backed cryptographically secure source
+    of randomness (§3.2). It is modelled as a deterministic keyed
+    generator so whole-system runs are reproducible — which is also the
+    "same seed" hypothesis the noninterference proofs place on the
+    non-determinism source (§6.3). *)
+
+type t
+
+val equal : t -> t -> bool
+val seed : int -> t
+
+val next64 : t -> int64 * t
+val next_word : t -> Komodo_machine.Word.t * t
+(** One 32-bit draw: the RDRAND-style primitive behind the GetRandom
+    SVC. *)
+
+val next_bytes : t -> int -> string * t
+(** [n] bytes (boot-time attestation-secret derivation). *)
+
+val as_fun : t -> (unit -> int) * (unit -> t)
+(** An impure adapter for consumers wanting [unit -> int] (RSA keygen);
+    the second function reads back the advanced state. *)

@@ -1,0 +1,1 @@
+lib/user/kasm.pp.ml: Buffer Char Format Komodo_machine List Printf String Svc_nums

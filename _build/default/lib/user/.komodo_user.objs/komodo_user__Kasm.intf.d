@@ -1,0 +1,1 @@
+lib/user/kasm.pp.mli: Format Komodo_machine

@@ -1,0 +1,1 @@
+lib/user/native_util.pp.ml: Komodo_crypto Komodo_machine List String Svc_nums

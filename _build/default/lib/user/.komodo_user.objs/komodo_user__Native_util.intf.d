@@ -1,0 +1,1 @@
+lib/user/native_util.pp.mli: Komodo_crypto Komodo_machine

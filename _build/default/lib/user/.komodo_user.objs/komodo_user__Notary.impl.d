@@ -1,0 +1,1 @@
+lib/user/notary.pp.ml: Komodo_core Komodo_crypto Komodo_machine List Native_util String Svc_nums

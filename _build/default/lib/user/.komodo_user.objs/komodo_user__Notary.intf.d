@@ -1,0 +1,1 @@
+lib/user/notary.pp.mli: Komodo_core Komodo_crypto Komodo_machine

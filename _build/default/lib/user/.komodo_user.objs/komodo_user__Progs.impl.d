@@ -1,0 +1,1 @@
+lib/user/progs.pp.ml: Komodo_machine Svc_nums Uprog

@@ -1,0 +1,1 @@
+lib/user/progs.pp.mli: Komodo_machine

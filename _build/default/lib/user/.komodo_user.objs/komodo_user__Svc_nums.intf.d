@@ -1,0 +1,1 @@
+lib/user/svc_nums.pp.mli:

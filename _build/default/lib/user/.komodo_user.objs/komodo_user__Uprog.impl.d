@@ -1,0 +1,1 @@
+lib/user/uprog.pp.ml: Buffer Komodo_machine List String Svc_nums

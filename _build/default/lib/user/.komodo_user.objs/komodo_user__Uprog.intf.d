@@ -1,0 +1,1 @@
+lib/user/uprog.pp.mli: Komodo_machine

@@ -1,0 +1,1 @@
+lib/user/verifier.pp.ml: Komodo_core Komodo_crypto Komodo_machine List Native_util Notary String Svc_nums

@@ -1,0 +1,43 @@
+(** A textual assembly format for enclave programs.
+
+    The structured instruction set ({!Komodo_machine.Insn.stmt}) gets a
+    human-writable surface syntax, so enclave programs can live in
+    files and be assembled, measured and run by the CLI:
+
+    {v
+    ; sum the integers 1..r0
+        mov   r3, #0        ; accumulator
+        mov   r4, #1
+        cmp   r4, r0
+    .while ls
+        add   r3, r3, r4
+        add   r4, r4, #1
+        cmp   r4, r0
+    .endwhile
+        mov   r1, r3
+        mov   r0, #0        ; SVC 0 = exit
+        svc
+    v}
+
+    Registers are [r0]-[r12], [sp], [lr]; immediates are [#n] (decimal,
+    hex [#0x..], or negative) or [#NAME] for a symbol defined by
+    [.equ NAME value] — the SVC call numbers ([#svc_exit],
+    [#svc_map_data], ...) are predefined. Memory operands are [\[rn\]] or
+    [\[rn, #ofs\]] or [\[rn, rm\]]. Control flow uses [.if <cond>] /
+    [.else] / [.endif] and [.while <cond>] / [.endwhile] with the ARM
+    condition codes. [;] starts a comment. {!print} renders programs
+    back to this syntax ([parse] ∘ [print] is the identity, up to
+    layout — property-tested). *)
+
+module Insn = Komodo_machine.Insn
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Insn.stmt list, error) result
+(** Assemble source text. *)
+
+val print : Insn.stmt list -> string
+(** Render a program in the same syntax (a disassembler for the
+    structured form). *)

@@ -1,0 +1,63 @@
+(** Shared machinery for native enclave services.
+
+    Native services (the notary, the verifier) are event-driven state
+    machines: each entry to user mode invokes the service once; it works
+    against its MMU-translated view of memory and ends its burst with an
+    Exit or another SVC. This module holds the register/memory helpers,
+    the event constructors, and the entropy-seeding state machine every
+    key-bearing service starts with. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Exec = Komodo_machine.Exec
+module Bignum = Komodo_crypto.Bignum
+module Rsa = Komodo_crypto.Rsa
+
+exception Enclave_fault of Exec.fault
+(** Raised by the accessors on a bad access; the service's top level
+    converts it to a fault event, as hardware would. *)
+
+val ureg : State.t -> int -> Word.t
+val set_ureg : State.t -> int -> Word.t -> State.t
+
+val load : State.t -> Word.t -> Word.t
+(** Through the page table. @raise Enclave_fault. *)
+
+val store : State.t -> Word.t -> Word.t -> State.t
+val read_words : State.t -> Word.t -> int -> Word.t list
+val write_words : State.t -> Word.t -> Word.t list -> State.t
+val words_to_bytes : Word.t list -> string
+
+val bytes_to_words : string -> Word.t list
+(** @raise Invalid_argument on ragged length. *)
+
+val exit_with : State.t -> Word.t -> Exec.native_outcome
+(** End the burst by exiting to the OS with a value. *)
+
+val svc : State.t -> int -> Word.t list -> Exec.native_outcome
+(** End the burst with an SVC (call number + args in r1..). *)
+
+val generate_key : ?bits:int -> Word.t list -> Rsa.priv
+(** Deterministic RSA keygen from seed words (SHA-256 counter-mode
+    expansion), so identical entropy gives identical keys. *)
+
+val key_words : int -> int
+val bignum_to_words : bits:int -> Bignum.t -> Word.t list
+val words_to_bignum : Word.t list -> Bignum.t
+
+(** The seeding state machine: gather four words of monitor entropy via
+    GetRandom SVCs, tracked by a phase word in the service's state
+    page. *)
+type seeding = { state_va : Word.t; off_phase : int; off_seed : int }
+
+val seeding_phase_ready : int
+(** The phase value once seeding has finished (5). *)
+
+val seeding_step :
+  seeding ->
+  State.t ->
+  phase:int ->
+  done_:(State.t -> Word.t list -> Exec.native_outcome) ->
+  Exec.native_outcome
+(** Run one seeding step: request more entropy, or hand the collected
+    seed words to [done_]. *)

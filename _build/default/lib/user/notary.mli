@@ -1,0 +1,50 @@
+(** The trusted notary enclave (paper §8.2).
+
+    Ported conceptually from Ironclad: assigns logical timestamps so
+    documents can be conclusively ordered. When first entered it
+    gathers entropy from the monitor, builds an RSA key pair and a
+    monotonic counter, and publishes its public key; each notarise call
+    hashes the document with the current counter, signs it, increments
+    the counter and returns the stamp.
+
+    Runs as a native service: its inner loops (SHA-256, RSA) execute as
+    OCaml, but all state lives in enclave memory, every access goes
+    through its page table, and monitor services are obtained via real
+    SVC exceptions — an event-driven state machine like compiled
+    enclave code, with cycle costs charged explicitly so Figure 5
+    reproduces. *)
+
+module Word = Komodo_machine.Word
+module Exec = Komodo_machine.Exec
+module Rsa = Komodo_crypto.Rsa
+
+val native_id : int
+val rsa_bits : int
+
+(** Virtual-address layout (fixed by the notary's image). *)
+
+val code_va : Word.t
+val state_va : Word.t  (** secure RW state page *)
+val heap_va : Word.t  (** second secure RW page *)
+val input_va : Word.t  (** insecure: document buffer *)
+val output_va : Word.t  (** insecure: results to the OS *)
+
+(** Entry commands (r0 of Enter once initialised). *)
+
+val cmd_init : int
+val cmd_notarize : int  (** r1 = document VA, r2 = byte length *)
+val cmd_attest_key : int
+
+val native : Exec.native
+val registry : int -> Exec.native option
+val executor : ?fuel:int -> unit -> Komodo_core.Uexec.t
+
+(** The native-process baseline of Figure 5: identical compute (hash +
+    sign + copies), no enclave crossings, no monitor. *)
+
+type baseline
+
+val baseline_create : seed:int -> baseline
+
+val baseline_notarize : baseline -> string -> string * int
+(** [(signature, cycles charged)]. *)

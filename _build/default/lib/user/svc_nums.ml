@@ -1,0 +1,11 @@
+(** SVC call numbers as seen from enclave code (mirrors {!Komodo_core.Svc}). *)
+
+let exit = Komodo_core.Svc.sv_exit
+let get_random = Komodo_core.Svc.sv_get_random
+let attest = Komodo_core.Svc.sv_attest
+let verify = Komodo_core.Svc.sv_verify
+let init_l2ptable = Komodo_core.Svc.sv_init_l2ptable
+let map_data = Komodo_core.Svc.sv_map_data
+let unmap_data = Komodo_core.Svc.sv_unmap_data
+let set_dispatcher = Komodo_core.Svc.sv_set_dispatcher
+let resume_faulted = Komodo_core.Svc.sv_resume_faulted

@@ -1,0 +1,12 @@
+(** SVC call numbers as seen from enclave program texts (re-exports of
+    {!Komodo_core.Svc}). *)
+
+val exit : int
+val get_random : int
+val attest : int
+val verify : int
+val init_l2ptable : int
+val map_data : int
+val unmap_data : int
+val set_dispatcher : int
+val resume_faulted : int

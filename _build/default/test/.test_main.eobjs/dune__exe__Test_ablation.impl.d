@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Komodo_core Komodo_machine Komodo_user List Loader Os Printf QCheck QCheck_alcotest Testlib

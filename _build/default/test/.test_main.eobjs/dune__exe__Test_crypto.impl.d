@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Gen Komodo_crypto Komodo_machine List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_enclave.ml: Alcotest Image Komodo_core Komodo_machine Komodo_user List Loader Mapping Os String Testlib Uprog

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Komodo_machine List Printf QCheck QCheck_alcotest

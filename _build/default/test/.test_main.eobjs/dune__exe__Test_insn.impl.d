@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Array Komodo_machine List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Image Komodo_core Komodo_crypto Komodo_machine Komodo_os Komodo_user List Loader Mapping Os String Testlib Uprog

@@ -1,0 +1,1 @@
+test/test_kasm.ml: Alcotest Gen Komodo_core Komodo_machine Komodo_user List Loader Os QCheck QCheck_alcotest String Testlib

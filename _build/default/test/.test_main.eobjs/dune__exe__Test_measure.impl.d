@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Komodo_core Komodo_crypto Komodo_machine List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Format Image Komodo_core Komodo_crypto Komodo_machine Komodo_os List Loader Logs Mapping Os Printf Progs QCheck QCheck_alcotest String Testlib Uprog

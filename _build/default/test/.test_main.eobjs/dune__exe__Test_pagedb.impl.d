@@ -1,0 +1,1 @@
+test/test_pagedb.ml: Alcotest Komodo_core Komodo_machine Komodo_tz List

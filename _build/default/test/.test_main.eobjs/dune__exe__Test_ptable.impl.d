@@ -1,0 +1,1 @@
+test/test_ptable.ml: Alcotest Komodo_machine List Option QCheck QCheck_alcotest

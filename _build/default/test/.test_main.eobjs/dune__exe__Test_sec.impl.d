@@ -1,0 +1,1 @@
+test/test_sec.ml: Alcotest Komodo_core Komodo_machine Komodo_os Komodo_sec List QCheck QCheck_alcotest String

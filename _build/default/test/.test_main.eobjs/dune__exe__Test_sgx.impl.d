@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Komodo_machine Komodo_sec Komodo_sgx List Option String

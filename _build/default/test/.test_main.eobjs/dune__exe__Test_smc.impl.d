@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Komodo_core Komodo_machine Komodo_tz List Os QCheck QCheck_alcotest State String Testlib

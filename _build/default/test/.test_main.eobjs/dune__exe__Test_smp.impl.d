@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Komodo_core Komodo_machine Komodo_os List Os Printf QCheck QCheck_alcotest Testlib

@@ -1,0 +1,1 @@
+test/test_svc.ml: Alcotest Komodo_core Komodo_crypto Komodo_machine Komodo_user List Loader Os String Testlib

@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Komodo_machine Komodo_tz List Option String

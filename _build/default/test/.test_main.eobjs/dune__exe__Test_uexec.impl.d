@@ -1,0 +1,1 @@
+test/test_uexec.ml: Alcotest Komodo_core Komodo_machine List Monitor Os Printf Progs QCheck QCheck_alcotest String Testlib

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Image Komodo_core Komodo_crypto Komodo_machine Komodo_user List Loader Mapping Os String Testlib Uprog

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Komodo_machine List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Format Komodo_core Komodo_machine Komodo_os Komodo_user List

@@ -1,0 +1,97 @@
+(* Differential testing of the optimised monitor (§8.1): the proposed
+   optimisations (skip redundant TTBR reload/TLB flush, skip FIQ/IRQ
+   banked saves) must be *observationally* identical to the
+   conservative monitor — same results, same errors, same PageDB —
+   differing only in cycle counts. This is the executable analogue of
+   the lemmas the paper says would justify them. *)
+
+open Testlib
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Smc = Komodo_core.Smc
+module Pagedb = Komodo_core.Pagedb
+module Monitor = Komodo_core.Monitor
+module Errors = Komodo_core.Errors
+
+let arb_call =
+  QCheck.Gen.(
+    let pg = int_bound 31 in
+    let arg = map (fun n -> Word.of_int n) (oneof [ pg; int_bound 0xFFFF ]) in
+    map2 (fun call args -> (call, args)) (int_range 1 13) (list_size (int_bound 4) arg))
+
+let run_sequence ~optimised calls =
+  let os = Os.boot ~seed:0xD1FF ~npages:32 ~optimised () in
+  List.fold_left
+    (fun (os, results) (call, args) ->
+      let os, err, v = Os.smc os ~call ~args in
+      (os, (err, v) :: results))
+    (os, []) calls
+
+let prop_observationally_identical =
+  QCheck.Test.make
+    ~name:"optimised monitor is observationally identical (results + PageDB)"
+    ~count:40
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) arb_call))
+    (fun calls ->
+      let os_c, rs_c = run_sequence ~optimised:false calls in
+      let os_o, rs_o = run_sequence ~optimised:true calls in
+      List.equal
+        (fun (e1, v1) (e2, v2) -> Errors.equal e1 e2 && Word.equal v1 v2)
+        rs_c rs_o
+      && Pagedb.equal os_c.Os.mon.Monitor.pagedb os_o.Os.mon.Monitor.pagedb
+      && Komodo_machine.Memory.equal os_c.Os.mon.Monitor.mach.State.mem
+           os_o.Os.mon.Monitor.mach.State.mem)
+
+let test_optimised_is_cheaper () =
+  (* Repeated entry into the same enclave: the optimised monitor skips
+     the TTBR reload + flush after the first crossing. *)
+  let crossing ~optimised =
+    let os = Os.boot ~seed:4 ~npages:32 ~optimised () in
+    let os, h = load_prog os Komodo_user.Progs.add_args in
+    let th = List.hd h.Loader.threads in
+    (* Warm up once. *)
+    let os, e, _ = enter0 os ~thread:th in
+    check_err "warmup" Errors.Success e;
+    let c0 = Os.cycles os in
+    let os, e, _ = enter0 os ~thread:th in
+    check_err "measured" Errors.Success e;
+    Os.cycles os - c0
+  in
+  let conservative = crossing ~optimised:false in
+  let optimised = crossing ~optimised:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimised (%d) < conservative (%d)" optimised conservative)
+    true (optimised < conservative);
+  (* The saving must cover at least the TLB flush. *)
+  Alcotest.(check bool) "saves at least the flush" true
+    (conservative - optimised >= Komodo_machine.Cost.tlb_flush)
+
+let test_optimised_flushes_when_needed () =
+  (* Switching between two enclaves must still reload + flush: run A,
+     then B, then A; all results correct. *)
+  let os = Os.boot ~seed:4 ~npages:48 ~optimised:true () in
+  let os, ha = load_prog ~name:"A" os Komodo_user.Progs.add_args in
+  let os, hb = load_prog ~name:"B" os Komodo_user.Progs.sum_to_n in
+  let ta = List.hd ha.Loader.threads and tb = List.hd hb.Loader.threads in
+  let os, e, va =
+    Os.enter os ~thread:ta ~args:(Word.of_int 1, Word.of_int 2, Word.of_int 3)
+  in
+  check_err "A" Errors.Success e;
+  let os, e, vb = Os.enter os ~thread:tb ~args:(Word.of_int 10, Word.zero, Word.zero) in
+  check_err "B" Errors.Success e;
+  let os, e, va2 =
+    Os.enter os ~thread:ta ~args:(Word.of_int 4, Word.of_int 5, Word.of_int 6)
+  in
+  check_err "A again" Errors.Success e;
+  Alcotest.(check int) "A result" 6 (Word.to_int va);
+  Alcotest.(check int) "B result" 55 (Word.to_int vb);
+  Alcotest.(check int) "A result after switch" 15 (Word.to_int va2);
+  check_wf "optimised world" os
+
+let suite =
+  [
+    Alcotest.test_case "optimised crossings are cheaper" `Quick test_optimised_is_cheaper;
+    Alcotest.test_case "optimised still flushes across enclaves" `Quick
+      test_optimised_flushes_when_needed;
+    QCheck_alcotest.to_alcotest prop_observationally_identical;
+  ]

@@ -1,0 +1,276 @@
+(* Crypto substrate: SHA-256 against FIPS vectors, HMAC against RFC 4231,
+   bignum algebraic properties, RSA sign/verify. *)
+
+module Sha256 = Komodo_crypto.Sha256
+module Hmac = Komodo_crypto.Hmac
+module Bignum = Komodo_crypto.Bignum
+module Rsa = Komodo_crypto.Rsa
+module Word = Komodo_machine.Word
+
+let hex = Sha256.to_hex
+
+(* -- SHA-256 ------------------------------------------------------------ *)
+
+let test_sha_vectors () =
+  let t input expected = Alcotest.(check string) "digest" expected (hex (Sha256.digest input)) in
+  t "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  t "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  t "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  t (String.make 1_000_000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+let test_sha_incremental () =
+  let one_shot = Sha256.digest "hello, world and then some more text" in
+  let ctx = Sha256.init in
+  let ctx = Sha256.absorb ctx "hello, " in
+  let ctx = Sha256.absorb ctx "world and then" in
+  let ctx = Sha256.absorb ctx " some more text" in
+  Alcotest.(check string) "incremental = one-shot" (hex one_shot) (hex (Sha256.finalize ctx))
+
+let test_sha_block_api () =
+  let block = String.make 64 'B' in
+  let a = Sha256.finalize (Sha256.absorb_block Sha256.init block) in
+  let b = Sha256.finalize (Sha256.absorb Sha256.init block) in
+  Alcotest.(check string) "block path agrees" (hex b) (hex a);
+  Alcotest.check_raises "short block rejected"
+    (Invalid_argument "Sha256.absorb_block: block must be 64 bytes") (fun () ->
+      ignore (Sha256.absorb_block Sha256.init "short"));
+  Alcotest.check_raises "partial context rejected"
+    (Invalid_argument "Sha256.absorb_block: context holds a partial block") (fun () ->
+      ignore (Sha256.absorb_block (Sha256.absorb Sha256.init "x") block))
+
+let test_sha_finalize_pure () =
+  let ctx = Sha256.absorb Sha256.init "data" in
+  Alcotest.(check string) "finalize twice" (hex (Sha256.finalize ctx)) (hex (Sha256.finalize ctx))
+
+let test_sha_words () =
+  let d = Sha256.digest "roundtrip" in
+  Alcotest.(check string) "words roundtrip" (hex d)
+    (hex (Sha256.digest_of_words (Sha256.digest_words_of d)));
+  Alcotest.(check string) "hex roundtrip" (hex d) (hex (Sha256.of_hex (hex d)))
+
+let test_blocks_absorbed () =
+  let ctx = Sha256.absorb Sha256.init (String.make 130 'x') in
+  Alcotest.(check int) "two full blocks" 2 (Sha256.blocks_absorbed ctx)
+
+let prop_sha_incremental_split =
+  QCheck.Test.make ~name:"any split point gives the one-shot digest" ~count:100
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (int_bound 300))
+    (fun (s, k) ->
+      let k = min k (String.length s) in
+      let a = String.sub s 0 k and b = String.sub s k (String.length s - k) in
+      Sha256.finalize (Sha256.absorb (Sha256.absorb Sha256.init a) b) = Sha256.digest s)
+
+(* -- HMAC (RFC 4231) ----------------------------------------------------- *)
+
+let test_hmac_rfc4231 () =
+  let t ~key ~msg expected = Alcotest.(check string) "mac" expected (hex (Hmac.mac ~key msg)) in
+  t ~key:(String.make 20 '\x0b') ~msg:"Hi There"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  t ~key:"Jefe" ~msg:"what do ya want for nothing?"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  t ~key:(String.make 20 '\xaa') ~msg:(String.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  (* Long key (hashed down). *)
+  t ~key:(String.make 131 '\xaa') ~msg:"Test Using Larger Than Block-Size Key - Hash Key First"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "message" in
+  let mac = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key msg mac);
+  let bad = String.mapi (fun i c -> if i = 3 then Char.chr (Char.code c lxor 1) else c) mac in
+  Alcotest.(check bool) "rejects flipped bit" false (Hmac.verify ~key msg bad);
+  Alcotest.(check bool) "rejects short tag" false (Hmac.verify ~key msg "short")
+
+let test_hmac_compressions () =
+  Alcotest.(check int) "64-byte message" 5 (Hmac.compressions 64);
+  Alcotest.(check int) "empty message" 4 (Hmac.compressions 0)
+
+(* -- Bignum --------------------------------------------------------------- *)
+
+let arb_big =
+  QCheck.map
+    (fun parts ->
+      List.fold_left
+        (fun acc p -> Bignum.add (Bignum.shift_left acc 30) (Bignum.of_int p))
+        Bignum.zero parts)
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 8) (QCheck.int_bound 0x3FFF_FFFF))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"bignum add commutative" (QCheck.pair arb_big arb_big)
+    (fun (a, b) -> Bignum.equal (Bignum.add a b) (Bignum.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"bignum mul distributes" (QCheck.triple arb_big arb_big arb_big)
+    (fun (a, b, c) ->
+      Bignum.equal
+        (Bignum.mul a (Bignum.add b c))
+        (Bignum.add (Bignum.mul a b) (Bignum.mul a c)))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod: a = q*b + r, r < b" (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (not (Bignum.is_zero b));
+      let q, r = Bignum.divmod a b in
+      Bignum.equal a (Bignum.add (Bignum.mul q b) r) && Bignum.compare r b < 0)
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shift left then right" (QCheck.pair arb_big (QCheck.int_bound 100))
+    (fun (a, k) -> Bignum.equal (Bignum.shift_right (Bignum.shift_left a k) k) a)
+
+let prop_sub_add =
+  QCheck.Test.make ~name:"(a+b) - b = a" (QCheck.pair arb_big arb_big)
+    (fun (a, b) -> Bignum.equal (Bignum.sub (Bignum.add a b) b) a)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bignum bytes roundtrip" arb_big (fun a ->
+      Bignum.equal (Bignum.of_bytes_be (Bignum.to_bytes_be a)) a)
+
+let prop_modpow_small =
+  QCheck.Test.make ~name:"modpow agrees with naive"
+    (QCheck.triple (QCheck.int_bound 50) (QCheck.int_bound 12) (QCheck.int_range 2 1000))
+    (fun (b, e, m) ->
+      let naive =
+        let rec go acc i = if i = 0 then acc else go (acc * b mod m) (i - 1) in
+        go 1 e
+      in
+      Bignum.to_int
+        (Bignum.modpow ~base:(Bignum.of_int b) ~exp:(Bignum.of_int e)
+           ~modulus:(Bignum.of_int m))
+      = naive)
+
+let test_bignum_basics () =
+  Alcotest.(check string) "decimal print" "123456789012345678901234567890"
+    (Bignum.to_string (Bignum.of_hex "18ee90ff6c373e0ee4e3f0ad2"));
+  Alcotest.(check int) "bits of 255" 8 (Bignum.bits (Bignum.of_int 255));
+  Alcotest.(check int) "bits of 256" 9 (Bignum.bits (Bignum.of_int 256));
+  Alcotest.(check int) "bits of zero" 0 (Bignum.bits Bignum.zero);
+  Alcotest.(check bool) "test_bit" true (Bignum.test_bit (Bignum.of_int 5) 2);
+  Alcotest.check_raises "negative sub" (Invalid_argument "Bignum.sub: negative result")
+    (fun () -> ignore (Bignum.sub Bignum.one Bignum.two));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bignum.divmod Bignum.one Bignum.zero))
+
+let test_gcd_modinv () =
+  let g = Bignum.gcd (Bignum.of_int 48) (Bignum.of_int 36) in
+  Alcotest.(check int) "gcd" 12 (Bignum.to_int g);
+  (match Bignum.modinv (Bignum.of_int 3) (Bignum.of_int 11) with
+  | Some inv -> Alcotest.(check int) "3^-1 mod 11" 4 (Bignum.to_int inv)
+  | None -> Alcotest.fail "inverse exists");
+  Alcotest.(check bool) "no inverse when not coprime" true
+    (Bignum.modinv (Bignum.of_int 4) (Bignum.of_int 8) = None)
+
+let test_primality () =
+  let prime n = Bignum.is_probable_prime (Bignum.of_int n) in
+  List.iter (fun n -> Alcotest.(check bool) (string_of_int n) true (prime n))
+    [ 2; 3; 5; 31; 101; 7919; 1_000_000_007 ];
+  List.iter (fun n -> Alcotest.(check bool) (string_of_int n) false (prime n))
+    [ 0; 1; 4; 100; 7917; 1_000_000_008; 341 (* Fermat pseudoprime base 2 *) ]
+
+(* -- RSA ------------------------------------------------------------------ *)
+
+let deterministic_rng seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s
+
+let test_rsa_roundtrip () =
+  let key = Rsa.generate ~rng:(deterministic_rng 11) ~bits:512 in
+  let d = Sha256.digest "sign me" in
+  let s = Rsa.sign key d in
+  Alcotest.(check bool) "verifies" true (Rsa.verify key.Rsa.pub ~digest:d ~signature:s);
+  Alcotest.(check bool) "wrong digest fails" false
+    (Rsa.verify key.Rsa.pub ~digest:(Sha256.digest "other") ~signature:s);
+  let tampered = String.mapi (fun i c -> if i = 10 then Char.chr (Char.code c lxor 4) else c) s in
+  Alcotest.(check bool) "tampered signature fails" false
+    (Rsa.verify key.Rsa.pub ~digest:d ~signature:tampered)
+
+let test_rsa_deterministic () =
+  let k1 = Rsa.generate ~rng:(deterministic_rng 5) ~bits:512 in
+  let k2 = Rsa.generate ~rng:(deterministic_rng 5) ~bits:512 in
+  Alcotest.(check bool) "same seed, same key" true (Bignum.equal k1.Rsa.pub.Rsa.n k2.Rsa.pub.Rsa.n);
+  let k3 = Rsa.generate ~rng:(deterministic_rng 6) ~bits:512 in
+  Alcotest.(check bool) "different seed, different key" false
+    (Bignum.equal k1.Rsa.pub.Rsa.n k3.Rsa.pub.Rsa.n)
+
+let test_rsa_key_size () =
+  let key = Rsa.generate ~rng:(deterministic_rng 3) ~bits:512 in
+  Alcotest.(check bool) "modulus near 512 bits" true
+    (Bignum.bits key.Rsa.pub.Rsa.n >= 511 && Bignum.bits key.Rsa.pub.Rsa.n <= 512);
+  Alcotest.(check int) "signature length" (Rsa.key_bytes key.Rsa.pub)
+    (String.length (Rsa.sign key (Sha256.digest "x")))
+
+let test_rsa_cost_model () =
+  Alcotest.(check bool) "1024-bit signing cost in expected band" true
+    (let c = Rsa.sign_cycles ~bits:1024 in
+     c > 5_000_000 && c < 20_000_000);
+  Alcotest.(check bool) "cost grows with key size" true
+    (Rsa.sign_cycles ~bits:2048 > Rsa.sign_cycles ~bits:1024)
+
+let suite =
+  [
+    Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha_vectors;
+    Alcotest.test_case "sha256 incremental" `Quick test_sha_incremental;
+    Alcotest.test_case "sha256 block api" `Quick test_sha_block_api;
+    Alcotest.test_case "sha256 finalize is pure" `Quick test_sha_finalize_pure;
+    Alcotest.test_case "sha256 word marshalling" `Quick test_sha_words;
+    Alcotest.test_case "sha256 block count" `Quick test_blocks_absorbed;
+    Alcotest.test_case "hmac RFC 4231 vectors" `Quick test_hmac_rfc4231;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "hmac compression count" `Quick test_hmac_compressions;
+    Alcotest.test_case "bignum basics" `Quick test_bignum_basics;
+    Alcotest.test_case "gcd and modinv" `Quick test_gcd_modinv;
+    Alcotest.test_case "primality" `Quick test_primality;
+    Alcotest.test_case "rsa roundtrip" `Quick test_rsa_roundtrip;
+    Alcotest.test_case "rsa determinism" `Quick test_rsa_deterministic;
+    Alcotest.test_case "rsa key size" `Quick test_rsa_key_size;
+    Alcotest.test_case "rsa cost model" `Quick test_rsa_cost_model;
+    QCheck_alcotest.to_alcotest prop_sha_incremental_split;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_mul_distributes;
+    QCheck_alcotest.to_alcotest prop_divmod;
+    QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sub_add;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_modpow_small;
+  ]
+
+(* -- Late additions: deeper bignum properties --------------------------- *)
+
+let prop_modinv_correct =
+  QCheck.Test.make ~name:"modinv: a * a^-1 = 1 (mod m)" ~count:200
+    (QCheck.pair (QCheck.int_range 1 100_000) (QCheck.int_range 2 100_000))
+    (fun (a, m) ->
+      let ba = Bignum.of_int a and bm = Bignum.of_int m in
+      match Bignum.modinv ba bm with
+      | None -> not (Bignum.equal (Bignum.gcd ba bm) Bignum.one)
+      | Some inv ->
+          Bignum.to_int (Bignum.rem (Bignum.mul ba inv) bm) = 1 mod m)
+
+let prop_divmod_pow2_is_shift =
+  QCheck.Test.make ~name:"division by 2^k agrees with shift_right" ~count:100
+    (QCheck.pair arb_big (QCheck.int_bound 60))
+    (fun (a, k) ->
+      let q, _ = Bignum.divmod a (Bignum.shift_left Bignum.one k) in
+      Bignum.equal q (Bignum.shift_right a k))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare is antisymmetric and add-monotone" ~count:100
+    (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      let c = Bignum.compare a b in
+      c = -Bignum.compare b a
+      && (c >= 0 || Bignum.compare (Bignum.add a Bignum.one) b <= 0
+          || Bignum.compare a b < 0))
+
+let late_suite =
+  [
+    QCheck_alcotest.to_alcotest prop_modinv_correct;
+    QCheck_alcotest.to_alcotest prop_divmod_pow2_is_shift;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+  ]
+
+let suite = suite @ late_suite

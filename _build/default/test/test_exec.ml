@@ -1,0 +1,348 @@
+(* The user-mode interpreter: ALU semantics, flags, translated memory
+   access, faults, control flow, SVC and interrupt delivery. *)
+
+module Word = Komodo_machine.Word
+module Memory = Komodo_machine.Memory
+module Ptable = Komodo_machine.Ptable
+module Insn = Komodo_machine.Insn
+module Exec = Komodo_machine.Exec
+module State = Komodo_machine.State
+module Regs = Komodo_machine.Regs
+module Mode = Komodo_machine.Mode
+module Psr = Komodo_machine.Psr
+
+let w = Word.of_int
+let r n = Regs.R n
+let imm n = Insn.Imm (w n)
+let reg n = Insn.Reg (r n)
+
+(* A small machine: code at VA 0, a RW data page at VA 0x1000, a RO
+   page at VA 0x2000. Physical frames in an arbitrary "secure" area. *)
+let l1_base = w 0x40_0000
+let l2_base = w 0x41_0000
+let code_frame = w 0x50_0000
+let data_frame = w 0x51_0000
+let ro_frame = w 0x52_0000
+
+let machine_with prog =
+  let m = Memory.store Memory.empty l1_base (Ptable.make_l1e ~l2pt_base:l2_base) in
+  let map m va frame perms =
+    Memory.store m
+      (Word.add l2_base (w (4 * Ptable.l2_index (w va))))
+      (Ptable.make_l2e ~base:frame ~ns:false perms)
+  in
+  let m = map m 0x0000 code_frame Ptable.rx in
+  let m = map m 0x1000 data_frame Ptable.rw in
+  let m = map m 0x2000 ro_frame Ptable.r_only in
+  (* Lay the program image down in the code frame. *)
+  let body = Insn.encode_program prog in
+  let image = Exec.code_magic :: w (List.length body) :: body in
+  let m = Memory.store_range m code_frame image in
+  {
+    State.initial with
+    State.mem = m;
+    ttbr0_s = l1_base;
+    cpsr = Psr.user_entry;
+  }
+
+let run ?(fuel = 10_000) ?budget prog =
+  let s = machine_with prog in
+  let s = { s with State.irq_budget = budget } in
+  Exec.run s ~entry_va:Word.zero ~start_pc:0 ~fuel ~native:(fun _ -> None)
+
+let reg_of s n = Word.to_int (State.read_reg s (r n))
+
+let expect_exit ?fuel ?budget prog =
+  match run ?fuel ?budget prog with
+  | s, Exec.Ev_svc _ -> s
+  | _, e -> Alcotest.failf "expected SVC exit, got %s" (Exec.show_event e)
+
+let exit_seq = [ Insn.I (Insn.Mov (r 0, imm 0)); Insn.I (Insn.Svc Word.zero) ]
+
+let test_alu () =
+  let s =
+    expect_exit
+      ([
+         Insn.I (Insn.Mov (r 1, imm 10));
+         Insn.I (Insn.Add (r 2, r 1, imm 5));
+         Insn.I (Insn.Sub (r 3, r 1, imm 5));
+         Insn.I (Insn.Rsb (r 4, r 1, imm 25));
+         Insn.I (Insn.Mul (r 5, r 1, r 1));
+         Insn.I (Insn.And_ (r 6, r 1, imm 0b1100));
+         Insn.I (Insn.Orr (r 7, r 1, imm 0b0001));
+         Insn.I (Insn.Eor (r 8, r 1, imm 0b1111));
+         Insn.I (Insn.Bic (r 9, r 1, imm 0b0010));
+         Insn.I (Insn.Mvn (r 10, imm 0));
+       ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "add" 15 (reg_of s 2);
+  Alcotest.(check int) "sub" 5 (reg_of s 3);
+  Alcotest.(check int) "rsb" 15 (reg_of s 4);
+  Alcotest.(check int) "mul" 100 (reg_of s 5);
+  Alcotest.(check int) "and" 0b1000 (reg_of s 6);
+  Alcotest.(check int) "orr" 0b1011 (reg_of s 7);
+  Alcotest.(check int) "eor" 0b0101 (reg_of s 8);
+  Alcotest.(check int) "bic" 0b1000 (reg_of s 9);
+  Alcotest.(check int) "mvn" 0xFFFF_FFFF (reg_of s 10)
+
+let test_shifts () =
+  let s =
+    expect_exit
+      ([
+         Insn.I (Insn.Mov (r 1, imm 0x80));
+         Insn.I (Insn.Lsl (r 2, r 1, imm 4));
+         Insn.I (Insn.Lsr (r 3, r 1, imm 4));
+         Insn.I (Insn.Mov (r 4, imm 0x4000_0000));
+         Insn.I (Insn.Ror (r 5, r 1, imm 8));
+       ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "lsl" 0x800 (reg_of s 2);
+  Alcotest.(check int) "lsr" 0x8 (reg_of s 3);
+  Alcotest.(check int) "ror" 0x8000_0000 (reg_of s 5)
+
+let test_cmn_flags () =
+  (* CMN r1, r2 with r1 = -5 (two's complement) and r2 = 5: sum is zero,
+     carry out set. *)
+  let s =
+    expect_exit
+      ([
+         Insn.I (Insn.Mvn (r 1, imm 4)) (* 0xFFFFFFFB = -5 *);
+         Insn.I (Insn.Mov (r 2, imm 5));
+         Insn.I (Insn.Cmn (r 1, reg 2));
+         Insn.If (Insn.EQ, [ Insn.I (Insn.Mov (r 3, imm 1)) ], [ Insn.I (Insn.Mov (r 3, imm 0)) ]);
+         Insn.If (Insn.CS, [ Insn.I (Insn.Mov (r 4, imm 1)) ], [ Insn.I (Insn.Mov (r 4, imm 0)) ]);
+       ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "zero flag from sum" 1 (reg_of s 3);
+  Alcotest.(check int) "carry out" 1 (reg_of s 4)
+
+let test_cmp_flags_loop () =
+  (* sum 1..5 with a LS loop *)
+  let s =
+    expect_exit
+      ([
+         Insn.I (Insn.Mov (r 0, imm 5));
+         Insn.I (Insn.Mov (r 3, imm 0));
+         Insn.I (Insn.Mov (r 4, imm 1));
+         Insn.I (Insn.Cmp (r 4, reg 0));
+         Insn.While
+           ( Insn.LS,
+             [
+               Insn.I (Insn.Add (r 3, r 3, reg 4));
+               Insn.I (Insn.Add (r 4, r 4, imm 1));
+               Insn.I (Insn.Cmp (r 4, reg 0));
+             ] );
+       ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "sum 1..5" 15 (reg_of s 3)
+
+let test_if_else () =
+  let branchy v expected =
+    let s =
+      expect_exit
+        ([
+           Insn.I (Insn.Mov (r 1, imm v));
+           Insn.I (Insn.Cmp (r 1, imm 10));
+           Insn.If
+             ( Insn.LT,
+               [ Insn.I (Insn.Mov (r 2, imm 111)) ],
+               [ Insn.I (Insn.Mov (r 2, imm 222)) ] );
+         ]
+        @ exit_seq)
+    in
+    Alcotest.(check int) (Printf.sprintf "v=%d" v) expected (reg_of s 2)
+  in
+  branchy 5 111;
+  branchy 15 222
+
+let test_memory_access () =
+  let s =
+    expect_exit
+      ([
+         Insn.I (Insn.Mov (r 1, imm 0x1000));
+         Insn.I (Insn.Mov (r 2, imm 0xCAFE));
+         Insn.I (Insn.Str (r 2, r 1, imm 8));
+         Insn.I (Insn.Ldr (r 3, r 1, imm 8));
+       ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "store/load via va" 0xCAFE (reg_of s 3);
+  (* The store landed in the mapped physical frame. *)
+  Alcotest.(check int) "physical landing" 0xCAFE
+    (Word.to_int (Memory.load s.State.mem (Word.add data_frame (w 8))))
+
+let expect_fault prog fault =
+  match run prog with
+  | _, Exec.Ev_fault f ->
+      Alcotest.(check bool) (Exec.show_fault fault) true (Exec.equal_fault f fault)
+  | _, e -> Alcotest.failf "expected fault, got %s" (Exec.show_event e)
+
+let test_fault_unmapped () =
+  expect_fault
+    [ Insn.I (Insn.Mov (r 1, imm 0x9000)); Insn.I (Insn.Ldr (r 2, r 1, imm 0)) ]
+    Exec.Translation
+
+let test_fault_write_ro () =
+  expect_fault
+    [ Insn.I (Insn.Mov (r 1, imm 0x2000)); Insn.I (Insn.Str (r 1, r 1, imm 0)) ]
+    Exec.Permission
+
+let test_fault_unaligned () =
+  expect_fault
+    [ Insn.I (Insn.Mov (r 1, imm 0x1001)); Insn.I (Insn.Ldr (r 2, r 1, imm 0)) ]
+    Exec.Alignment
+
+let test_fault_undef () =
+  expect_fault [ Insn.I Insn.Udf ] Exec.Undef_insn
+
+let test_fault_falloff () =
+  (* Falling off the end of the program is a prefetch abort. *)
+  expect_fault [ Insn.I Insn.Nop ] Exec.Prefetch
+
+let test_reads_allowed_on_ro () =
+  let s =
+    expect_exit
+      ([ Insn.I (Insn.Mov (r 1, imm 0x2000)); Insn.I (Insn.Ldr (r 2, r 1, imm 0)) ]
+      @ exit_seq)
+  in
+  Alcotest.(check int) "ro read ok" 0 (reg_of s 2)
+
+let test_svc_args () =
+  let s, e =
+    run
+      [
+        Insn.I (Insn.Mov (r 0, imm 3));
+        Insn.I (Insn.Mov (r 1, imm 77));
+        Insn.I (Insn.Svc (w 0));
+      ]
+  in
+  (match e with
+  | Exec.Ev_svc _ -> ()
+  | e -> Alcotest.failf "expected svc, got %s" (Exec.show_event e));
+  Alcotest.(check int) "r0 carries call" 3 (reg_of s 0);
+  Alcotest.(check int) "r1 carries arg" 77 (reg_of s 1);
+  (* The banked resume PC points past the SVC. *)
+  Alcotest.(check int) "upc after svc" 3 (Word.to_int s.State.upc)
+
+let test_irq_budget () =
+  let s, e = run ~budget:10 [ Insn.While (Insn.AL, [ Insn.I Insn.Nop ]) ] in
+  (match e with
+  | Exec.Ev_irq -> ()
+  | e -> Alcotest.failf "expected irq, got %s" (Exec.show_event e));
+  Alcotest.(check bool) "budget consumed" true (s.State.irq_budget = Some 0)
+
+let test_fuel_exhaustion_is_irq () =
+  let _, e = run ~fuel:50 [ Insn.While (Insn.AL, [ Insn.I Insn.Nop ]) ] in
+  match e with
+  | Exec.Ev_irq -> ()
+  | e -> Alcotest.failf "expected irq on fuel exhaustion, got %s" (Exec.show_event e)
+
+let test_resume_mid_program () =
+  (* Interrupt a counting loop, then resume from the saved pc and check
+     the count completes as if uninterrupted. *)
+  let prog =
+    [
+      Insn.I (Insn.Mov (r 3, imm 0));
+      Insn.I (Insn.Mov (r 4, imm 1));
+      Insn.I (Insn.Cmp (r 4, imm 100));
+      Insn.While
+        ( Insn.LS,
+          [
+            Insn.I (Insn.Add (r 3, r 3, reg 4));
+            Insn.I (Insn.Add (r 4, r 4, imm 1));
+            Insn.I (Insn.Cmp (r 4, imm 100));
+          ] );
+    ]
+    @ exit_seq
+  in
+  let s, e = run ~budget:57 prog in
+  (match e with Exec.Ev_irq -> () | e -> Alcotest.failf "want irq, got %s" (Exec.show_event e));
+  let resume_pc = Word.to_int s.State.upc in
+  let s = { s with State.irq_budget = None } in
+  let s, e = Exec.run s ~entry_va:Word.zero ~start_pc:resume_pc ~fuel:10_000 ~native:(fun _ -> None) in
+  (match e with Exec.Ev_svc _ -> () | e -> Alcotest.failf "want exit, got %s" (Exec.show_event e));
+  Alcotest.(check int) "sum 1..100 despite interrupt" 5050 (reg_of s 3)
+
+let test_bad_image () =
+  (* Entry page without the code magic: prefetch abort. *)
+  let s = machine_with [ Insn.I Insn.Nop ] in
+  let s = { s with State.mem = Memory.store s.State.mem code_frame (w 0x1234) } in
+  match Exec.run s ~entry_va:Word.zero ~start_pc:0 ~fuel:100 ~native:(fun _ -> None) with
+  | _, Exec.Ev_fault Exec.Prefetch -> ()
+  | _, e -> Alcotest.failf "expected prefetch abort, got %s" (Exec.show_event e)
+
+let test_native_dispatch () =
+  (* A native page naming an unregistered service faults Undef. *)
+  let s = machine_with [ Insn.I Insn.Nop ] in
+  let s =
+    { s with State.mem = Memory.store_range s.State.mem code_frame [ Exec.native_magic; w 99 ] }
+  in
+  (match Exec.run s ~entry_va:Word.zero ~start_pc:0 ~fuel:100 ~native:(fun _ -> None) with
+  | _, Exec.Ev_fault Exec.Undef_insn -> ()
+  | _, e -> Alcotest.failf "expected undef, got %s" (Exec.show_event e));
+  (* A registered one runs. *)
+  let native id =
+    if id = 99 then
+      Some (fun st -> { Exec.nstate = State.write_reg st (r 1) (w 0x77); nevent = Exec.Ev_svc Word.zero })
+    else None
+  in
+  match Exec.run s ~entry_va:Word.zero ~start_pc:0 ~fuel:100 ~native with
+  | st, Exec.Ev_svc _ -> Alcotest.(check int) "native ran" 0x77 (reg_of st 1)
+  | _, e -> Alcotest.failf "expected native svc, got %s" (Exec.show_event e)
+
+let test_cycles_charged () =
+  let s, _ = run (List.init 20 (fun _ -> Insn.I Insn.Nop) @ exit_seq) in
+  Alcotest.(check bool) "cycles > 20" true (s.State.cycles >= 20)
+
+(* Property: programs without memory ops, SVC, or UDF either exit at the
+   final SVC we append or hit the fall-off prefetch fault — never any
+   other fault. *)
+let arb_pure_insn =
+  QCheck.Gen.(
+    let reg = map (fun n -> Regs.R n) (int_bound 12) in
+    let operand =
+      oneof [ map (fun r -> Insn.Reg r) reg; map (fun n -> Insn.Imm (Word.of_int n)) (int_bound 1000) ]
+    in
+    oneof
+      [
+        map2 (fun r o -> Insn.Mov (r, o)) reg operand;
+        map3 (fun a b o -> Insn.Add (a, b, o)) reg reg operand;
+        map3 (fun a b o -> Insn.Eor (a, b, o)) reg reg operand;
+        map2 (fun r o -> Insn.Cmp (r, o)) reg operand;
+      ])
+
+let prop_pure_programs_exit =
+  QCheck.Test.make ~name:"pure straight-line programs exit cleanly" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) (map (fun i -> Insn.I i) arb_pure_insn)))
+    (fun body ->
+      match run (body @ exit_seq) with
+      | _, Exec.Ev_svc _ -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "alu semantics" `Quick test_alu;
+    Alcotest.test_case "shift semantics" `Quick test_shifts;
+    Alcotest.test_case "cmn sets flags from addition" `Quick test_cmn_flags;
+    Alcotest.test_case "cmp flags drive loops" `Quick test_cmp_flags_loop;
+    Alcotest.test_case "if/else both arms" `Quick test_if_else;
+    Alcotest.test_case "memory via page table" `Quick test_memory_access;
+    Alcotest.test_case "fault: unmapped" `Quick test_fault_unmapped;
+    Alcotest.test_case "fault: write to read-only" `Quick test_fault_write_ro;
+    Alcotest.test_case "fault: unaligned" `Quick test_fault_unaligned;
+    Alcotest.test_case "fault: undefined instruction" `Quick test_fault_undef;
+    Alcotest.test_case "fault: fall off end" `Quick test_fault_falloff;
+    Alcotest.test_case "read-only pages readable" `Quick test_reads_allowed_on_ro;
+    Alcotest.test_case "svc delivers args" `Quick test_svc_args;
+    Alcotest.test_case "irq budget fires" `Quick test_irq_budget;
+    Alcotest.test_case "fuel exhaustion behaves as irq" `Quick test_fuel_exhaustion_is_irq;
+    Alcotest.test_case "resume mid-program" `Quick test_resume_mid_program;
+    Alcotest.test_case "bad code image" `Quick test_bad_image;
+    Alcotest.test_case "native dispatch" `Quick test_native_dispatch;
+    Alcotest.test_case "cycles charged" `Quick test_cycles_charged;
+    QCheck_alcotest.to_alcotest prop_pure_programs_exit;
+  ]

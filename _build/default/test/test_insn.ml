@@ -1,0 +1,180 @@
+(* Instruction set: flattening of structured control flow, binary
+   encode/decode, and condition-code semantics. *)
+
+module Word = Komodo_machine.Word
+module Insn = Komodo_machine.Insn
+module Psr = Komodo_machine.Psr
+module Regs = Komodo_machine.Regs
+module Mode = Komodo_machine.Mode
+
+let w = Word.of_int
+let r n = Regs.R n
+
+let test_flatten_straight () =
+  let prog = [ Insn.I (Insn.Mov (r 0, Insn.Imm (w 1))); Insn.I Insn.Nop ] in
+  let flat = Insn.flatten prog in
+  Alcotest.(check int) "two ops" 2 (Array.length flat);
+  Alcotest.(check bool) "no branches" true
+    (Array.for_all (function Insn.FI _ -> true | _ -> false) flat)
+
+let test_flatten_if () =
+  let prog =
+    [
+      Insn.If
+        ( Insn.EQ,
+          [ Insn.I (Insn.Mov (r 0, Insn.Imm (w 1))) ],
+          [ Insn.I (Insn.Mov (r 0, Insn.Imm (w 2))) ] );
+      Insn.I Insn.Nop;
+    ]
+  in
+  let flat = Insn.flatten prog in
+  (* jcc NE -> else; then; jmp end; else; nop *)
+  Alcotest.(check int) "five ops (two-word movs count once)" 5 (Array.length flat);
+  (match flat.(0) with
+  | Insn.FJcc (Insn.NE, target) -> Alcotest.(check int) "else target" 3 target
+  | _ -> Alcotest.fail "expected leading conditional branch");
+  match flat.(2) with
+  | Insn.FJmp target -> Alcotest.(check int) "end target" 4 target
+  | _ -> Alcotest.fail "expected jump over else"
+
+let test_flatten_if_no_else () =
+  let prog = [ Insn.If (Insn.EQ, [ Insn.I Insn.Nop ], []); Insn.I Insn.Nop ] in
+  let flat = Insn.flatten prog in
+  Alcotest.(check int) "three ops" 3 (Array.length flat);
+  match flat.(0) with
+  | Insn.FJcc (Insn.NE, 2) -> ()
+  | _ -> Alcotest.fail "expected skip branch to index 2"
+
+let test_flatten_while () =
+  let prog = [ Insn.While (Insn.NE, [ Insn.I Insn.Nop ]) ] in
+  let flat = Insn.flatten prog in
+  (* jcc EQ end; nop; jmp top *)
+  Alcotest.(check int) "three ops" 3 (Array.length flat);
+  (match flat.(0) with
+  | Insn.FJcc (Insn.EQ, 3) -> ()
+  | _ -> Alcotest.fail "expected exit branch");
+  match flat.(2) with
+  | Insn.FJmp 0 -> ()
+  | _ -> Alcotest.fail "expected back-edge"
+
+let test_negate () =
+  List.iter
+    (fun (c, n) ->
+      Alcotest.(check bool) (Insn.show_cond c) true (Insn.equal_cond (Insn.negate c) n))
+    [
+      (Insn.EQ, Insn.NE); (Insn.CS, Insn.CC); (Insn.MI, Insn.PL);
+      (Insn.HI, Insn.LS); (Insn.GE, Insn.LT); (Insn.GT, Insn.LE);
+    ];
+  Alcotest.check_raises "AL has no negation"
+    (Invalid_argument "Insn.negate: AL has no negation") (fun () ->
+      ignore (Insn.negate Insn.AL))
+
+let test_cond_semantics () =
+  let p ~n ~z ~c ~v = Psr.make Mode.User ~n ~z ~c ~v in
+  let t name cond psr expect =
+    Alcotest.(check bool) name expect (Insn.holds cond psr)
+  in
+  t "EQ on Z" Insn.EQ (p ~n:false ~z:true ~c:false ~v:false) true;
+  t "NE on Z" Insn.NE (p ~n:false ~z:true ~c:false ~v:false) false;
+  t "HI = C and not Z" Insn.HI (p ~n:false ~z:false ~c:true ~v:false) true;
+  t "HI fails on Z" Insn.HI (p ~n:false ~z:true ~c:true ~v:false) false;
+  t "LS = not C or Z" Insn.LS (p ~n:false ~z:true ~c:true ~v:false) true;
+  t "GE when N=V" Insn.GE (p ~n:true ~z:false ~c:false ~v:true) true;
+  t "LT when N<>V" Insn.LT (p ~n:true ~z:false ~c:false ~v:false) true;
+  t "GT" Insn.GT (p ~n:false ~z:false ~c:false ~v:false) true;
+  t "LE on Z" Insn.LE (p ~n:false ~z:true ~c:false ~v:false) true;
+  t "AL always" Insn.AL (p ~n:false ~z:false ~c:false ~v:false) true
+
+(* Program generator for the roundtrip property. *)
+let arb_reg = QCheck.Gen.map (fun n -> Regs.R n) (QCheck.Gen.int_bound 12)
+
+let arb_operand =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Insn.Reg r) arb_reg;
+        map (fun n -> Insn.Imm (Word.of_int n)) (int_bound 0xFFFF);
+      ])
+
+let arb_insn =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun r o -> Insn.Mov (r, o)) arb_reg arb_operand;
+        map2 (fun r o -> Insn.Mvn (r, o)) arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Add (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Sub (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.And_ (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Eor (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Lsl (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Ldr (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b o -> Insn.Str (a, b, o)) arb_reg arb_reg arb_operand;
+        map3 (fun a b c -> Insn.Mul (a, b, c)) arb_reg arb_reg arb_reg;
+        map2 (fun r o -> Insn.Cmp (r, o)) arb_reg arb_operand;
+        map2 (fun r o -> Insn.Cmn (r, o)) arb_reg arb_operand;
+        map (fun n -> Insn.Svc (Word.of_int n)) (int_bound 0xFFFF);
+        return Insn.Nop;
+        return Insn.Udf;
+      ])
+
+let arb_fop =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map (fun i -> Insn.FI i) arb_insn);
+        (1, map (fun t -> Insn.FJmp t) (int_bound 200));
+        (1, map2 (fun c t -> Insn.FJcc (c, t))
+             (oneofl [ Insn.EQ; Insn.NE; Insn.CS; Insn.LT; Insn.AL ])
+             (int_bound 200));
+      ])
+
+let arb_flat =
+  QCheck.make
+    ~print:(fun prog -> Printf.sprintf "<%d fops>" (Array.length prog))
+    QCheck.Gen.(map Array.of_list (list_size (int_range 0 60) arb_fop))
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"flat program encode/decode roundtrip" ~count:300 arb_flat
+    (fun prog ->
+      match Insn.decode_flat (Insn.encode_flat prog) with
+      | Some prog' ->
+          Array.length prog = Array.length prog'
+          && Array.for_all2 Insn.equal_fop prog prog'
+      | None -> false)
+
+let prop_decode_garbage_safe =
+  QCheck.Test.make ~name:"decode never raises on garbage" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_bound 40) (QCheck.map Word.of_int QCheck.int))
+    (fun ws ->
+      match Insn.decode_flat ws with Some _ | None -> true)
+
+let test_decode_rejects_bad_reg () =
+  (* Mov with rd = 15 (invalid register encoding in bits 23:16). *)
+  let bad = Word.of_int ((0x01 lsl 24) lor (15 lsl 16)) in
+  Alcotest.(check bool) "rejected" true (Insn.decode_flat [ bad ] = None)
+
+let test_decode_rejects_truncated_imm () =
+  (* Immediate-flagged instruction with no following word. *)
+  let truncated = Word.of_int ((0x03 lsl 24) lor 0x80) in
+  Alcotest.(check bool) "rejected" true (Insn.decode_flat [ truncated ] = None)
+
+let test_costs () =
+  Alcotest.(check int) "mul costs more than alu" Komodo_machine.Cost.mul
+    (Insn.insn_cost (Insn.Mul (r 0, r 1, r 2)));
+  Alcotest.(check int) "memory op" Komodo_machine.Cost.mem_access
+    (Insn.insn_cost (Insn.Ldr (r 0, r 1, Insn.Imm Word.zero)))
+
+let suite =
+  [
+    Alcotest.test_case "flatten straight-line" `Quick test_flatten_straight;
+    Alcotest.test_case "flatten if/else" `Quick test_flatten_if;
+    Alcotest.test_case "flatten if without else" `Quick test_flatten_if_no_else;
+    Alcotest.test_case "flatten while" `Quick test_flatten_while;
+    Alcotest.test_case "condition negation" `Quick test_negate;
+    Alcotest.test_case "condition semantics" `Quick test_cond_semantics;
+    Alcotest.test_case "decode rejects bad register" `Quick test_decode_rejects_bad_reg;
+    Alcotest.test_case "decode rejects truncated imm" `Quick test_decode_rejects_truncated_imm;
+    Alcotest.test_case "instruction costs" `Quick test_costs;
+    QCheck_alcotest.to_alcotest prop_encode_decode;
+    QCheck_alcotest.to_alcotest prop_decode_garbage_safe;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for registers, status registers, modes, memory and the TLB. *)
+
+module Word = Komodo_machine.Word
+module Mode = Komodo_machine.Mode
+module Psr = Komodo_machine.Psr
+module Regs = Komodo_machine.Regs
+module Memory = Komodo_machine.Memory
+module Tlb = Komodo_machine.Tlb
+module State = Komodo_machine.State
+module Armexn = Komodo_machine.Armexn
+
+let w = Word.of_int
+
+(* -- Modes -------------------------------------------------------------- *)
+
+let test_mode_encoding () =
+  List.iter
+    (fun m ->
+      match Mode.decode (Mode.encode m) with
+      | Some m' -> Alcotest.(check bool) (Mode.show m) true (Mode.equal m m')
+      | None -> Alcotest.fail ("mode does not roundtrip: " ^ Mode.show m))
+    Mode.all;
+  Alcotest.(check (option reject)) "bad encoding rejected" None (Mode.decode 0b00000)
+
+let test_mode_privilege () =
+  Alcotest.(check bool) "user unprivileged" false (Mode.is_privileged Mode.User);
+  List.iter
+    (fun m ->
+      if not (Mode.equal m Mode.User) then
+        Alcotest.(check bool) (Mode.show m) true (Mode.is_privileged m))
+    Mode.all;
+  Alcotest.(check bool) "user has no SPSR" false (Mode.has_spsr Mode.User);
+  Alcotest.(check bool) "monitor only in secure world" false
+    (Mode.legal_in_world Mode.Monitor Mode.Normal)
+
+(* -- PSR ---------------------------------------------------------------- *)
+
+let test_psr_roundtrip () =
+  List.iter
+    (fun m ->
+      let p = Psr.make m ~n:true ~c:true ~irq_masked:false in
+      match Psr.decode (Psr.encode p) with
+      | Some p' -> Alcotest.(check bool) (Mode.show m) true (Psr.equal p p')
+      | None -> Alcotest.fail "PSR does not roundtrip")
+    Mode.all
+
+let test_psr_flags () =
+  let p = Psr.reset in
+  let p = Psr.set_flags p ~result:Word.zero ~carry:true ~overflow:false in
+  Alcotest.(check bool) "zero flag" true p.Psr.z;
+  Alcotest.(check bool) "carry" true p.Psr.c;
+  let p = Psr.set_flags p ~result:(w 0x8000_0000) ~carry:false ~overflow:true in
+  Alcotest.(check bool) "negative flag" true p.Psr.n;
+  Alcotest.(check bool) "overflow" true p.Psr.v;
+  Alcotest.(check bool) "zero cleared" false p.Psr.z
+
+let test_psr_user_entry () =
+  Alcotest.(check bool) "user mode" true (Mode.equal Psr.user_entry.Psr.mode Mode.User);
+  Alcotest.(check bool) "interrupts enabled" false Psr.user_entry.Psr.irq_masked
+
+(* -- Register banking --------------------------------------------------- *)
+
+let test_gp_shared () =
+  let r = Regs.write Regs.zeroed ~mode:Mode.User (Regs.R 5) (w 42) in
+  Alcotest.(check int) "r5 visible from monitor mode" 42
+    (Word.to_int (Regs.read r ~mode:Mode.Monitor (Regs.R 5)))
+
+let test_sp_banked () =
+  let r = Regs.write Regs.zeroed ~mode:Mode.User Regs.SP (w 0x1000) in
+  let r = Regs.write r ~mode:Mode.Monitor Regs.SP (w 0x2000) in
+  Alcotest.(check int) "user SP" 0x1000 (Word.to_int (Regs.read r ~mode:Mode.User Regs.SP));
+  Alcotest.(check int) "monitor SP" 0x2000 (Word.to_int (Regs.read r ~mode:Mode.Monitor Regs.SP));
+  Alcotest.(check int) "svc SP untouched" 0
+    (Word.to_int (Regs.read r ~mode:Mode.Supervisor Regs.SP))
+
+let test_sreg_access () =
+  let r = Regs.write_sreg Regs.zeroed (Regs.LR_of Mode.Irq) (w 0xAA) in
+  Alcotest.(check int) "LR_irq via sreg" 0xAA
+    (Word.to_int (Regs.read r ~mode:Mode.Irq Regs.LR));
+  Alcotest.check_raises "user SPSR rejected"
+    (Invalid_argument "Regs.read_sreg: user mode has no SPSR") (fun () ->
+      ignore (Regs.read_sreg r (Regs.SPSR_of Mode.User)))
+
+let test_user_visible () =
+  let values = List.init 15 (fun i -> w (i * 3)) in
+  let r = Regs.set_user_visible Regs.zeroed values in
+  Alcotest.(check (list int)) "user-visible roundtrip"
+    (List.map Word.to_int values)
+    (List.map Word.to_int (Regs.user_visible r));
+  let r = Regs.clear_user_visible r in
+  Alcotest.(check bool) "cleared" true
+    (List.for_all (fun v -> Word.equal v Word.zero) (Regs.user_visible r))
+
+let test_bad_register () =
+  Alcotest.check_raises "r13 rejected"
+    (Invalid_argument "Regs: general register out of range") (fun () ->
+      ignore (Regs.read Regs.zeroed ~mode:Mode.User (Regs.R 13)))
+
+(* -- Memory ------------------------------------------------------------- *)
+
+let test_memory_basic () =
+  let m = Memory.store Memory.empty (w 0x100) (w 7) in
+  Alcotest.(check int) "load back" 7 (Word.to_int (Memory.load m (w 0x100)));
+  Alcotest.(check int) "unmapped reads zero" 0 (Word.to_int (Memory.load m (w 0x200)))
+
+let test_memory_alignment () =
+  Alcotest.check_raises "unaligned load" (Memory.Unaligned (w 0x101)) (fun () ->
+      ignore (Memory.load Memory.empty (w 0x101)))
+
+let test_memory_zero_is_default () =
+  let m = Memory.store Memory.empty (w 0x100) (w 7) in
+  let m = Memory.store m (w 0x100) Word.zero in
+  Alcotest.(check bool) "storing zero = erasing" true (Memory.equal m Memory.empty)
+
+let test_memory_ranges () =
+  let m = Memory.store_range Memory.empty (w 0x100) [ w 1; w 2; w 3 ] in
+  Alcotest.(check (list int)) "range roundtrip" [ 1; 2; 3 ]
+    (List.map Word.to_int (Memory.load_range m (w 0x100) 3));
+  let m = Memory.copy_range m ~src:(w 0x100) ~dst:(w 0x200) 3 in
+  Alcotest.(check (list int)) "copy" [ 1; 2; 3 ]
+    (List.map Word.to_int (Memory.load_range m (w 0x200) 3));
+  let m = Memory.zero_range m (w 0x100) 3 in
+  Alcotest.(check (list int)) "zeroed" [ 0; 0; 0 ]
+    (List.map Word.to_int (Memory.load_range m (w 0x100) 3));
+  Alcotest.(check bool) "equal_range after copy+zero" true
+    (Memory.equal_range m m (w 0x200) 3)
+
+let test_memory_bytes () =
+  let m = Memory.of_bytes_be Memory.empty (w 0) "\x00\x00\x00\x2A\xDE\xAD\xBE\xEF" in
+  Alcotest.(check int) "word 0" 42 (Word.to_int (Memory.load m (w 0)));
+  Alcotest.(check int) "word 1" 0xDEADBEEF (Word.to_int (Memory.load m (w 4)));
+  Alcotest.(check string) "to_bytes_be" "\x00\x00\x00\x2A\xDE\xAD\xBE\xEF"
+    (Memory.to_bytes_be m (w 0) 2)
+
+let test_memory_restrict () =
+  let m = Memory.store (Memory.store Memory.empty (w 0x100) (w 1)) (w 0x200) (w 2) in
+  let low = Memory.restrict m ~f:(fun a -> a < 0x180) in
+  Alcotest.(check int) "kept" 1 (Word.to_int (Memory.load low (w 0x100)));
+  Alcotest.(check int) "dropped" 0 (Word.to_int (Memory.load low (w 0x200)))
+
+(* -- TLB ---------------------------------------------------------------- *)
+
+let test_tlb () =
+  let t = Tlb.initial in
+  Alcotest.(check bool) "initially inconsistent" false (Tlb.is_consistent t);
+  let t = Tlb.flush t in
+  Alcotest.(check bool) "flush -> consistent" true (Tlb.is_consistent t);
+  let t = Tlb.mark_inconsistent t in
+  Alcotest.(check bool) "PT store -> inconsistent" false (Tlb.is_consistent t)
+
+(* -- Exceptions --------------------------------------------------------- *)
+
+let test_exception_targets () =
+  Alcotest.(check bool) "svc -> supervisor" true
+    (Mode.equal (Armexn.target_mode Armexn.Svc) Mode.Supervisor);
+  Alcotest.(check bool) "smc -> monitor" true
+    (Mode.equal (Armexn.target_mode Armexn.Smc) Mode.Monitor);
+  Alcotest.(check bool) "data abort -> abort" true
+    (Mode.equal (Armexn.target_mode Armexn.Data_abort) Mode.Abort);
+  Alcotest.(check bool) "fiq masks fiq" true (Armexn.masks_fiq Armexn.Fiq);
+  Alcotest.(check bool) "irq does not mask fiq" false (Armexn.masks_fiq Armexn.Irq)
+
+let test_take_exception () =
+  let s = State.initial in
+  let s = { s with State.cpsr = Psr.make Mode.User ~irq_masked:false ~fiq_masked:false } in
+  let s' = State.take_exception s Armexn.Svc ~return_pc:(w 0x1234) in
+  Alcotest.(check bool) "mode switched" true (Mode.equal (State.mode s') Mode.Supervisor);
+  Alcotest.(check bool) "irq masked" true s'.State.cpsr.Psr.irq_masked;
+  Alcotest.(check int) "pc banked in LR_svc" 0x1234
+    (Word.to_int (State.read_reg s' Regs.LR));
+  (* SPSR holds the pre-exception CPSR *)
+  match Psr.decode (Regs.read_sreg s'.State.regs (Regs.SPSR_of Mode.Supervisor)) with
+  | Some p -> Alcotest.(check bool) "SPSR mode = user" true (Mode.equal p.Psr.mode Mode.User)
+  | None -> Alcotest.fail "SPSR undecodable"
+
+let test_exception_return () =
+  let s = State.initial in
+  let s = { s with State.cpsr = Psr.make Mode.User ~irq_masked:false ~fiq_masked:false } in
+  let s = State.take_exception s Armexn.Svc ~return_pc:(w 0x1234) in
+  let s, pc = State.exception_return s in
+  Alcotest.(check bool) "back in user mode" true (Mode.equal (State.mode s) Mode.User);
+  Alcotest.(check int) "resumed pc" 0x1234 (Word.to_int pc);
+  Alcotest.(check bool) "interrupts re-enabled" false s.State.cpsr.Psr.irq_masked
+
+let test_smc_world_switch () =
+  let s = { State.initial with State.world = Mode.Normal; scr_ns = true } in
+  let s = { s with State.cpsr = Psr.make Mode.Supervisor } in
+  let s = State.take_exception s Armexn.Smc ~return_pc:(w 0xCAFE) in
+  Alcotest.(check bool) "secure world" true (Mode.equal_world s.State.world Mode.Secure);
+  Alcotest.(check bool) "monitor mode" true (Mode.equal (State.mode s) Mode.Monitor);
+  (* Returning with SCR.NS = 1 goes back to normal world. *)
+  let s, _ = State.exception_return s in
+  Alcotest.(check bool) "back to normal world" true
+    (Mode.equal_world s.State.world Mode.Normal)
+
+let test_monitor_return_secure () =
+  (* With SCR.NS = 0, an exception return from monitor mode stays in the
+     secure world — the enclave-entry path. *)
+  let s = { State.initial with State.world = Mode.Normal; scr_ns = true } in
+  let s = { s with State.cpsr = Psr.make Mode.Supervisor } in
+  let s = State.take_exception s Armexn.Smc ~return_pc:Word.zero in
+  let s = { s with State.scr_ns = false } in
+  let s = State.write_sreg s (Regs.SPSR_of Mode.Monitor) (Psr.encode Psr.user_entry) in
+  let s, _ = State.exception_return s in
+  Alcotest.(check bool) "stays secure" true (Mode.equal_world s.State.world Mode.Secure);
+  Alcotest.(check bool) "lands in user mode" true (Mode.equal (State.mode s) Mode.User)
+
+let test_cycle_charging () =
+  let s = State.charge 100 State.initial in
+  Alcotest.(check int) "cycles accumulate" 100 s.State.cycles;
+  let s = State.flush_tlb s in
+  Alcotest.(check int) "flush charges" (100 + Komodo_machine.Cost.tlb_flush) s.State.cycles
+
+let suite =
+  [
+    Alcotest.test_case "mode encoding roundtrip" `Quick test_mode_encoding;
+    Alcotest.test_case "mode privilege" `Quick test_mode_privilege;
+    Alcotest.test_case "psr roundtrip" `Quick test_psr_roundtrip;
+    Alcotest.test_case "psr flags" `Quick test_psr_flags;
+    Alcotest.test_case "psr user entry" `Quick test_psr_user_entry;
+    Alcotest.test_case "gp registers shared" `Quick test_gp_shared;
+    Alcotest.test_case "sp banked per mode" `Quick test_sp_banked;
+    Alcotest.test_case "sreg access" `Quick test_sreg_access;
+    Alcotest.test_case "user-visible registers" `Quick test_user_visible;
+    Alcotest.test_case "bad register rejected" `Quick test_bad_register;
+    Alcotest.test_case "memory load/store" `Quick test_memory_basic;
+    Alcotest.test_case "memory alignment" `Quick test_memory_alignment;
+    Alcotest.test_case "zero store erases" `Quick test_memory_zero_is_default;
+    Alcotest.test_case "memory ranges" `Quick test_memory_ranges;
+    Alcotest.test_case "memory byte encoding" `Quick test_memory_bytes;
+    Alcotest.test_case "memory restrict" `Quick test_memory_restrict;
+    Alcotest.test_case "tlb consistency" `Quick test_tlb;
+    Alcotest.test_case "exception targets" `Quick test_exception_targets;
+    Alcotest.test_case "take exception" `Quick test_take_exception;
+    Alcotest.test_case "exception return" `Quick test_exception_return;
+    Alcotest.test_case "smc world switch" `Quick test_smc_world_switch;
+    Alcotest.test_case "monitor return to secure user" `Quick test_monitor_return_secure;
+    Alcotest.test_case "cycle charging" `Quick test_cycle_charging;
+  ]

@@ -1,0 +1,151 @@
+(* Measurement: determinism, order- and content-sensitivity, and the
+   attestation MACs built on it. *)
+
+module Word = Komodo_machine.Word
+module Measure = Komodo_core.Measure
+module Mapping = Komodo_core.Mapping
+module Attest = Komodo_core.Attest
+module Sha256 = Komodo_crypto.Sha256
+
+let page c = String.make 4096 c
+let mapping va = Mapping.make ~va:(Word.of_int va) ~w:true ~x:false
+
+let digest_of m =
+  match Measure.digest (Measure.finalise m) with Some d -> d | None -> assert false
+
+let build ops = List.fold_left (fun m f -> f m) Measure.initial ops
+
+let add_page va c m = Measure.add_data_page m ~mapping:(mapping va) ~contents:(page c)
+let add_thread e m = Measure.add_thread m ~entry_point:(Word.of_int e)
+
+let test_deterministic () =
+  let a = digest_of (build [ add_page 0x1000 'x'; add_thread 0 ]) in
+  let b = digest_of (build [ add_page 0x1000 'x'; add_thread 0 ]) in
+  Alcotest.(check string) "same construction, same measurement" (Sha256.to_hex a) (Sha256.to_hex b)
+
+let test_content_sensitive () =
+  let a = digest_of (build [ add_page 0x1000 'x' ]) in
+  let b = digest_of (build [ add_page 0x1000 'y' ]) in
+  Alcotest.(check bool) "contents matter" false (String.equal a b)
+
+let test_address_sensitive () =
+  let a = digest_of (build [ add_page 0x1000 'x' ]) in
+  let b = digest_of (build [ add_page 0x2000 'x' ]) in
+  Alcotest.(check bool) "virtual address matters" false (String.equal a b)
+
+let test_perms_sensitive () =
+  let ro = Mapping.make ~va:(Word.of_int 0x1000) ~w:false ~x:false in
+  let a = digest_of (Measure.add_data_page Measure.initial ~mapping:ro ~contents:(page 'x')) in
+  let b = digest_of (build [ add_page 0x1000 'x' ]) in
+  Alcotest.(check bool) "permissions matter" false (String.equal a b)
+
+let test_order_sensitive () =
+  let a = digest_of (build [ add_page 0x1000 'x'; add_page 0x2000 'y' ]) in
+  let b = digest_of (build [ add_page 0x2000 'y'; add_page 0x1000 'x' ]) in
+  Alcotest.(check bool) "allocation order matters (as in SGX)" false (String.equal a b)
+
+let test_entry_point_sensitive () =
+  let a = digest_of (build [ add_thread 0 ]) in
+  let b = digest_of (build [ add_thread 4 ]) in
+  Alcotest.(check bool) "entry point matters" false (String.equal a b)
+
+let test_thread_vs_page_tagged () =
+  (* A thread record and a data record must never collide, even with
+     contrived arguments. *)
+  let a = digest_of (build [ add_thread 0x1000 ]) in
+  let b = digest_of (build [ add_page 0x1000 'a' ]) in
+  Alcotest.(check bool) "records are tagged" false (String.equal a b)
+
+let test_finalise_once () =
+  let m = Measure.finalise (build [ add_thread 0 ]) in
+  Alcotest.check_raises "double finalise"
+    (Invalid_argument "Measure.finalise: already finalised") (fun () ->
+      ignore (Measure.finalise m));
+  Alcotest.check_raises "extend after finalise"
+    (Invalid_argument "Measure.add_thread: already finalised") (fun () ->
+      ignore (Measure.add_thread m ~entry_point:Word.zero))
+
+let test_digest_only_when_final () =
+  Alcotest.(check bool) "no digest in progress" true
+    (Measure.digest (build [ add_thread 0 ]) = None)
+
+let test_bad_page_size () =
+  Alcotest.check_raises "short page rejected"
+    (Invalid_argument "Measure.add_data_page: need exactly one page of contents")
+    (fun () ->
+      ignore
+        (Measure.add_data_page Measure.initial ~mapping:(mapping 0x1000) ~contents:"short"))
+
+let test_measure_equal () =
+  let a = build [ add_page 0x1000 'x' ] and b = build [ add_page 0x1000 'x' ] in
+  Alcotest.(check bool) "in-progress equality" true (Measure.equal a b);
+  Alcotest.(check bool) "in-progress vs finalised" false
+    (Measure.equal a (Measure.finalise b))
+
+(* -- Attestation over measurements -------------------------------------- *)
+
+let key = String.make 32 'K'
+let data = String.make 32 'D'
+
+let test_attest_roundtrip () =
+  let m = digest_of (build [ add_page 0x1000 'x'; add_thread 0 ]) in
+  let mac = Attest.create ~key ~measurement:m ~data in
+  Alcotest.(check bool) "verifies" true (Attest.verify ~key ~measurement:m ~data ~mac)
+
+let test_attest_binds_measurement () =
+  let m1 = digest_of (build [ add_page 0x1000 'x' ]) in
+  let m2 = digest_of (build [ add_page 0x1000 'y' ]) in
+  let mac = Attest.create ~key ~measurement:m1 ~data in
+  Alcotest.(check bool) "other enclave's measurement rejected" false
+    (Attest.verify ~key ~measurement:m2 ~data ~mac)
+
+let test_attest_binds_data () =
+  let m = digest_of (build [ add_thread 0 ]) in
+  let mac = Attest.create ~key ~measurement:m ~data in
+  Alcotest.(check bool) "other data rejected" false
+    (Attest.verify ~key ~measurement:m ~data:(String.make 32 'E') ~mac)
+
+let test_attest_binds_key () =
+  (* A MAC from one boot (key) is worthless on another. *)
+  let m = digest_of (build [ add_thread 0 ]) in
+  let mac = Attest.create ~key ~measurement:m ~data in
+  Alcotest.(check bool) "other boot's key rejected" false
+    (Attest.verify ~key:(String.make 32 'L') ~measurement:m ~data ~mac)
+
+let test_attest_sizes () =
+  Alcotest.check_raises "short measurement"
+    (Invalid_argument "Attest: measurement not 32 bytes") (fun () ->
+      ignore (Attest.create ~key ~measurement:"short" ~data));
+  Alcotest.check_raises "short data" (Invalid_argument "Attest: data not 32 bytes")
+    (fun () ->
+      ignore (Attest.create ~key ~measurement:(String.make 32 'm') ~data:"short"))
+
+let prop_measurement_injective_on_content =
+  QCheck.Test.make ~name:"distinct first bytes give distinct measurements" ~count:50
+    (QCheck.pair QCheck.printable_char QCheck.printable_char)
+    (fun (c1, c2) ->
+      QCheck.assume (c1 <> c2);
+      let d1 = digest_of (build [ add_page 0x1000 c1 ]) in
+      let d2 = digest_of (build [ add_page 0x1000 c2 ]) in
+      not (String.equal d1 d2))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "content sensitive" `Quick test_content_sensitive;
+    Alcotest.test_case "address sensitive" `Quick test_address_sensitive;
+    Alcotest.test_case "permission sensitive" `Quick test_perms_sensitive;
+    Alcotest.test_case "order sensitive" `Quick test_order_sensitive;
+    Alcotest.test_case "entry point sensitive" `Quick test_entry_point_sensitive;
+    Alcotest.test_case "records tagged" `Quick test_thread_vs_page_tagged;
+    Alcotest.test_case "finalise once" `Quick test_finalise_once;
+    Alcotest.test_case "digest gated on finalise" `Quick test_digest_only_when_final;
+    Alcotest.test_case "page size validated" `Quick test_bad_page_size;
+    Alcotest.test_case "measure equality" `Quick test_measure_equal;
+    Alcotest.test_case "attest roundtrip" `Quick test_attest_roundtrip;
+    Alcotest.test_case "attest binds measurement" `Quick test_attest_binds_measurement;
+    Alcotest.test_case "attest binds data" `Quick test_attest_binds_data;
+    Alcotest.test_case "attest binds boot key" `Quick test_attest_binds_key;
+    Alcotest.test_case "attest size validation" `Quick test_attest_sizes;
+    QCheck_alcotest.to_alcotest prop_measurement_injective_on_content;
+  ]

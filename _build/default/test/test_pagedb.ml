@@ -1,0 +1,169 @@
+(* PageDB: allocation bookkeeping, refcounts, and the well-formedness
+   checker (including that it detects each class of corruption). *)
+
+module Word = Komodo_machine.Word
+module Memory = Komodo_machine.Memory
+module Ptable = Komodo_machine.Ptable
+module Platform = Komodo_tz.Platform
+module Pagedb = Komodo_core.Pagedb
+module Measure = Komodo_core.Measure
+
+let plat = Platform.make ~npages:16 ()
+
+let addrspace ?(l1pt = 1) ?(refcount = 1) ?(state = Pagedb.Init)
+    ?(measurement = Measure.initial) () =
+  Pagedb.Addrspace { l1pt; refcount; state; measurement }
+
+let final_measurement = Measure.finalise Measure.initial
+
+let test_get_set () =
+  let db = Pagedb.make ~npages:16 in
+  Alcotest.(check bool) "initially free" true (Pagedb.is_free db 3);
+  let db = Pagedb.set db 3 (Pagedb.SparePage { addrspace = 0 }) in
+  Alcotest.(check bool) "now allocated" false (Pagedb.is_free db 3);
+  let db = Pagedb.set db 3 Pagedb.Free in
+  Alcotest.(check bool) "freed again" true (Pagedb.is_free db 3);
+  Alcotest.check_raises "out of range" (Invalid_argument "Pagedb.get: page number out of range")
+    (fun () -> ignore (Pagedb.get db 16))
+
+let test_owner () =
+  Alcotest.(check (option int)) "thread owner" (Some 5)
+    (Pagedb.owner (Pagedb.Thread { addrspace = 5; entry_point = Word.zero; entered = false; ctx = None; dispatcher = None; fault_ctx = None }));
+  Alcotest.(check (option reject)) "addrspace owns itself" None (Pagedb.owner (addrspace ()));
+  Alcotest.(check (option reject)) "free unowned" None (Pagedb.owner Pagedb.Free)
+
+let test_alloc_release_refcount () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ~refcount:0 ()) in
+  let db = Pagedb.alloc db 2 (Pagedb.DataPage { addrspace = 0 }) in
+  let db = Pagedb.alloc db 3 (Pagedb.SparePage { addrspace = 0 }) in
+  (match Pagedb.get db 0 with
+  | Pagedb.Addrspace a -> Alcotest.(check int) "refcount bumped" 2 a.Pagedb.refcount
+  | _ -> Alcotest.fail "addrspace vanished");
+  Alcotest.(check int) "owned count" 2 (Pagedb.count_owned db 0);
+  let db = Pagedb.release db 2 in
+  (match Pagedb.get db 0 with
+  | Pagedb.Addrspace a -> Alcotest.(check int) "refcount dropped" 1 a.Pagedb.refcount
+  | _ -> Alcotest.fail "addrspace vanished");
+  Alcotest.(check bool) "page freed" true (Pagedb.is_free db 2)
+
+let test_free_count () =
+  let db = Pagedb.make ~npages:16 in
+  Alcotest.(check int) "all free" 16 (Pagedb.free_count db);
+  let db = Pagedb.set db 0 (addrspace ~refcount:0 ()) in
+  Alcotest.(check int) "one allocated" 15 (Pagedb.free_count db)
+
+(* -- Well-formedness ----------------------------------------------------- *)
+
+(* A minimal consistent world: addrspace at 0, L1 table at 1 (empty). *)
+let consistent_world () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ()) in
+  let db = Pagedb.set db 1 (Pagedb.L1PTable { addrspace = 0 }) in
+  (db, Memory.empty)
+
+let test_wf_accepts_consistent () =
+  let db, mem = consistent_world () in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Pagedb.message) (Pagedb.check plat mem db))
+
+let test_wf_detects_bad_l1pt () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ~l1pt:2 ()) in
+  let db = Pagedb.set db 2 (Pagedb.DataPage { addrspace = 0 }) in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat Memory.empty db)
+
+let test_wf_detects_refcount_drift () =
+  let db, mem = consistent_world () in
+  let db = Pagedb.set db 2 (Pagedb.DataPage { addrspace = 0 }) in
+  (* refcount still 1, but the space owns 2 pages now *)
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat mem db)
+
+let test_wf_detects_orphan () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 3 (Pagedb.SparePage { addrspace = 9 }) in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat Memory.empty db)
+
+let test_wf_detects_entered_without_ctx () =
+  let db, mem = consistent_world () in
+  let db =
+    Pagedb.bump_refcount
+      (Pagedb.set db 2
+         (Pagedb.Thread { addrspace = 0; entry_point = Word.zero; entered = true; ctx = None; dispatcher = None; fault_ctx = None }))
+      0 1
+  in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat mem db)
+
+let test_wf_detects_unfinalised_with_digest () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ~measurement:final_measurement ()) in
+  let db = Pagedb.set db 1 (Pagedb.L1PTable { addrspace = 0 }) in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat Memory.empty db)
+
+let test_wf_detects_cross_enclave_leaf () =
+  (* Build a page table whose leaf points at a data page of another
+     enclave — exactly the double-mapping the monitor must prevent. *)
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ~l1pt:1 ~refcount:3 ()) in
+  let db = Pagedb.set db 1 (Pagedb.L1PTable { addrspace = 0 }) in
+  let db = Pagedb.set db 2 (Pagedb.L2PTable { addrspace = 0 }) in
+  let db = Pagedb.set db 3 (Pagedb.DataPage { addrspace = 0 }) in
+  let db = Pagedb.set db 4 (addrspace ~l1pt:5 ~refcount:2 ()) in
+  let db = Pagedb.set db 5 (Pagedb.L1PTable { addrspace = 4 }) in
+  let db = Pagedb.set db 6 (Pagedb.DataPage { addrspace = 4 }) in
+  let l1_base = Platform.page_base plat 1 in
+  let l2_base = Platform.page_base plat 2 in
+  let mem = Memory.store Memory.empty l1_base (Ptable.make_l1e ~l2pt_base:l2_base) in
+  (* Leaf maps page 6 (other enclave) instead of page 3. *)
+  let mem =
+    Memory.store mem l2_base
+      (Ptable.make_l2e ~base:(Platform.page_base plat 6) ~ns:false Ptable.rw)
+  in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat mem db);
+  (* The same world with the leaf fixed is accepted. *)
+  let mem_ok =
+    Memory.store mem l2_base
+      (Ptable.make_l2e ~base:(Platform.page_base plat 3) ~ns:false Ptable.rw)
+  in
+  Alcotest.(check bool) "fixed world accepted" true (Pagedb.wf plat mem_ok db)
+
+let test_wf_detects_insecure_leaf_on_protected () =
+  let db = Pagedb.make ~npages:16 in
+  let db = Pagedb.set db 0 (addrspace ~l1pt:1 ~refcount:2 ()) in
+  let db = Pagedb.set db 1 (Pagedb.L1PTable { addrspace = 0 }) in
+  let db = Pagedb.set db 2 (Pagedb.L2PTable { addrspace = 0 }) in
+  let l1_base = Platform.page_base plat 1 in
+  let l2_base = Platform.page_base plat 2 in
+  let mem = Memory.store Memory.empty l1_base (Ptable.make_l1e ~l2pt_base:l2_base) in
+  (* NS leaf pointing into the monitor image. *)
+  let mem =
+    Memory.store mem l2_base
+      (Ptable.make_l2e ~base:Komodo_tz.Layout.monitor_image_base ~ns:true Ptable.rw)
+  in
+  Alcotest.(check bool) "flagged" false (Pagedb.wf plat mem db)
+
+let test_entry_equality () =
+  let t1 = Pagedb.Thread { addrspace = 0; entry_point = Word.zero; entered = false; ctx = None; dispatcher = None; fault_ctx = None } in
+  let t2 = Pagedb.Thread { addrspace = 0; entry_point = Word.zero; entered = false; ctx = None; dispatcher = None; fault_ctx = None } in
+  Alcotest.(check bool) "equal threads" true (Pagedb.equal_entry t1 t2);
+  let t3 = Pagedb.Thread { addrspace = 0; entry_point = Word.one; entered = false; ctx = None; dispatcher = None; fault_ctx = None } in
+  Alcotest.(check bool) "entry point distinguishes" false (Pagedb.equal_entry t1 t3);
+  Alcotest.(check bool) "type distinguishes" false
+    (Pagedb.equal_entry t1 (Pagedb.DataPage { addrspace = 0 }))
+
+let suite =
+  [
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    Alcotest.test_case "ownership" `Quick test_owner;
+    Alcotest.test_case "alloc/release refcounts" `Quick test_alloc_release_refcount;
+    Alcotest.test_case "free count" `Quick test_free_count;
+    Alcotest.test_case "wf accepts consistent state" `Quick test_wf_accepts_consistent;
+    Alcotest.test_case "wf: bad l1pt" `Quick test_wf_detects_bad_l1pt;
+    Alcotest.test_case "wf: refcount drift" `Quick test_wf_detects_refcount_drift;
+    Alcotest.test_case "wf: orphan page" `Quick test_wf_detects_orphan;
+    Alcotest.test_case "wf: entered thread without ctx" `Quick test_wf_detects_entered_without_ctx;
+    Alcotest.test_case "wf: premature digest" `Quick test_wf_detects_unfinalised_with_digest;
+    Alcotest.test_case "wf: cross-enclave leaf" `Quick test_wf_detects_cross_enclave_leaf;
+    Alcotest.test_case "wf: insecure leaf on protected memory" `Quick test_wf_detects_insecure_leaf_on_protected;
+    Alcotest.test_case "entry equality" `Quick test_entry_equality;
+  ]

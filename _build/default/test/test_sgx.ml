@@ -1,0 +1,175 @@
+(* The SGX baseline model: EPCM bookkeeping, the instruction lifecycle,
+   the cost comparison, and the controlled channel that distinguishes it
+   from Komodo. *)
+
+module Word = Komodo_machine.Word
+module Epcm = Komodo_sgx.Epcm
+module L = Komodo_sgx.Lifecycle
+module Channel = Komodo_sgx.Channel
+module Cost = Komodo_sgx.Cost
+
+let ok = function Ok t -> t | Error e -> Alcotest.failf "sgx: %s" (L.show_error e)
+let expect_err want = function
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error e -> Alcotest.(check bool) (L.show_error want) true (L.equal_error e want)
+
+let page c = String.make 4096 c
+let perms_rw = { Epcm.r = true; w = true; x = false }
+
+let build_enclave () =
+  let t = L.make ~epc_size:16 in
+  let t = ok (L.ecreate t ~secs:0) in
+  let t =
+    ok
+      (L.eadd t ~secs:0 ~index:1 ~page_type:Epcm.PT_REG ~va:(Word.of_int 0x1000)
+         ~perms:perms_rw ~contents:(page 'a'))
+  in
+  let t =
+    ok
+      (L.eadd t ~secs:0 ~index:2 ~page_type:Epcm.PT_TCS ~va:(Word.of_int 0x2000)
+         ~perms:perms_rw ~contents:(page 't'))
+  in
+  ok (L.einit t ~secs:0)
+
+let test_lifecycle_happy_path () =
+  let t = build_enclave () in
+  Alcotest.(check bool) "measurement available" true (L.measurement t ~secs:0 <> None);
+  let t = ok (L.eenter t ~secs:0 ~tcs:2) in
+  let t = ok (L.eleave t ~secs:0 ~tcs:2 `Eexit) in
+  ignore t
+
+let test_epcm_bookkeeping () =
+  let t = build_enclave () in
+  Alcotest.(check int) "owned pages" 2 (List.length (Epcm.owned t.L.epcm 0));
+  Alcotest.(check int) "free pages" 13 (Epcm.free_count t.L.epcm);
+  Alcotest.(check bool) "slot valid" true (not (Epcm.is_free t.L.epcm 1))
+
+let test_ecreate_errors () =
+  let t = L.make ~epc_size:4 in
+  expect_err L.Invalid_index (L.ecreate t ~secs:9);
+  let t = ok (L.ecreate t ~secs:0) in
+  expect_err L.Page_in_use (L.ecreate t ~secs:0)
+
+let test_eadd_errors () =
+  let t = L.make ~epc_size:8 in
+  let t = ok (L.ecreate t ~secs:0) in
+  expect_err L.Page_in_use
+    (L.eadd t ~secs:0 ~index:0 ~page_type:Epcm.PT_REG ~va:Word.zero ~perms:perms_rw
+       ~contents:(page 'x'));
+  expect_err L.Bad_argument
+    (L.eadd t ~secs:0 ~index:1 ~page_type:Epcm.PT_REG ~va:Word.zero ~perms:perms_rw
+       ~contents:"short");
+  expect_err L.Not_secs
+    (L.eadd t ~secs:3 ~index:1 ~page_type:Epcm.PT_REG ~va:Word.zero ~perms:perms_rw
+       ~contents:(page 'x'));
+  let t = ok (L.einit t ~secs:0) in
+  expect_err L.Already_initialised
+    (L.eadd t ~secs:0 ~index:1 ~page_type:Epcm.PT_REG ~va:Word.zero ~perms:perms_rw
+       ~contents:(page 'x'))
+
+let test_enter_errors () =
+  let t = L.make ~epc_size:8 in
+  let t = ok (L.ecreate t ~secs:0) in
+  expect_err L.Not_initialised (L.eenter t ~secs:0 ~tcs:1);
+  let t = ok (L.einit t ~secs:0) in
+  expect_err L.Bad_argument (L.eenter t ~secs:0 ~tcs:1);
+  ignore t
+
+let test_tcs_reentry_blocked () =
+  let t = build_enclave () in
+  let t = ok (L.eenter t ~secs:0 ~tcs:2) in
+  expect_err L.Page_in_use (L.eenter t ~secs:0 ~tcs:2);
+  (* AEX frees the TCS like EEXIT does (resumable state abstracted). *)
+  let t = ok (L.eleave t ~secs:0 ~tcs:2 `Aex) in
+  ignore (ok (L.eenter t ~secs:0 ~tcs:2))
+
+let test_measurement_sensitivity () =
+  let build c =
+    let t = L.make ~epc_size:8 in
+    let t = ok (L.ecreate t ~secs:0) in
+    let t =
+      ok
+        (L.eadd t ~secs:0 ~index:1 ~page_type:Epcm.PT_REG ~va:(Word.of_int 0x1000)
+           ~perms:perms_rw ~contents:(page c))
+    in
+    let t = ok (L.einit t ~secs:0) in
+    Option.get (L.measurement t ~secs:0)
+  in
+  Alcotest.(check bool) "content changes measurement" false
+    (String.equal (build 'a') (build 'b'))
+
+let test_eaug_eaccept () =
+  let t = build_enclave () in
+  let t = ok (L.eaug t ~secs:0 ~index:5 ~va:(Word.of_int 0x5000)) in
+  (match Epcm.get t.L.epcm 5 with
+  | Epcm.Valid e -> Alcotest.(check bool) "pending until EACCEPT" true e.Epcm.pending
+  | Epcm.Free -> Alcotest.fail "EAUG did not allocate");
+  expect_err L.Pending_page (L.eaccept t ~secs:0 ~index:1);
+  let t = ok (L.eaccept t ~secs:0 ~index:5) in
+  match Epcm.get t.L.epcm 5 with
+  | Epcm.Valid e -> Alcotest.(check bool) "accepted" false e.Epcm.pending
+  | Epcm.Free -> Alcotest.fail "page vanished"
+
+let test_eremove () =
+  let t = build_enclave () in
+  expect_err L.Page_in_use (L.eremove t ~index:0);
+  let t = ok (L.eremove t ~index:1) in
+  let t = ok (L.eremove t ~index:2) in
+  let t = ok (L.eremove t ~index:0) in
+  Alcotest.(check int) "epc empty" 16 (Epcm.free_count t.L.epcm)
+
+let ok' = function Ok v -> v | Error e -> Alcotest.failf "sgx: %s" (L.show_error e)
+
+let test_ereport () =
+  let t = build_enclave () in
+  let key = String.make 32 'k' in
+  let _, mac = ok' (L.ereport t ~secs:0 ~key ~data:(String.make 32 'd')) in
+  Alcotest.(check int) "mac is 32 bytes" 32 (String.length mac)
+
+let test_cost_comparison () =
+  (* The §8.1 numbers: a full SGX crossing is ~an order of magnitude
+     above Komodo's 738 cycles. *)
+  Alcotest.(check int) "published crossing" 7100 Cost.full_crossing;
+  Alcotest.(check bool) "order of magnitude over Komodo" true
+    (Cost.full_crossing > 9 * 738);
+  let t = build_enclave () in
+  Alcotest.(check bool) "model charges cycles" true (t.L.cycles > 0)
+
+let test_controlled_channel_leaks () =
+  let secret = [ true; true; false; true; false; false; false; true ] in
+  let recovered = Komodo_sec.Attacks.sgx_controlled_channel_leak ~secret_bits:secret in
+  Alcotest.(check (list bool)) "OS recovers the victim's secret" secret recovered
+
+let test_controlled_channel_mechanics () =
+  let t = L.make ~epc_size:4 in
+  let t = ok (L.ecreate t ~secs:0) in
+  let va = Word.of_int 0x7000 in
+  let t = Channel.revoke t ~secs:0 ~va in
+  Alcotest.(check bool) "revoked" true (Channel.is_revoked t ~secs:0 ~va);
+  let t, outcome = Channel.enclave_access t ~secs:0 ~va in
+  (match outcome with
+  | `Faulted page -> Alcotest.(check int) "page-granular address leaked" 0x7000 (Word.to_int page)
+  | `Ok -> Alcotest.fail "access should fault");
+  Alcotest.(check int) "trace recorded" 1 (List.length (Channel.observed_trace t ~secs:0));
+  let t = Channel.restore t ~secs:0 ~va in
+  let _, outcome = Channel.enclave_access t ~secs:0 ~va in
+  match outcome with
+  | `Ok -> ()
+  | `Faulted _ -> Alcotest.fail "restored mapping should not fault"
+
+let suite =
+  [
+    Alcotest.test_case "lifecycle happy path" `Quick test_lifecycle_happy_path;
+    Alcotest.test_case "EPCM bookkeeping" `Quick test_epcm_bookkeeping;
+    Alcotest.test_case "ECREATE errors" `Quick test_ecreate_errors;
+    Alcotest.test_case "EADD errors" `Quick test_eadd_errors;
+    Alcotest.test_case "EENTER errors" `Quick test_enter_errors;
+    Alcotest.test_case "TCS re-entry blocked" `Quick test_tcs_reentry_blocked;
+    Alcotest.test_case "measurement sensitivity" `Quick test_measurement_sensitivity;
+    Alcotest.test_case "EAUG/EACCEPT" `Quick test_eaug_eaccept;
+    Alcotest.test_case "EREMOVE" `Quick test_eremove;
+    Alcotest.test_case "EREPORT" `Quick test_ereport;
+    Alcotest.test_case "cost comparison" `Quick test_cost_comparison;
+    Alcotest.test_case "controlled channel leaks" `Quick test_controlled_channel_leaks;
+    Alcotest.test_case "controlled channel mechanics" `Quick test_controlled_channel_mechanics;
+  ]

@@ -1,0 +1,366 @@
+(* The SMC handler: success and error paths of every construction and
+   lifecycle call, plus the cross-call invariants of §5.2. *)
+
+open Testlib
+module Word = Komodo_machine.Word
+module Smc = Komodo_core.Smc
+module Errors = Komodo_core.Errors
+module Mapping = Komodo_core.Mapping
+module Pagedb = Komodo_core.Pagedb
+module Monitor = Komodo_core.Monitor
+module Layout = Komodo_tz.Layout
+
+let w = Word.of_int
+
+(* -- GetPhysPages -------------------------------------------------------- *)
+
+let test_get_phys_pages () =
+  let os = boot ~npages:24 () in
+  let _, e, n = Os.get_phys_pages os in
+  check_err "success" Errors.Success e;
+  Alcotest.(check int) "page count" 24 n
+
+(* -- InitAddrspace ------------------------------------------------------- *)
+
+let test_init_addrspace_ok () =
+  let os = boot () in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "success" Errors.Success e;
+  check_wf "after init" os;
+  match Pagedb.get os.Os.mon.Monitor.pagedb 0 with
+  | Pagedb.Addrspace a ->
+      Alcotest.(check int) "l1pt recorded" 1 a.Pagedb.l1pt;
+      Alcotest.(check int) "refcount covers l1pt" 1 a.Pagedb.refcount;
+      Alcotest.(check bool) "starts Init" true
+        (Pagedb.equal_addrspace_state a.Pagedb.state Pagedb.Init)
+  | _ -> Alcotest.fail "no addrspace entry"
+
+let test_init_addrspace_errors () =
+  let os = boot ~npages:8 () in
+  let _, e = Os.init_addrspace os ~addrspace:99 ~l1pt:1 in
+  check_err "page out of range" Errors.Invalid_pageno e;
+  let _, e = Os.init_addrspace os ~addrspace:0 ~l1pt:0 in
+  check_err "aliased arguments (the 9.1 bug)" Errors.Page_in_use e;
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let _, e = Os.init_addrspace os ~addrspace:0 ~l1pt:5 in
+  check_err "addrspace page in use" Errors.Page_in_use e;
+  let _, e = Os.init_addrspace os ~addrspace:5 ~l1pt:1 in
+  check_err "l1pt page in use" Errors.Page_in_use e
+
+let test_init_addrspace_zeroes_table () =
+  (* Allocate, write garbage to the secure page directly (simulating a
+     previous tenant), free-boot again and check the table is scrubbed. *)
+  let os = boot () in
+  let dirty =
+    Komodo_machine.Memory.store os.Os.mon.Monitor.mach.State.mem
+      (Monitor.page_pa os.Os.mon 1) (w 0xBAD)
+  in
+  let os =
+    { os with Os.mon = { os.Os.mon with Monitor.mach = { os.Os.mon.Monitor.mach with State.mem = dirty } } }
+  in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "success" Errors.Success e;
+  Alcotest.(check int) "table scrubbed" 0
+    (Word.to_int (Komodo_machine.Memory.load os.Os.mon.Monitor.mach.State.mem
+                    (Monitor.page_pa os.Os.mon 1)))
+
+(* -- InitThread ----------------------------------------------------------- *)
+
+let test_init_thread_paths () =
+  let os = boot () in
+  let _, e = Os.init_thread os ~addrspace:0 ~thread:4 ~entry:Word.zero in
+  check_err "no addrspace yet" Errors.Invalid_addrspace e;
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let os, e = Os.init_thread os ~addrspace:0 ~thread:4 ~entry:(w 0x40) in
+  check_err "success" Errors.Success e;
+  check_wf "after thread" os;
+  let _, e = Os.init_thread os ~addrspace:0 ~thread:4 ~entry:Word.zero in
+  check_err "thread page in use" Errors.Page_in_use e;
+  let _, e = Os.init_thread os ~addrspace:4 ~thread:5 ~entry:Word.zero in
+  check_err "thread page is not an addrspace" Errors.Invalid_addrspace e;
+  (* Threads cannot be added after finalisation. *)
+  let os, e = Os.finalise os ~addrspace:0 in
+  check_err "finalise" Errors.Success e;
+  let _, e = Os.init_thread os ~addrspace:0 ~thread:5 ~entry:Word.zero in
+  check_err "post-final thread rejected" Errors.Already_final e
+
+(* -- InitL2PTable ---------------------------------------------------------- *)
+
+let test_init_l2ptable_paths () =
+  let os = boot () in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let os, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:2 ~l1index:0 in
+  check_err "success" Errors.Success e;
+  check_wf "after l2pt" os;
+  let _, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:3 ~l1index:0 in
+  check_err "slot already populated" Errors.Addr_in_use e;
+  let _, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:3 ~l1index:999 in
+  check_err "slot out of range" Errors.Invalid_mapping e;
+  let os, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:3 ~l1index:5 in
+  check_err "second slot ok" Errors.Success e;
+  check_wf "two tables" os
+
+(* -- MapSecure -------------------------------------------------------------- *)
+
+let setup_mappable () =
+  let os = boot () in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup as" Errors.Success e;
+  let os, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:2 ~l1index:0 in
+  check_err "setup l2" Errors.Success e;
+  os
+
+let rw_at va = Mapping.make ~va:(w va) ~w:true ~x:false
+
+let test_map_secure_ok () =
+  let os = setup_mappable () in
+  let os = Os.write_bytes os Os.staging_base (String.make 4096 '\x5A') in
+  let os, e = Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000) ~content:Os.staging_base in
+  check_err "success" Errors.Success e;
+  check_wf "after map" os;
+  (* Contents copied into the secure page. *)
+  Alcotest.(check int) "copied in" 0x5A5A5A5A
+    (Word.to_int (Komodo_machine.Memory.load os.Os.mon.Monitor.mach.State.mem
+                    (Monitor.page_pa os.Os.mon 3)))
+
+let test_map_secure_zero_fill () =
+  let os = setup_mappable () in
+  let os, e = Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000) ~content:Word.zero in
+  check_err "success" Errors.Success e;
+  Alcotest.(check int) "zero filled" 0
+    (Word.to_int (Komodo_machine.Memory.load os.Os.mon.Monitor.mach.State.mem
+                    (Monitor.page_pa os.Os.mon 3)))
+
+let test_map_secure_errors () =
+  let os = setup_mappable () in
+  let _, e = Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000) ~content:(w 0x123) in
+  check_err "unaligned content" Errors.Invalid_arg e;
+  let _, e =
+    Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000)
+      ~content:Layout.monitor_image_base
+  in
+  check_err "monitor image as content" Errors.Invalid_arg e;
+  let _, e =
+    Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000)
+      ~content:(Layout.page_base 9)
+  in
+  check_err "secure page as content" Errors.Invalid_arg e;
+  let _, e =
+    Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x50_0000) ~content:Word.zero
+  in
+  check_err "no l2 table for va" Errors.Invalid_mapping e;
+  let os, e = Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000) ~content:Word.zero in
+  check_err "setup" Errors.Success e;
+  let _, e = Os.map_secure os ~addrspace:0 ~data:4 ~mapping:(rw_at 0x1000) ~content:Word.zero in
+  check_err "va already mapped" Errors.Addr_in_use e;
+  let _, e = Os.map_secure os ~addrspace:0 ~data:3 ~mapping:(rw_at 0x2000) ~content:Word.zero in
+  check_err "data page in use" Errors.Page_in_use e
+
+let test_map_secure_extends_measurement () =
+  let os1 = setup_mappable () in
+  let os1, e = Os.map_secure os1 ~addrspace:0 ~data:3 ~mapping:(rw_at 0x1000) ~content:Word.zero in
+  check_err "map A" Errors.Success e;
+  let os1, e = Os.finalise os1 ~addrspace:0 in
+  check_err "finalise A" Errors.Success e;
+  let os2 = setup_mappable () in
+  let os2, e = Os.map_secure os2 ~addrspace:0 ~data:3 ~mapping:(rw_at 0x3000) ~content:Word.zero in
+  check_err "map B" Errors.Success e;
+  let os2, e = Os.finalise os2 ~addrspace:0 in
+  check_err "finalise B" Errors.Success e;
+  let digest os =
+    match Pagedb.get os.Os.mon.Monitor.pagedb 0 with
+    | Pagedb.Addrspace a -> Komodo_core.Measure.digest a.Pagedb.measurement
+    | _ -> None
+  in
+  Alcotest.(check bool) "different layout, different measurement" false
+    (digest os1 = digest os2)
+
+(* -- MapInsecure ------------------------------------------------------------- *)
+
+let test_map_insecure_paths () =
+  let os = setup_mappable () in
+  let os, e =
+    Os.map_insecure os ~addrspace:0 ~mapping:(rw_at 0x2000) ~target:Os.shared_base
+  in
+  check_err "success" Errors.Success e;
+  check_wf "after insecure map" os;
+  let _, e =
+    Os.map_insecure os ~addrspace:0 ~mapping:(rw_at 0x2000) ~target:Os.shared_base
+  in
+  check_err "va in use" Errors.Addr_in_use e;
+  let _, e =
+    Os.map_insecure os ~addrspace:0 ~mapping:(rw_at 0x3000) ~target:(Layout.page_base 5)
+  in
+  check_err "secure target rejected" Errors.Invalid_arg e;
+  let _, e =
+    Os.map_insecure os ~addrspace:0
+      ~mapping:(Mapping.make ~va:(w 0x3000) ~w:true ~x:true)
+      ~target:Os.shared_base
+  in
+  check_err "executable insecure mapping rejected" Errors.Invalid_mapping e
+
+(* -- Finalise / Stop / Remove ------------------------------------------------ *)
+
+let test_finalise_paths () =
+  let os = boot () in
+  let _, e = Os.finalise os ~addrspace:0 in
+  check_err "nothing to finalise" Errors.Invalid_addrspace e;
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let os, e = Os.finalise os ~addrspace:0 in
+  check_err "success" Errors.Success e;
+  check_wf "final" os;
+  let _, e = Os.finalise os ~addrspace:0 in
+  check_err "double finalise" Errors.Already_final e
+
+let test_stop_paths () =
+  let os = boot () in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let _, e = Os.stop os ~addrspace:0 in
+  check_err "stop before finalise rejected" Errors.Not_final e;
+  let os, e = Os.finalise os ~addrspace:0 in
+  check_err "finalise" Errors.Success e;
+  let os, e = Os.stop os ~addrspace:0 in
+  check_err "stop" Errors.Success e;
+  check_wf "stopped" os;
+  let os, e = Os.stop os ~addrspace:0 in
+  check_err "stop idempotent" Errors.Success e;
+  ignore os
+
+let test_remove_paths () =
+  let os = boot () in
+  let os = build_manual os in
+  let _, e = Os.remove os ~page:3 in
+  check_err "live data page" Errors.Not_stopped e;
+  let _, e = Os.remove os ~page:0 in
+  check_err "live addrspace" Errors.Not_stopped e;
+  let _, e = Os.remove os ~page:9 in
+  check_err "free page" Errors.Invalid_pageno e;
+  let _, e = Os.remove os ~page:99 in
+  check_err "out of range" Errors.Invalid_pageno e;
+  let os, e = Os.stop os ~addrspace:0 in
+  check_err "stop" Errors.Success e;
+  let _, e = Os.remove os ~page:0 in
+  check_err "addrspace with refs" Errors.In_use e;
+  let os, e = Os.remove os ~page:3 in
+  check_err "data page of stopped enclave" Errors.Success e;
+  let os, e = Os.remove os ~page:4 in
+  check_err "thread page" Errors.Success e;
+  let os, e = Os.remove os ~page:2 in
+  check_err "l2pt" Errors.Success e;
+  let os, e = Os.remove os ~page:1 in
+  check_err "l1pt" Errors.Success e;
+  let os, e = Os.remove os ~page:0 in
+  check_err "addrspace last" Errors.Success e;
+  check_wf "empty again" os;
+  Alcotest.(check int) "all pages free" 32 (Pagedb.free_count os.Os.mon.Monitor.pagedb)
+
+let test_alloc_spare_paths () =
+  let os = boot () in
+  let os = build_manual os in
+  let os, e = Os.alloc_spare os ~addrspace:0 ~spare:8 in
+  check_err "spare for final enclave" Errors.Success e;
+  check_wf "with spare" os;
+  let _, e = Os.alloc_spare os ~addrspace:0 ~spare:8 in
+  check_err "spare page in use" Errors.Page_in_use e;
+  let _, e = Os.alloc_spare os ~addrspace:3 ~spare:9 in
+  check_err "not an addrspace" Errors.Invalid_addrspace e;
+  (* Spares can be reclaimed from a live enclave. *)
+  let os, e = Os.remove os ~page:8 in
+  check_err "reclaim unconsumed spare" Errors.Success e;
+  let os, e = Os.stop os ~addrspace:0 in
+  check_err "stop" Errors.Success e;
+  let _, e = Os.alloc_spare os ~addrspace:0 ~spare:8 in
+  check_err "no spares for stopped enclave" Errors.Not_final e
+
+(* -- Cross-call register/memory discipline ----------------------------------- *)
+
+let test_unknown_call () =
+  let os = boot () in
+  let _, e, _ = Os.smc os ~call:999 ~args:[] in
+  check_err "unknown call" Errors.Invalid_arg e
+
+let test_insecure_memory_invariant () =
+  (* Construction SMCs must not write insecure memory. *)
+  let os = boot () in
+  let os = Os.write_bytes os (w 0x0500_0000) "sentinel" in
+  let os, e = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  check_err "setup" Errors.Success e;
+  let os, e = Os.init_l2ptable os ~addrspace:0 ~l2pt:2 ~l1index:0 in
+  check_err "setup2" Errors.Success e;
+  Alcotest.(check string) "insecure memory untouched" "sentinel"
+    (Os.read_bytes os (w 0x0500_0000) 8)
+
+let test_failed_calls_change_nothing () =
+  let os = boot () in
+  let os = build_manual os in
+  let db_before = os.Os.mon.Monitor.pagedb in
+  (* A volley of failing calls. *)
+  let os, _ = Os.init_addrspace os ~addrspace:0 ~l1pt:1 in
+  let os, _ = Os.init_thread os ~addrspace:0 ~thread:9 ~entry:Word.zero in
+  let os, _ = Os.finalise os ~addrspace:0 in
+  let os, _ = Os.remove os ~page:3 in
+  let os, _, _ = Os.resume os ~thread:4 in
+  Alcotest.(check bool) "PageDB unchanged by failed calls" true
+    (Pagedb.equal db_before os.Os.mon.Monitor.pagedb)
+
+let test_mode_restored () =
+  let os = boot () in
+  let os, _, _ = Os.get_phys_pages os in
+  Alcotest.(check bool) "returns to normal world" true
+    (Komodo_machine.Mode.equal_world os.Os.mon.Monitor.mach.State.world
+       Komodo_machine.Mode.Normal);
+  Alcotest.(check bool) "returns in supervisor mode" true
+    (Komodo_machine.Mode.equal
+       (State.mode os.Os.mon.Monitor.mach)
+       Komodo_machine.Mode.Supervisor)
+
+(* Property: random SMC volleys never break the PageDB invariants and
+   never crash the monitor. *)
+let arb_call =
+  QCheck.Gen.(
+    let pg = int_bound 31 in
+    let arg = map (fun n -> Word.of_int n) (oneof [ pg; int_bound 0xFFFF ]) in
+    map2 (fun call args -> (call, args)) (int_range 1 13) (list_size (int_bound 4) arg))
+
+let prop_random_smc_volleys =
+  QCheck.Test.make ~name:"random SMC volleys preserve PageDB invariants" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) arb_call))
+    (fun calls ->
+      let os = boot () in
+      let os =
+        List.fold_left
+          (fun os (call, args) ->
+            let os, _, _ = Os.smc os ~call ~args in
+            os)
+          os calls
+      in
+      wf os)
+
+let suite =
+  [
+    Alcotest.test_case "GetPhysPages" `Quick test_get_phys_pages;
+    Alcotest.test_case "InitAddrspace success" `Quick test_init_addrspace_ok;
+    Alcotest.test_case "InitAddrspace errors" `Quick test_init_addrspace_errors;
+    Alcotest.test_case "InitAddrspace scrubs table" `Quick test_init_addrspace_zeroes_table;
+    Alcotest.test_case "InitThread paths" `Quick test_init_thread_paths;
+    Alcotest.test_case "InitL2PTable paths" `Quick test_init_l2ptable_paths;
+    Alcotest.test_case "MapSecure success" `Quick test_map_secure_ok;
+    Alcotest.test_case "MapSecure zero fill" `Quick test_map_secure_zero_fill;
+    Alcotest.test_case "MapSecure errors" `Quick test_map_secure_errors;
+    Alcotest.test_case "MapSecure extends measurement" `Quick test_map_secure_extends_measurement;
+    Alcotest.test_case "MapInsecure paths" `Quick test_map_insecure_paths;
+    Alcotest.test_case "Finalise paths" `Quick test_finalise_paths;
+    Alcotest.test_case "Stop paths" `Quick test_stop_paths;
+    Alcotest.test_case "Remove paths" `Quick test_remove_paths;
+    Alcotest.test_case "AllocSpare paths" `Quick test_alloc_spare_paths;
+    Alcotest.test_case "unknown call" `Quick test_unknown_call;
+    Alcotest.test_case "insecure memory invariant" `Quick test_insecure_memory_invariant;
+    Alcotest.test_case "failed calls change nothing" `Quick test_failed_calls_change_nothing;
+    Alcotest.test_case "mode and world restored" `Quick test_mode_restored;
+    QCheck_alcotest.to_alcotest prop_random_smc_volleys;
+  ]

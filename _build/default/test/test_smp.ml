@@ -1,0 +1,124 @@
+(* The multi-core/global-lock extension: serialisation preserves the
+   sequential monitor's semantics under every interleaving. *)
+
+open Testlib
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Smp = Komodo_os.Smp
+module Smc = Komodo_core.Smc
+module Pagedb = Komodo_core.Pagedb
+module Monitor = Komodo_core.Monitor
+module Errors = Komodo_core.Errors
+
+let test_two_cores_build_disjoint_enclaves () =
+  let os = boot ~npages:32 () in
+  let s1 = Smp.build_script ~pages:(0, 1, 2, 3, 4) in
+  let s2 = Smp.build_script ~pages:(10, 11, 12, 13, 14) in
+  let os, results, stats = Smp.run ~seed:7 os ~scripts:[ s1; s2 ] in
+  List.iter
+    (fun (core, rs) ->
+      List.iteri
+        (fun i (e, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "core %d call %d" core i)
+            true (Errors.is_success e))
+        rs)
+    results;
+  check_wf "after concurrent construction" os;
+  Alcotest.(check int) "all calls ran" 10 stats.Smp.total_calls;
+  (* Both enclaves runnable afterwards. *)
+  let os, e, v = Os.enter os ~thread:4 ~args:(Word.of_int 1, Word.of_int 2, Word.zero) in
+  ignore v;
+  (* The built enclave has an empty (zero) code page: entering faults,
+     which is still a well-defined outcome. *)
+  check_err "enclave 1 enters (faults on empty code)" Errors.Fault e;
+  ignore os
+
+let test_schedule_independence () =
+  (* For disjoint scripts, the final PageDB must not depend on the
+     interleaving. *)
+  let final_db seed =
+    let os = boot ~npages:32 () in
+    let s1 = Smp.build_script ~pages:(0, 1, 2, 3, 4) in
+    let s2 = Smp.build_script ~pages:(10, 11, 12, 13, 14) in
+    let os, _, _ = Smp.run ~seed os ~scripts:[ s1; s2 ] in
+    os.Os.mon.Monitor.pagedb
+  in
+  let reference = final_db 1 in
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d agrees" seed)
+        true
+        (Pagedb.equal reference (final_db seed)))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_conflicting_scripts_stay_consistent () =
+  (* Two cores race for the same pages: exactly one wins each page, and
+     the PageDB invariants hold regardless. *)
+  let os = boot ~npages:32 () in
+  let s = Smp.build_script ~pages:(0, 1, 2, 3, 4) in
+  let os, results, _ = Smp.run ~seed:13 os ~scripts:[ s; s ] in
+  check_wf "after racing construction" os;
+  (* The two cores' InitAddrspace results: one Success, one failure. *)
+  let first_results = List.map (fun (_, rs) -> fst (List.hd rs)) results in
+  let successes = List.filter Errors.is_success first_results in
+  Alcotest.(check int) "exactly one winner" 1 (List.length successes)
+
+let test_contention_accounting () =
+  let os = boot ~npages:32 () in
+  let many = List.init 10 (fun _ -> { Smp.call = Smc.sm_get_phys_pages; args = [] }) in
+  let _, _, stats = Smp.run ~seed:3 os ~scripts:[ many; many ] in
+  Alcotest.(check int) "all calls" 20 stats.Smp.total_calls;
+  Alcotest.(check bool) "contention observed" true (stats.Smp.contended_acquisitions > 0);
+  Alcotest.(check bool) "lock cycles charged" true (stats.Smp.lock_cycles > 0);
+  (* A single core never contends. *)
+  let os = boot ~npages:32 () in
+  let _, _, stats1 = Smp.run ~seed:3 os ~scripts:[ many ] in
+  Alcotest.(check int) "solo core uncontended" 0 stats1.Smp.contended_acquisitions
+
+let test_matches_sequential_execution () =
+  (* One core through the SMP layer = plain sequential execution (minus
+     lock cycles). *)
+  let script = Smp.build_script ~pages:(0, 1, 2, 3, 4) in
+  let os_smp = boot ~npages:32 () in
+  let os_smp, results, _ = Smp.run ~seed:5 os_smp ~scripts:[ script ] in
+  let os_seq = boot ~npages:32 () in
+  let os_seq, seq_results =
+    List.fold_left
+      (fun (os, acc) (op : Smp.call) ->
+        let os, e, v = Os.smc os ~call:op.Smp.call ~args:op.Smp.args in
+        (os, (e, v) :: acc))
+      (os_seq, []) script
+  in
+  let seq_results = List.rev seq_results in
+  Alcotest.(check bool) "same results" true (List.assoc 0 results = seq_results);
+  Alcotest.(check bool) "same PageDB" true
+    (Pagedb.equal os_smp.Os.mon.Monitor.pagedb os_seq.Os.mon.Monitor.pagedb)
+
+let prop_random_interleavings_wf =
+  QCheck.Test.make ~name:"random interleavings preserve PageDB invariants" ~count:30
+    (QCheck.pair (QCheck.int_bound 10_000)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 15)
+          (QCheck.pair (QCheck.int_range 1 13)
+             (QCheck.list_of_size (QCheck.Gen.int_bound 4) (QCheck.int_bound 31)))))
+    (fun (seed, raw) ->
+      let script =
+        List.map
+          (fun (call, args) ->
+            { Smp.call; args = List.map Word.of_int args })
+          raw
+      in
+      let os = boot ~npages:32 () in
+      let os, _, _ = Smp.run ~seed os ~scripts:[ script; List.rev script ] in
+      wf os)
+
+let suite =
+  [
+    Alcotest.test_case "two cores, disjoint enclaves" `Quick test_two_cores_build_disjoint_enclaves;
+    Alcotest.test_case "schedule independence" `Quick test_schedule_independence;
+    Alcotest.test_case "racing scripts stay consistent" `Quick test_conflicting_scripts_stay_consistent;
+    Alcotest.test_case "contention accounting" `Quick test_contention_accounting;
+    Alcotest.test_case "single core = sequential" `Quick test_matches_sequential_execution;
+    QCheck_alcotest.to_alcotest prop_random_interleavings_wf;
+  ]

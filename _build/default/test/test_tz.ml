@@ -1,0 +1,116 @@
+(* TrustZone platform: layout, the hardware memory filter, the RNG and
+   the bootloader. *)
+
+module Word = Komodo_machine.Word
+module Mode = Komodo_machine.Mode
+module Layout = Komodo_tz.Layout
+module Platform = Komodo_tz.Platform
+module Rng = Komodo_tz.Rng
+module Boot = Komodo_tz.Boot
+
+let w = Word.of_int
+
+let test_page_geometry () =
+  Alcotest.(check int) "page 0 base" (Word.to_int Layout.secure_region_base)
+    (Word.to_int (Layout.page_base 0));
+  Alcotest.(check int) "page 3 base"
+    (Word.to_int Layout.secure_region_base + (3 * 4096))
+    (Word.to_int (Layout.page_base 3));
+  Alcotest.(check (option int)) "pa to page" (Some 3)
+    (Layout.page_of_pa ~npages:8 (Word.add (Layout.page_base 3) (w 100)));
+  Alcotest.(check (option reject)) "out of region" None
+    (Layout.page_of_pa ~npages:8 (w 0x1000))
+
+let test_insecure_validation () =
+  let valid = Layout.is_valid_insecure ~npages:8 in
+  Alcotest.(check bool) "plain RAM ok" true (valid (w 0x0100_0000));
+  Alcotest.(check bool) "monitor image rejected" false (valid Layout.monitor_image_base);
+  Alcotest.(check bool) "interior of monitor image rejected" false
+    (valid (Word.add Layout.monitor_image_base (w 0x8000)));
+  Alcotest.(check bool) "secure region rejected" false (valid (Layout.page_base 2));
+  Alcotest.(check bool) "beyond OS RAM rejected" false (valid (w 0x3800_0000))
+
+let test_platform_filter () =
+  let plat = Platform.make ~npages:8 () in
+  Alcotest.(check bool) "normal world blocked from secure pages" false
+    (Platform.normal_world_accessible plat (Layout.page_base 0));
+  Alcotest.(check bool) "normal world blocked from monitor" false
+    (Platform.normal_world_accessible plat Layout.monitor_image_base);
+  Alcotest.(check bool) "normal world sees its RAM" true
+    (Platform.normal_world_accessible plat (w 0x100));
+  Alcotest.(check bool) "page validity" true (Platform.valid_page plat 7);
+  Alcotest.(check bool) "page validity bound" false (Platform.valid_page plat 8)
+
+let test_platform_bounds () =
+  Alcotest.check_raises "too few pages"
+    (Invalid_argument "Platform.make: need at least 4 secure pages") (fun () ->
+      ignore (Platform.make ~npages:2 ()));
+  Alcotest.check_raises "too many pages"
+    (Invalid_argument "Platform.make: secure region bounded at 16 MB") (fun () ->
+      ignore (Platform.make ~npages:5000 ()))
+
+let test_directmap () =
+  let pa = w 0x123_4000 in
+  let va = Layout.phys_to_monitor_va pa in
+  Alcotest.(check (option int)) "roundtrip" (Some (Word.to_int pa))
+    (Option.map Word.to_int (Layout.monitor_va_to_phys va));
+  Alcotest.(check (option reject)) "below directmap" None
+    (Layout.monitor_va_to_phys (w 0x1000))
+
+let test_rng_deterministic () =
+  let a1, _ = Rng.next_word (Rng.seed 42) in
+  let a2, _ = Rng.next_word (Rng.seed 42) in
+  Alcotest.(check int) "same seed same word" (Word.to_int a1) (Word.to_int a2);
+  let b, _ = Rng.next_word (Rng.seed 43) in
+  Alcotest.(check bool) "different seed differs" false (Word.equal a1 b)
+
+let test_rng_stream () =
+  let rng = Rng.seed 7 in
+  let w1, rng' = Rng.next_word rng in
+  let w2, _ = Rng.next_word rng' in
+  Alcotest.(check bool) "stream advances" false (Word.equal w1 w2);
+  let bytes, _ = Rng.next_bytes rng 10 in
+  Alcotest.(check int) "requested length" 10 (String.length bytes);
+  let f, commit = Rng.as_fun rng in
+  let x1 = f () in
+  ignore (f ());
+  Alcotest.(check int) "as_fun matches pure stream" (Word.to_int w1) x1;
+  ignore (commit ())
+
+let test_boot () =
+  let b = Boot.boot ~seed:99 () in
+  Alcotest.(check bool) "normal world" true
+    (Mode.equal_world b.Boot.state.Komodo_machine.State.world Mode.Normal);
+  Alcotest.(check bool) "scr.ns set" true b.Boot.state.Komodo_machine.State.scr_ns;
+  Alcotest.(check int) "attestation secret is 32 bytes" 32 (String.length b.Boot.attest_key);
+  (* Boot-time registers are scrubbed. *)
+  Alcotest.(check bool) "registers scrubbed" true
+    (List.for_all (fun v -> Word.equal v Word.zero)
+       (Komodo_machine.Regs.user_visible b.Boot.state.Komodo_machine.State.regs))
+
+let test_boot_deterministic () =
+  let b1 = Boot.boot ~seed:5 () and b2 = Boot.boot ~seed:5 () in
+  Alcotest.(check string) "same seed, same secret" b1.Boot.attest_key b2.Boot.attest_key;
+  let b3 = Boot.boot ~seed:6 () in
+  Alcotest.(check bool) "different seed, different secret" false
+    (String.equal b1.Boot.attest_key b3.Boot.attest_key)
+
+let test_boot_key_not_raw_entropy () =
+  (* The attestation key is derived, not raw RNG output. *)
+  let b = Boot.boot ~seed:5 () in
+  let raw, _ = Rng.next_bytes (Rng.seed 5) 32 in
+  Alcotest.(check bool) "derived" false (String.equal b.Boot.attest_key raw)
+
+let suite =
+  [
+    Alcotest.test_case "page geometry" `Quick test_page_geometry;
+    Alcotest.test_case "insecure-address validation" `Quick test_insecure_validation;
+    Alcotest.test_case "hardware memory filter" `Quick test_platform_filter;
+    Alcotest.test_case "platform bounds" `Quick test_platform_bounds;
+    Alcotest.test_case "direct map" `Quick test_directmap;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng stream" `Quick test_rng_stream;
+    Alcotest.test_case "boot" `Quick test_boot;
+    Alcotest.test_case "boot determinism" `Quick test_boot_deterministic;
+    Alcotest.test_case "attestation key derivation" `Quick test_boot_key_not_raw_entropy;
+  ]

@@ -1,0 +1,151 @@
+(* The executor layer, especially the havoc specification model of
+   §5.1/§6.3: its determinism and information-flow structure are the
+   hypotheses the noninterference harness rests on, so they get their
+   own direct tests. *)
+
+open Testlib
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Memory = Komodo_machine.Memory
+module Regs = Komodo_machine.Regs
+module Ptable = Komodo_machine.Ptable
+module Exec = Komodo_machine.Exec
+module Uexec = Komodo_core.Uexec
+
+(* A machine with one secure-writable and one insecure-writable page
+   mapped, as a havoc playground. *)
+let l1_base = Word.of_int 0x40_0000
+let l2_base = Word.of_int 0x41_0000
+let secure_frame = Word.of_int 0x50_0000
+let insecure_frame = Word.of_int 0x0300_0000
+
+let playground () =
+  let m = Memory.store Memory.empty l1_base (Ptable.make_l1e ~l2pt_base:l2_base) in
+  let map m va frame ns =
+    Memory.store m
+      (Word.add l2_base (Word.of_int (4 * Ptable.l2_index (Word.of_int va))))
+      (Ptable.make_l2e ~base:frame ~ns Ptable.rw)
+  in
+  let m = map m 0x1000 secure_frame false in
+  let m = map m 0x2000 insecure_frame true in
+  { State.initial with State.mem = m; ttbr0_s = l1_base }
+
+let run_havoc ?(dynamic = false) ~seed ?(iter = 0) s =
+  let exec = Uexec.havoc ~dynamic ~seed () in
+  exec.Uexec.run s ~entry_va:Word.zero ~start_pc:0 ~iter
+
+let test_havoc_deterministic () =
+  let s = playground () in
+  let r1 = run_havoc ~seed:42 s and r2 = run_havoc ~seed:42 s in
+  Alcotest.(check bool) "same seed, same machine" true
+    (State.equal r1.Uexec.mach r2.Uexec.mach);
+  Alcotest.(check bool) "same event" true (Exec.equal_event r1.Uexec.event r2.Uexec.event)
+
+let test_havoc_seed_sensitivity () =
+  let s = playground () in
+  let r1 = run_havoc ~seed:42 s and r2 = run_havoc ~seed:43 s in
+  Alcotest.(check bool) "different seeds diverge" false
+    (State.equal r1.Uexec.mach r2.Uexec.mach)
+
+let test_havoc_event_depends_only_on_seed () =
+  (* Different *secret* state, same seed: the (declassified) event must
+     be identical — the structural fact that makes the bisimulation
+     exact rather than relaxed. *)
+  let s1 = playground () in
+  let s2 = { s1 with State.mem = Memory.store s1.State.mem secure_frame (Word.of_int 0x5EC) } in
+  List.iter
+    (fun seed ->
+      let r1 = run_havoc ~dynamic:true ~seed s1 and r2 = run_havoc ~dynamic:true ~seed s2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: event equal despite secret delta" seed)
+        true
+        (Exec.equal_event r1.Uexec.event r2.Uexec.event))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_havoc_insecure_updates_public () =
+  (* Insecure writable pages must be havocked identically across secret
+     deltas (§6.3: updates to insecure memory do not depend on user
+     state); secure pages must differ (they absorb the secret). *)
+  let s1 = playground () in
+  let s2 = { s1 with State.mem = Memory.store s1.State.mem secure_frame (Word.of_int 0x5EC) } in
+  let r1 = run_havoc ~seed:7 s1 and r2 = run_havoc ~seed:7 s2 in
+  Alcotest.(check bool) "insecure page equal" true
+    (Memory.equal_range r1.Uexec.mach.State.mem r2.Uexec.mach.State.mem insecure_frame
+       Ptable.words_per_page);
+  Alcotest.(check bool) "secure page differs" false
+    (Memory.equal_range r1.Uexec.mach.State.mem r2.Uexec.mach.State.mem secure_frame
+       Ptable.words_per_page)
+
+let test_havoc_iter_differs () =
+  (* Each SVC round-trip within one Enter gets fresh non-determinism. *)
+  let s = playground () in
+  let r0 = run_havoc ~seed:9 ~iter:0 s and r1 = run_havoc ~seed:9 ~iter:1 s in
+  Alcotest.(check bool) "iterations draw fresh updates" false
+    (State.equal r0.Uexec.mach r1.Uexec.mach)
+
+let test_havoc_touches_only_writable () =
+  (* Pages not mapped writable are untouched; so is everything outside
+     the page table. *)
+  let s = playground () in
+  let canary = Word.of_int 0x0700_0000 in
+  let s = { s with State.mem = Memory.store s.State.mem canary (Word.of_int 0xCAFE) } in
+  let r = run_havoc ~seed:11 s in
+  Alcotest.(check int) "unmapped memory untouched" 0xCAFE
+    (Word.to_int (Memory.load r.Uexec.mach.State.mem canary))
+
+let test_visible_state_key () =
+  let s = playground () in
+  let k1 = Uexec.visible_state_key s in
+  Alcotest.(check string) "deterministic" k1 (Uexec.visible_state_key s);
+  (* Sensitive to registers... *)
+  let s_reg = State.write_reg s (Regs.R 3) Word.one in
+  Alcotest.(check bool) "register-sensitive" false
+    (String.equal k1 (Uexec.visible_state_key s_reg));
+  (* ...and to reachable-writable page contents... *)
+  let s_mem = { s with State.mem = Memory.store s.State.mem secure_frame Word.one } in
+  Alcotest.(check bool) "page-content-sensitive" false
+    (String.equal k1 (Uexec.visible_state_key s_mem));
+  (* ...but blind to unreachable memory. *)
+  let s_far =
+    { s with State.mem = Memory.store s.State.mem (Word.of_int 0x0700_0000) Word.one }
+  in
+  Alcotest.(check string) "blind to unreachable memory" k1 (Uexec.visible_state_key s_far)
+
+(* -- Register discipline across the whole SMC surface -------------------- *)
+
+let prop_register_discipline_all_calls =
+  (* After ANY monitor call: r0/r1 are the results, r2/r3 are zero, and
+     r5-r12 hold exactly what the OS left there (§5.2). *)
+  QCheck.Test.make ~name:"register discipline holds after every SMC" ~count:60
+    (QCheck.pair (QCheck.int_range 1 13)
+       (QCheck.list_of_size (QCheck.Gen.int_bound 4) (QCheck.int_bound 40)))
+    (fun (call, args) ->
+      let os = boot ~npages:32 () in
+      let os, _ = load_prog os Progs.add_args in
+      let plant i = Word.of_int (0xAA00 + i) in
+      let mach =
+        List.fold_left
+          (fun m i -> Komodo_machine.State.write_reg m (Regs.R i) (plant i))
+          os.Os.mon.Monitor.mach
+          (List.init 8 (fun k -> k + 5))
+      in
+      let os = { os with Os.mon = { os.Os.mon with Monitor.mach } } in
+      let os, _, _ = Os.smc os ~call ~args:(List.map Word.of_int args) in
+      let mach = os.Os.mon.Monitor.mach in
+      List.for_all
+        (fun i -> Word.equal (Komodo_machine.State.read_reg mach (Regs.R i)) (plant i))
+        (List.init 8 (fun k -> k + 5))
+      && Word.equal (Komodo_machine.State.read_reg mach (Regs.R 2)) Word.zero
+      && Word.equal (Komodo_machine.State.read_reg mach (Regs.R 3)) Word.zero)
+
+let suite =
+  [
+    Alcotest.test_case "havoc deterministic" `Quick test_havoc_deterministic;
+    Alcotest.test_case "havoc seed-sensitive" `Quick test_havoc_seed_sensitivity;
+    Alcotest.test_case "havoc event from seed only" `Quick test_havoc_event_depends_only_on_seed;
+    Alcotest.test_case "havoc insecure updates public" `Quick test_havoc_insecure_updates_public;
+    Alcotest.test_case "havoc per-iteration freshness" `Quick test_havoc_iter_differs;
+    Alcotest.test_case "havoc touches only writable pages" `Quick test_havoc_touches_only_writable;
+    Alcotest.test_case "visible-state key" `Quick test_visible_state_key;
+    QCheck_alcotest.to_alcotest prop_register_discipline_all_calls;
+  ]

@@ -1,0 +1,123 @@
+(* Unit and property tests for the 32-bit word type. *)
+
+module Word = Komodo_machine.Word
+
+let w = Word.of_int
+let check_w name expected actual =
+  Alcotest.(check int) name expected (Word.to_int actual)
+
+let test_of_int_masks () =
+  check_w "wraps to 32 bits" 0 (w 0x1_0000_0000);
+  check_w "keeps low bits" 0xDEAD_BEEF (w 0xF_DEAD_BEEF);
+  check_w "negative is two's complement" 0xFFFF_FFFF (w (-1));
+  check_w "negative small" 0xFFFF_FFFE (w (-2))
+
+let test_arithmetic () =
+  check_w "add wraps" 0 (Word.add (w 0xFFFF_FFFF) (w 1));
+  check_w "add" 5 (Word.add (w 2) (w 3));
+  check_w "sub wraps" 0xFFFF_FFFF (Word.sub (w 0) (w 1));
+  check_w "mul wraps" 0xFFFF_FFFE (Word.mul (w 0xFFFF_FFFF) (w 2));
+  check_w "neg" 0xFFFF_FFFF (Word.neg (w 1));
+  check_w "udiv" 3 (Word.udiv (w 10) (w 3));
+  check_w "urem" 1 (Word.urem (w 10) (w 3))
+
+let test_signed () =
+  Alcotest.(check int) "to_signed negative" (-1) (Word.to_signed (w 0xFFFF_FFFF));
+  Alcotest.(check int) "to_signed positive" 0x7FFF_FFFF (Word.to_signed (w 0x7FFF_FFFF));
+  Alcotest.(check bool) "slt crosses sign" true (Word.slt (w 0xFFFF_FFFF) (w 0));
+  Alcotest.(check bool) "ult is unsigned" false (Word.ult (w 0xFFFF_FFFF) (w 0))
+
+let test_shifts () =
+  check_w "lsl" 0x10 (Word.shift_left (w 1) 4);
+  check_w "lsl out" 0 (Word.shift_left (w 1) 32);
+  check_w "lsr" 1 (Word.shift_right_logical (w 0x10) 4);
+  check_w "lsr out" 0 (Word.shift_right_logical (w 0xFFFF_FFFF) 32);
+  check_w "asr sign-extends" 0xFFFF_FFFF (Word.shift_right_arith (w 0x8000_0000) 31);
+  check_w "asr sat" 0xFFFF_FFFF (Word.shift_right_arith (w 0x8000_0000) 40);
+  check_w "asr positive" 0x2000_0000 (Word.shift_right_arith (w 0x4000_0000) 1);
+  check_w "asr negative keeps sign" 0xC000_0000 (Word.shift_right_arith (w 0x8000_0000) 1);
+  check_w "ror" 0x8000_0000 (Word.rotate_right (w 1) 1);
+  check_w "ror 32 = id" 0xABCD (Word.rotate_right (w 0xABCD) 32)
+
+let test_bits_fields () =
+  Alcotest.(check bool) "bit 0" true (Word.bit (w 1) 0);
+  Alcotest.(check bool) "bit 31" true (Word.bit (w 0x8000_0000) 31);
+  check_w "set_bit" 0b101 (Word.set_bit (w 0b001) 2 true);
+  check_w "clear_bit" 0b001 (Word.set_bit (w 0b101) 2 false);
+  check_w "extract" 0xAB (Word.extract (w 0xAB00) ~hi:15 ~lo:8);
+  check_w "insert" 0xCD00 (Word.insert (w 0xAB00) ~hi:15 ~lo:8 (w 0xCD));
+  check_w "insert truncates" 0xCD00 (Word.insert (w 0xAB00) ~hi:15 ~lo:8 (w 0xFCD))
+
+let test_alignment () =
+  Alcotest.(check bool) "aligned 0" true (Word.is_aligned (w 0));
+  Alcotest.(check bool) "aligned 4" true (Word.is_aligned (w 4));
+  Alcotest.(check bool) "unaligned 2" false (Word.is_aligned (w 2));
+  check_w "align_down" 4 (Word.align_down (w 7))
+
+let test_bytes () =
+  Alcotest.(check string) "to_bytes_be" "\xDE\xAD\xBE\xEF" (Word.to_bytes_be (w 0xDEADBEEF));
+  check_w "roundtrip" 0xDEADBEEF (Word.of_bytes_be "\xDE\xAD\xBE\xEF" 0);
+  check_w "offset read" 0xADBEEF00 (Word.of_bytes_be "\xDE\xAD\xBE\xEF\x00" 1)
+
+let test_pp () =
+  Alcotest.(check string) "pp hex" "0xdeadbeef" (Word.show (w 0xDEADBEEF))
+
+(* Properties *)
+let arb_word = QCheck.map Word.of_int (QCheck.int_bound 0x3FFFFFFF)
+let arb_word_pair = QCheck.pair arb_word arb_word
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" arb_word_pair (fun (a, b) ->
+      Word.equal (Word.add a b) (Word.add b a))
+
+let prop_add_neg =
+  QCheck.Test.make ~name:"a + (-a) = 0" arb_word (fun a ->
+      Word.equal (Word.add a (Word.neg a)) Word.zero)
+
+let prop_sub_add =
+  QCheck.Test.make ~name:"(a - b) + b = a" arb_word_pair (fun (a, b) ->
+      Word.equal (Word.add (Word.sub a b) b) a)
+
+let prop_lognot_involutive =
+  QCheck.Test.make ~name:"lognot involutive" arb_word (fun a ->
+      Word.equal (Word.lognot (Word.lognot a)) a)
+
+let prop_rotr_full =
+  QCheck.Test.make ~name:"rotate_right by 32k = id"
+    (QCheck.pair arb_word (QCheck.int_bound 4))
+    (fun (a, k) -> Word.equal (Word.rotate_right a (32 * k)) a)
+
+let prop_extract_insert =
+  QCheck.Test.make ~name:"insert then extract" arb_word_pair (fun (a, v) ->
+      let f = Word.extract (Word.insert a ~hi:19 ~lo:8 v) ~hi:19 ~lo:8 in
+      Word.equal f (Word.extract v ~hi:11 ~lo:0))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" arb_word (fun a ->
+      Word.equal (Word.of_bytes_be (Word.to_bytes_be a) 0) a)
+
+let prop_shift_is_mul =
+  QCheck.Test.make ~name:"lsl k = mul 2^k"
+    (QCheck.pair arb_word (QCheck.int_bound 8))
+    (fun (a, k) ->
+      Word.equal (Word.shift_left a k) (Word.mul a (Word.of_int (1 lsl k))))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_comm; prop_add_neg; prop_sub_add; prop_lognot_involutive;
+      prop_rotr_full; prop_extract_insert; prop_bytes_roundtrip; prop_shift_is_mul;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "of_int masks" `Quick test_of_int_masks;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "signedness" `Quick test_signed;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "bits and fields" `Quick test_bits_fields;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "byte encoding" `Quick test_bytes;
+    Alcotest.test_case "printing" `Quick test_pp;
+  ]
+  @ props
