@@ -70,7 +70,7 @@ let finalise_o1 () =
     (* One header block + 64 content blocks per page, plus final pad. *)
     (npages * 65 * Cost.sha256_block) + Cost.sha256_block
   in
-  Report.print_table
+  Report.print_table ~json_name:"finalise_ablation"
     ~columns:[ "Data pages"; "Finalise (as built)"; "Finalise (deferred hash)" ]
     (List.map
        (fun n ->
@@ -112,7 +112,7 @@ let smp_lock () =
         ])
       [ 1; 2; 4; 8 ]
   in
-  Report.print_table
+  Report.print_table ~json_name:"smp_lock"
     ~columns:[ "Cores"; "Calls"; "Total cycles"; "Lock cycles"; "Lock share" ]
     rows;
   print_endline

@@ -137,7 +137,7 @@ let run () =
   let os = smc "Remove" (Os.remove os ~page:13) in
   ignore os;
   let rows = List.rev !results in
-  Report.print_table
+  Report.print_table ~json_name:"table1_api"
     ~columns:[ "Call"; "Status" ]
     (List.map (fun (n, ok) -> [ n; (if ok then "ok" else "FAILED") ]) rows);
   if List.exists (fun (_, ok) -> not ok) rows then failwith "API sweep failed"

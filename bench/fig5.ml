@@ -94,7 +94,7 @@ let measure () =
 let run () =
   Report.print_header "Figure 5: notary performance (simulated ms at 900 MHz)";
   let points = measure () in
-  Report.print_table
+  Report.print_table ~json_name:"figure5_notary"
     ~columns:[ "Input (kB)"; "Komodo enclave"; "Linux process"; "Overhead" ]
     (List.map
        (fun p ->

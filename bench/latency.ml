@@ -81,7 +81,7 @@ let run () =
     "Interrupt-latency bound: monitor occupancy per call (paper 7.2)";
   let rows = measure () in
   let worst = List.fold_left (fun w (_, d) -> max w d) 0 rows in
-  Report.print_table
+  Report.print_table ~json_name:"interrupt_latency"
     ~columns:[ "Call"; "Cycles"; "us @900MHz"; "" ]
     (List.map
        (fun (name, d) ->

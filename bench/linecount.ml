@@ -75,7 +75,7 @@ let run () =
           components
       in
       let total = List.fold_left (fun a (_, n) -> a + n) 0 rows in
-      Report.print_table
+      Report.print_table ~json_name:"table2_linecount"
         ~columns:[ "Component"; "Lines" ]
         (List.map (fun (n, c) -> [ n; string_of_int c ]) rows
         @ [ [ "Total"; string_of_int total ] ]);

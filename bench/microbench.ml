@@ -198,7 +198,7 @@ let measure ?(optimised = false) () =
 let run () =
   Report.print_header "Table 3: microbenchmarks (simulated cycles, 900 MHz model)";
   let rows = measure () in
-  Report.print_table
+  Report.print_table ~json_name:"table3_microbench"
     ~columns:[ "Operation"; "Notes"; "Paper"; "Model"; "Model/Paper" ]
     (List.map
        (fun r ->
@@ -207,7 +207,7 @@ let run () =
   (* The SGX comparison from §8.1. *)
   Report.print_header "Enclave crossing vs SGX (paper §8.1)";
   let crossing = (List.nth rows 1).ours in
-  Report.print_table
+  Report.print_table ~json_name:"sgx_comparison"
     ~columns:[ "System"; "Crossing (cycles)"; "Source" ]
     [
       [ "Komodo (model)"; string_of_int crossing; "this bench" ];
@@ -215,7 +215,21 @@ let run () =
       [ "SGX EENTER+EEXIT"; string_of_int Komodo_sgx.Cost.full_crossing; "Orenbach et al." ];
     ];
   Printf.printf "\nSGX/Komodo crossing ratio: %s (paper reports ~an order of magnitude)\n"
-    (Report.ratio Komodo_sgx.Cost.full_crossing crossing)
+    (Report.ratio Komodo_sgx.Cost.full_crossing crossing);
+  (* Telemetry capture of the same workload shape: one full lifecycle
+     with the metrics registry attached, dumped as BENCH_metrics.json
+     (per-call counts, error counts, cycle histograms). The bench rows
+     above run with the null sink, so they are unaffected. *)
+  let reg = Komodo_telemetry.Metrics.create () in
+  let os = Os.boot ~seed:31337 ~npages:64 ~sink:(Komodo_telemetry.Metrics.sink reg) () in
+  let os, h = load os in
+  let os, e, _ =
+    Os.enter os ~thread:(List.hd h.Loader.threads) ~args:(Word.zero, Word.zero, Word.zero)
+  in
+  assert (Errors.is_success e);
+  let _os, e = Os.teardown os ~addrspace:h.Loader.addrspace in
+  assert (Errors.is_success e);
+  Report.emit_json ~name:"metrics" (Komodo_telemetry.Metrics.dump reg)
 
 let run_ablation () =
   Report.print_header
@@ -223,7 +237,7 @@ let run_ablation () =
   let conservative = measure () in
   let optimised = measure ~optimised:true () in
   let pick rows name = (List.find (fun r -> r.op = name) rows).ours in
-  Report.print_table
+  Report.print_table ~json_name:"enter_ablation"
     ~columns:[ "Operation"; "Conservative"; "Optimised"; "Saved" ]
     (List.map
        (fun name ->

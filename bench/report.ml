@@ -1,12 +1,40 @@
-(** Table rendering for the benchmark reports. *)
+(** Table rendering for the benchmark reports.
+
+    Every table can also be mirrored as machine-readable JSON: pass
+    [~json_name:"table3_microbench"] to {!print_table} and the table is
+    written to [BENCH_table3_microbench.json] as
+    [{"columns":[...],"rows":[[...],...]}], in the directory named by
+    [KOMODO_BENCH_JSON_DIR] (default: the working directory). The
+    notice naming the file goes to stderr so stdout stays a stable,
+    diffable text report. *)
+
+module Json = Komodo_telemetry.Json
 
 let rule width = String.make width '-'
 
 let print_header title =
   Printf.printf "\n%s\n%s\n" title (rule (String.length title))
 
-(** Print a table with left-aligned first column. *)
-let print_table ~columns rows =
+let json_dir () =
+  match Sys.getenv_opt "KOMODO_BENCH_JSON_DIR" with Some d -> d | None -> "."
+
+(** Write [BENCH_<name>.json] with any JSON payload (e.g. a telemetry
+    metrics dump). *)
+let emit_json ~name json =
+  let path = Filename.concat (json_dir ()) ("BENCH_" ^ name ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[wrote %s]\n%!" path
+
+let table_json ~columns rows =
+  let strings l = Json.List (List.map (fun s -> Json.Str s) l) in
+  Json.Obj [ ("columns", strings columns); ("rows", Json.List (List.map strings rows)) ]
+
+(** Print a table with left-aligned first column; [json_name] mirrors it
+    to [BENCH_<json_name>.json]. *)
+let print_table ?json_name ~columns rows =
   let ncols = List.length columns in
   let widths =
     List.mapi
@@ -26,7 +54,10 @@ let print_table ~columns rows =
   in
   print_row columns;
   print_row (List.map (fun w -> rule w) widths |> List.mapi (fun i s -> if i < ncols then s else s));
-  List.iter print_row rows
+  List.iter print_row rows;
+  match json_name with
+  | None -> ()
+  | Some name -> emit_json ~name (table_json ~columns rows)
 
 let ratio a b = if b = 0 then "n/a" else Printf.sprintf "%.2fx" (float_of_int a /. float_of_int b)
 let cycles c = Printf.sprintf "%d" c

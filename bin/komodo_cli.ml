@@ -2,6 +2,8 @@
 
    Subcommands:
      run       boot the platform and run a named demo enclave
+     trace     run an enclave through its full lifecycle, emitting a
+               JSONL telemetry trace and auditing it
      attest    run an enclave and print/check its attestation
      inspect   boot, load, and dump the PageDB and memory layout
      notary    drive the notary enclave over a document file
@@ -9,6 +11,7 @@
 
    Examples:
      komodo run --program sum --arg 100
+     komodo trace --program sum --arg 100 --trace-out t.jsonl --metrics
      komodo notary --document README.md
      komodo verify --seeds 10 --ops 100
      komodo inspect *)
@@ -27,6 +30,10 @@ module Uprog = Komodo_user.Uprog
 module Progs = Komodo_user.Progs
 module Notary = Komodo_user.Notary
 module Sha256 = Komodo_crypto.Sha256
+module Sink = Komodo_telemetry.Sink
+module Metrics = Komodo_telemetry.Metrics
+module Audit = Komodo_telemetry.Audit
+module Json = Komodo_telemetry.Json
 open Cmdliner
 
 let programs =
@@ -45,8 +52,64 @@ let seed_arg =
 let npages_arg =
   Arg.(value & opt int 64 & info [ "pages" ] ~docv:"N" ~doc:"Secure pages reserved at boot.")
 
-let setup_logs () =
-  Logs.set_reporter (Logs_fmt.reporter ())
+(* -v / --verbosity (from logs.cli): the global level also drives the
+   two per-module sources — the monitor's SMC call trace and the
+   telemetry stream — so `-v -v` surfaces both without code changes. *)
+let verbosity = Logs_cli.level ()
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level;
+  Logs.Src.set_level Komodo_core.Smc.log_src level;
+  Logs.Src.set_level Sink.log_src level
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSONL telemetry trace of every monitor crossing to $(docv) ('-' for stdout).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the telemetry metrics registry (call counts, error counts, cycle histograms) as JSON on exit.")
+
+(* Build the monitor sink for the common --trace-out/--metrics pair.
+   Returns the sink, the registry when --metrics was given, and a
+   [finish] closing the trace channel and printing the metrics dump. *)
+let telemetry_setup ~trace_out ~metrics =
+  let reg = if metrics then Some (Metrics.create ()) else None in
+  let oc =
+    match trace_out with
+    | None -> None
+    | Some "-" -> Some stdout
+    | Some path -> (
+        try Some (open_out path)
+        with Sys_error e ->
+          Printf.eprintf "komodo: cannot open trace file: %s\n" e;
+          exit 2)
+  in
+  let sinks =
+    (match oc with Some oc -> [ Sink.jsonl oc ] | None -> [])
+    @ (match reg with Some reg -> [ Metrics.sink reg ] | None -> [])
+  in
+  let finish () =
+    (match oc with
+    | Some oc when oc == stdout -> flush stdout
+    | Some oc -> close_out oc
+    | None -> ());
+    match reg with
+    | Some reg ->
+        (* Keep stdout clean JSONL when the trace itself goes there. *)
+        let chan = if trace_out = Some "-" then stderr else stdout in
+        output_string chan (Json.to_string (Metrics.dump reg));
+        output_char chan '\n';
+        flush chan
+    | None -> ()
+  in
+  (Sink.fanout sinks, reg, finish)
 
 let load_simple ?(spares = 0) os prog =
   let code = Uprog.to_page_images (Uprog.code_words prog) in
@@ -60,54 +123,56 @@ let load_simple ?(spares = 0) os prog =
 
 (* -- run -------------------------------------------------------------- *)
 
+let program_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun (n, (p, _)) -> (n, p)) programs)) Progs.add_args
+    & info [ "program"; "p" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Demo program to run (%s)."
+             (String.concat ", " (List.map fst programs))))
+
+let args_arg =
+  Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Entry argument (up to 3).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "irq-budget" ] ~docv:"STEPS" ~doc:"Interrupt after this many user steps.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file"; "f" ] ~docv:"PROG.kasm"
+        ~doc:"Assemble and run a .kasm program instead of a built-in demo.")
+
+let spares_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "spares" ] ~docv:"N"
+        ~doc:
+          "Grant N spare pages to the enclave; their page numbers are \
+           appended to the entry arguments (a1 = first spare, ...).")
+
+let load_program ~file prog =
+  match file with
+  | None -> prog
+  | Some path -> (
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Komodo_user.Kasm.parse src with
+      | Ok prog -> prog
+      | Error e -> failwith (Format.asprintf "%s: %a" path Komodo_user.Kasm.pp_error e))
+
 let run_cmd =
-  let program =
-    Arg.(
-      value
-      & opt (enum (List.map (fun (n, (p, _)) -> (n, p)) programs)) Progs.add_args
-      & info [ "program"; "p" ] ~docv:"NAME"
-          ~doc:
-            (Printf.sprintf "Demo program to run (%s)."
-               (String.concat ", " (List.map fst programs))))
-  in
-  let args =
-    Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Entry argument (up to 3).")
-  in
-  let budget =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "irq-budget" ] ~docv:"STEPS" ~doc:"Interrupt after this many user steps.")
-  in
-  let file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "file"; "f" ] ~docv:"PROG.kasm"
-          ~doc:"Assemble and run a .kasm program instead of a built-in demo.")
-  in
-  let spares =
-    Arg.(
-      value & opt int 0
-      & info [ "spares" ] ~docv:"N"
-          ~doc:
-            "Grant N spare pages to the enclave; their page numbers are \
-             appended to the entry arguments (a1 = first spare, ...).")
-  in
-  let run seed npages prog args budget file spares =
-    setup_logs ();
-    let prog =
-      match file with
-      | None -> prog
-      | Some path -> (
-          let ic = open_in_bin path in
-          let src = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          match Komodo_user.Kasm.parse src with
-          | Ok prog -> prog
-          | Error e -> failwith (Format.asprintf "%s: %a" path Komodo_user.Kasm.pp_error e))
-    in
-    let os = Os.boot ~seed ~npages () in
+  let run level seed npages prog args budget file spares trace_out metrics =
+    setup_logs level;
+    let prog = load_program ~file prog in
+    let sink, _reg, finish = telemetry_setup ~trace_out ~metrics in
+    let os = Os.boot ~seed ~npages ~sink () in
     let os, h = load_simple ~spares os prog in
     let th = List.hd h.Loader.threads in
     (* Spare page numbers prepend the argument list so .kasm programs
@@ -128,16 +193,80 @@ let run_cmd =
       (Word.to_int v);
     Printf.printf "cycles: %d (%.3f ms at 900 MHz)\n" (Os.cycles os - c0)
       (Komodo_machine.Cost.cycles_to_ms (Os.cycles os - c0));
+    finish ();
     if Errors.is_success err || Errors.equal err Errors.Fault then 0 else 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Boot the platform and run a demo enclave")
-    Term.(const run $ seed_arg $ npages_arg $ program $ args $ budget $ file $ spares)
+    Term.(
+      const run $ verbosity $ seed_arg $ npages_arg $ program_arg $ args_arg $ budget_arg
+      $ file_arg $ spares_arg $ trace_out_arg $ metrics_arg)
+
+(* -- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let pretty =
+    Arg.(
+      value & flag
+      & info [ "pretty" ] ~doc:"Also pretty-print each event to stderr as it happens.")
+  in
+  let run level seed npages prog args budget file spares trace_out metrics pretty =
+    setup_logs level;
+    let prog = load_program ~file prog in
+    (* The trace defaults to stdout so `komodo trace -p sum` is useful
+       bare; --trace-out FILE redirects it. *)
+    let trace_out = Some (Option.value trace_out ~default:"-") in
+    let sink, reg, finish = telemetry_setup ~trace_out ~metrics in
+    (* Keep a copy of the stream in memory for the audit pass, and —
+       when metrics are on — count retired user instructions via the
+       machine layer's probe. *)
+    let collect_sink, collected = Sink.collect () in
+    let exec =
+      match reg with
+      | None -> Komodo_user.Verifier.executor ()
+      | Some reg ->
+          Komodo_user.Verifier.executor
+            ~probe:(fun ~steps -> Metrics.add_count reg "user_instructions" steps)
+            ()
+    in
+    let sinks = [ sink; collect_sink ] in
+    let sinks = if pretty then Sink.console Format.err_formatter :: sinks else sinks in
+    let os = Os.boot ~seed ~npages ~sink:(Sink.fanout sinks) ~exec () in
+    let os, h = load_simple ~spares os prog in
+    let th = List.hd h.Loader.threads in
+    let args =
+      List.map (fun s -> Word.of_int s) h.Loader.spares @ List.map Word.of_int args
+    in
+    let nth n = try List.nth args n with _ -> Word.zero in
+    let os, err, v =
+      Os.run_thread ?budget os ~thread:th ~args:(nth 0, nth 1, nth 2)
+    in
+    Printf.eprintf "result: %s, value = %d (0x%x)\n" (Errors.show err) (Word.to_int v)
+      (Word.to_int v);
+    (* Full Figure 3 arc: stop the enclave and reclaim every page, so
+       the trace ends init -> ... -> enter -> exit -> stop -> remove. *)
+    let _os, terr = Os.teardown os ~addrspace:h.Loader.addrspace in
+    finish ();
+    let events = collected () in
+    let violations = Audit.check events in
+    List.iter (fun v -> Format.eprintf "audit: %a@." Audit.pp_violation v) violations;
+    if violations = [] then
+      Printf.eprintf "audit: trace orderly (%d events)\n" (List.length events);
+    if Errors.is_success err && Errors.is_success terr && violations = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an enclave through its full lifecycle (init, finalise, enter, stop, remove), \
+          emitting a JSONL telemetry trace and checking it with the audit log")
+    Term.(
+      const run $ verbosity $ seed_arg $ npages_arg $ program_arg $ args_arg $ budget_arg
+      $ file_arg $ spares_arg $ trace_out_arg $ metrics_arg $ pretty)
 
 (* -- attest ----------------------------------------------------------- *)
 
 let attest_cmd =
-  let run seed npages =
-    setup_logs ();
+  let run level seed npages =
+    setup_logs level;
     let os = Os.boot ~seed ~npages () in
     let os, h = load_simple os Progs.attest_zero in
     let os, err, v = Os.enter os ~thread:(List.hd h.Loader.threads) ~args:(Word.zero, Word.zero, Word.zero) in
@@ -157,13 +286,13 @@ let attest_cmd =
   in
   Cmd.v
     (Cmd.info "attest" ~doc:"Run an attesting enclave and check its MAC against the boot secret")
-    Term.(const run $ seed_arg $ npages_arg)
+    Term.(const run $ verbosity $ seed_arg $ npages_arg)
 
 (* -- inspect ----------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run seed npages =
-    setup_logs ();
+  let run level seed npages =
+    setup_logs level;
     let os = Os.boot ~seed ~npages () in
     let os, _ = load_simple os Progs.add_args in
     let os, h2 = load_simple os Progs.sum_to_n in
@@ -183,7 +312,7 @@ let inspect_cmd =
     if wf then 0 else 1
   in
   Cmd.v (Cmd.info "inspect" ~doc:"Dump the PageDB and platform layout of a loaded system")
-    Term.(const run $ seed_arg $ npages_arg)
+    Term.(const run $ verbosity $ seed_arg $ npages_arg)
 
 (* -- notary ------------------------------------------------------------ *)
 
@@ -194,8 +323,8 @@ let notary_cmd =
       & opt (some file) None
       & info [ "document"; "d" ] ~docv:"FILE" ~doc:"File to notarise (default: a demo string).")
   in
-  let run seed npages document =
-    setup_logs ();
+  let run level seed npages document =
+    setup_logs level;
     let os = Os.boot ~seed ~npages () in
     let zero_page = String.make Ptable.page_size '\000' in
     let code = Uprog.to_page_images (Uprog.native_words ~id:Notary.native_id) in
@@ -267,7 +396,7 @@ let notary_cmd =
     end
   in
   Cmd.v (Cmd.info "notary" ~doc:"Notarise a document with the notary enclave")
-    Term.(const run $ seed_arg $ npages_arg $ document)
+    Term.(const run $ verbosity $ seed_arg $ npages_arg $ document)
 
 (* -- asm ------------------------------------------------------------------ *)
 
@@ -319,8 +448,8 @@ let asm_cmd =
 let verify_cmd =
   let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seed count.") in
   let ops = Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Adversarial ops per seed.") in
-  let run seeds ops =
-    setup_logs ();
+  let run level seeds ops =
+    setup_logs level;
     let bad = ref 0 in
     for seed = 1 to seeds do
       (match Komodo_sec.Nonint.run_confidentiality ~seed ~nops:ops with
@@ -347,11 +476,14 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run the noninterference harness and attack library")
-    Term.(const run $ seeds $ ops)
+    Term.(const run $ verbosity $ seeds $ ops)
 
 let () =
   let info =
     Cmd.info "komodo" ~version:"1.0.0"
       ~doc:"A software secure-enclave monitor (Komodo, SOSP 2017) — executable model"
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; asm_cmd; attest_cmd; inspect_cmd; notary_cmd; verify_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; inspect_cmd; notary_cmd; verify_cmd ]))

@@ -31,9 +31,16 @@ type t = {
           conservative FIQ/IRQ banked-register save/restore and the
           unconditional TLB flush — the lemma-justified optimisations
           the paper proposes. Functional behaviour is unchanged. *)
+  sink : Komodo_telemetry.Sink.t;
+      (** Telemetry sink the instrumented hot paths report to. The
+          default {!Komodo_telemetry.Sink.null} makes every
+          instrumentation site a single branch: no events are built,
+          no cycles charged, and the verified-path semantics are
+          unchanged. *)
 }
 
-let of_boot ?(optimised = false) (b : Komodo_tz.Boot.t) =
+let of_boot ?(optimised = false) ?(sink = Komodo_telemetry.Sink.null)
+    (b : Komodo_tz.Boot.t) =
   {
     mach = b.Komodo_tz.Boot.state;
     pagedb = Pagedb.make ~npages:b.Komodo_tz.Boot.plat.Platform.npages;
@@ -41,10 +48,22 @@ let of_boot ?(optimised = false) (b : Komodo_tz.Boot.t) =
     attest_key = b.Komodo_tz.Boot.attest_key;
     rng = b.Komodo_tz.Boot.rng;
     optimised;
+    sink;
   }
 
 let charge n t = { t with mach = State.charge n t.mach }
 let cycles t = t.mach.State.cycles
+
+(* -- Telemetry ---------------------------------------------------------- *)
+
+(** Guard for instrumentation sites: when false (the null sink), skip
+    building the event altogether. *)
+let telemetry_on t = not (Komodo_telemetry.Sink.is_null t.sink)
+
+(** Emit one event, stamped with the current cycle counter. Emission is
+    a side effect of the shared sink and charges no modelled cycles. *)
+let emit t ev =
+  Komodo_telemetry.Sink.emit t.sink { Komodo_telemetry.Event.at = cycles t; ev }
 
 (* -- Secure-page access ------------------------------------------------ *)
 

@@ -23,11 +23,25 @@ type t = {
       (** §8.1 ablation switch: skip the conservative FIQ/IRQ
           banked-register saves and redundant TTBR reload + TLB flush.
           Functionally identical (property-tested). *)
+  sink : Komodo_telemetry.Sink.t;
+      (** Telemetry sink for the instrumented hot paths; the default
+          null sink makes instrumentation a single branch with no
+          allocation and no modelled-cycle cost. *)
 }
 
-val of_boot : ?optimised:bool -> Komodo_tz.Boot.t -> t
+val of_boot : ?optimised:bool -> ?sink:Komodo_telemetry.Sink.t -> Komodo_tz.Boot.t -> t
 val charge : int -> t -> t
 val cycles : t -> int
+
+(* Telemetry *)
+
+val telemetry_on : t -> bool
+(** True unless the sink is null — instrumentation sites guard on this
+    before building events. *)
+
+val emit : t -> Komodo_telemetry.Event.t -> unit
+(** Emit one event stamped with the current cycle counter. Side effect
+    of the shared sink; charges no modelled cycles. *)
 
 (* Secure-page access *)
 

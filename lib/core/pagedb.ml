@@ -135,6 +135,24 @@ let all_addrspaces t =
     t.entries []
   |> List.rev
 
+(** Pages whose *type* differs between [before] and [after], as
+    [(page, old_type_name, new_type_name)] in page order — the raw
+    material of telemetry's page-transition events. Content-only
+    changes (e.g. a thread's saved context) are not transitions. *)
+let diff_types before after =
+  let tagged m =
+    Pmap.map (fun e -> type_name e) m.entries
+  in
+  let b = tagged before and a = tagged after in
+  Pmap.merge
+    (fun _n tb ta ->
+      let tb = Option.value tb ~default:"free"
+      and ta = Option.value ta ~default:"free" in
+      if String.equal tb ta then None else Some (tb, ta))
+    b a
+  |> Pmap.bindings
+  |> List.map (fun (n, (tb, ta)) -> (n, tb, ta))
+
 (* -- Reference-count maintenance -------------------------------------- *)
 
 let bump_refcount t asp delta =

@@ -95,6 +95,11 @@ val count_owned : t -> pagenr -> int
 val free_count : t -> int
 val all_addrspaces : t -> (pagenr * addrspace_info) list
 
+val diff_types : t -> t -> (pagenr * string * string) list
+(** Pages whose type differs between the two PageDBs, as
+    [(page, old_type_name, new_type_name)] in page order — the raw
+    material of telemetry's page-transition events. *)
+
 val bump_refcount : t -> pagenr -> int -> t
 (** @raise Invalid_argument if the page is not an address space. *)
 

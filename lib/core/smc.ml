@@ -321,6 +321,25 @@ let exec_event_to_exn = function
   | Exec.Ev_fault Exec.Undef_insn -> Armexn.Undefined_instr
   | Exec.Ev_fault _ -> Armexn.Data_abort
 
+let exec_event_kind = function
+  | Exec.Ev_svc _ -> "svc"
+  | Exec.Ev_irq -> "irq"
+  | Exec.Ev_fiq -> "fiq"
+  | Exec.Ev_fault f -> "fault:" ^ String.lowercase_ascii (Exec.show_fault f)
+
+(** Trace the intercepted control-flow SVCs (Exit, ResumeFaulted) that
+    never reach {!Svc.handle}. *)
+let emit_intercepted_svc t ~call ~err ~entry_cycles =
+  Monitor.emit t
+    (Komodo_telemetry.Event.Svc_exit
+       {
+         call;
+         name = Svc.call_name call;
+         err = Word.to_int (Errors.to_word err);
+         err_name = Errors.show err;
+         cycles = Monitor.cycles t - entry_cycles;
+       })
+
 (** Fetch the thread argument for Enter/Resume, validating that it is a
     thread of a finalised enclave. *)
 let thread_page (t : Monitor.t) w =
@@ -396,11 +415,17 @@ let rec execution_loop ~(exec : Uexec.t) (t : Monitor.t) ~th_pg ~th ~entry_va ~s
   (* The exception traps back to privileged mode, banking the user PC. *)
   let mach = State.take_exception mach (exec_event_to_exn event) ~return_pc:mach.State.upc in
   let t = { t with Monitor.mach = mach } in
+  let traced = Monitor.telemetry_on t in
+  if traced then
+    Monitor.emit t (Komodo_telemetry.Event.Exception { kind = exec_event_kind event });
   match event with
   | Exec.Ev_svc _ ->
       let call = Word.to_int (State.read_reg mach (Regs.R 0)) in
       if call = Svc.sv_exit then begin
         (* Exit: registers are not saved; the thread may be re-entered. *)
+        let entry_cycles = Monitor.cycles t in
+        if traced then
+          Monitor.emit t (Komodo_telemetry.Event.Svc_entry { call; name = Svc.call_name call });
         let retval = State.read_reg mach (Regs.R 1) in
         let db =
           Pagedb.set t.Monitor.pagedb th_pg
@@ -410,17 +435,22 @@ let rec execution_loop ~(exec : Uexec.t) (t : Monitor.t) ~th_pg ~th ~entry_va ~s
           if t.Monitor.optimised then Cost.banked_save_opt else Cost.banked_save_full
         in
         let t = Monitor.charge (Cost.exit_path + banked) t in
+        if traced then emit_intercepted_svc t ~call ~err:Errors.Success ~entry_cycles;
         ({ t with Monitor.pagedb = db }, Errors.Success, retval)
       end
       else if call = Svc.sv_resume_faulted then begin
         (* Dispatcher done: restore the faulting context and retry the
            interrupted access. *)
+        let entry_cycles = Monitor.cycles t in
+        if traced then
+          Monitor.emit t (Komodo_telemetry.Event.Svc_entry { call; name = Svc.call_name call });
         match th.Pagedb.fault_ctx with
         | Some fctx ->
             let th = { th with Pagedb.fault_ctx = None } in
             let db = Pagedb.set t.Monitor.pagedb th_pg (Pagedb.Thread th) in
             let t = restore_ctx { t with Monitor.pagedb = db } fctx in
             let t = Monitor.charge (Cost.reg_save 17 + Cost.svc_trap) t in
+            if traced then emit_intercepted_svc t ~call ~err:Errors.Success ~entry_cycles;
             execution_loop ~exec t ~th_pg ~th ~entry_va:fctx.Pagedb.image
               ~start_pc:(Word.to_int fctx.Pagedb.pc) ~iter:(iter + 1)
         | None ->
@@ -430,6 +460,7 @@ let rec execution_loop ~(exec : Uexec.t) (t : Monitor.t) ~th_pg ~th ~entry_va ~s
                 (Errors.to_word Errors.Not_entered)
             in
             let t = { t with Monitor.mach = mach } in
+            if traced then emit_intercepted_svc t ~call ~err:Errors.Not_entered ~entry_cycles;
             execution_loop ~exec t ~th_pg ~th ~entry_va
               ~start_pc:(Word.to_int t.Monitor.mach.State.upc) ~iter:(iter + 1)
       end
@@ -515,6 +546,10 @@ let enter ~exec (t : Monitor.t) =
   | Ok (th_pg, th, a) ->
       if th.Pagedb.entered then fail Errors.Already_entered t
       else begin
+        if Monitor.telemetry_on t then
+          Monitor.emit t
+            (Komodo_telemetry.Event.Enclave_lifecycle
+               { addrspace = th.Pagedb.addrspace; stage = Komodo_telemetry.Event.Ls_enter });
         let t = load_enclave_mmu t a in
         (* Fresh entry: argument registers set, everything else zeroed. *)
         let regs = Regs.clear_user_visible t.Monitor.mach.State.regs in
@@ -551,6 +586,10 @@ let resume ~exec (t : Monitor.t) =
       match (th.Pagedb.entered, th.Pagedb.ctx) with
       | false, _ | _, None -> fail Errors.Not_entered t
       | true, Some ctx ->
+          if Monitor.telemetry_on t then
+            Monitor.emit t
+              (Komodo_telemetry.Event.Enclave_lifecycle
+                 { addrspace = th.Pagedb.addrspace; stage = Komodo_telemetry.Event.Ls_resume });
           let t = load_enclave_mmu t a in
           let t = restore_ctx t ctx in
           let t = { t with Monitor.mach = { t.Monitor.mach with State.scr_ns = false } } in
@@ -613,6 +652,12 @@ let handle ?(exec = Uexec.concrete ()) (t : Monitor.t) =
   let t = { t with Monitor.mach = { t.Monitor.mach with State.scr_ns = false } } in
   let call = Word.to_int (Monitor.arg t 0) in
   let args = List.init 4 (fun i -> Monitor.arg t (i + 1)) in
+  let traced = Monitor.telemetry_on t in
+  let entry_cycles = Monitor.cycles t and db0 = t.Monitor.pagedb in
+  if traced then
+    Monitor.emit t
+      (Komodo_telemetry.Event.Smc_entry
+         { call; name = call_name call; args = List.map Word.to_int args });
   let t, err, retval = dispatch ~exec t in
   Log.debug (fun m ->
       m "%s(%s) -> %s, %a" (call_name call)
@@ -631,7 +676,44 @@ let handle ?(exec = Uexec.concrete ()) (t : Monitor.t) =
   let t = Monitor.restore_os_context t saved ~err ~retval in
   let t = { t with Monitor.mach = { t.Monitor.mach with State.scr_ns = true } } in
   let mach, _pc = State.exception_return t.Monitor.mach in
-  ({ t with Monitor.mach = mach }, err, retval)
+  let t = { t with Monitor.mach = mach } in
+  if traced then begin
+    (* Page retypings at SMC granularity; inside Enter/Resume the SVC
+       handler has already reported its own, so skip the outer diff. *)
+    if call <> sm_enter && call <> sm_resume then
+      List.iter
+        (fun (page, from_type, to_type) ->
+          Monitor.emit t
+            (Komodo_telemetry.Event.Page_transition { page; from_type; to_type }))
+        (Pagedb.diff_types db0 t.Monitor.pagedb);
+    (* Lifecycle milestones of the construction/teardown calls; Enter
+       and Resume emit theirs inline, before the SVC loop runs. *)
+    if Errors.is_success err then begin
+      let lifecycle stage addrspace =
+        Monitor.emit t
+          (Komodo_telemetry.Event.Enclave_lifecycle { addrspace; stage })
+      in
+      let arg1 = Word.to_int (List.hd args) in
+      if call = sm_init_addrspace then lifecycle Komodo_telemetry.Event.Ls_init arg1
+      else if call = sm_finalise then lifecycle Komodo_telemetry.Event.Ls_finalise arg1
+      else if call = sm_stop then lifecycle Komodo_telemetry.Event.Ls_stop arg1
+      else if call = sm_remove then
+        match Pagedb.get db0 arg1 with
+        | Pagedb.Addrspace _ -> lifecycle Komodo_telemetry.Event.Ls_remove arg1
+        | _ -> ()
+    end;
+    Monitor.emit t
+      (Komodo_telemetry.Event.Smc_exit
+         {
+           call;
+           name = call_name call;
+           err = Word.to_int (Errors.to_word err);
+           err_name = Errors.show err;
+           retval = Word.to_int retval;
+           cycles = Monitor.cycles t - entry_cycles;
+         })
+  end;
+  (t, err, retval)
 
 (** Convenience wrapper for OS-side callers: from normal world, place
     the call in the argument registers, trap, handle, and return. *)

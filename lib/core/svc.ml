@@ -34,6 +34,18 @@ let sv_unmap_data = 6
 let sv_set_dispatcher = 7
 let sv_resume_faulted = 8 (* intercepted by the Enter/Resume loop *)
 
+let call_name call =
+  if call = sv_exit then "Exit"
+  else if call = sv_get_random then "GetRandom"
+  else if call = sv_attest then "Attest"
+  else if call = sv_verify then "Verify"
+  else if call = sv_init_l2ptable then "InitL2PTable"
+  else if call = sv_map_data then "MapData"
+  else if call = sv_unmap_data then "UnmapData"
+  else if call = sv_set_dispatcher then "SetDispatcher"
+  else if call = sv_resume_faulted then "ResumeFaulted"
+  else Printf.sprintf "Unknown(%d)" call
+
 (** How a fault is described to the enclave's dispatcher (r0 of the
     upcall). The OS never sees these — it is told only [Fault]. *)
 let fault_code = function
@@ -243,6 +255,10 @@ let set_dispatcher (t : Monitor.t) ~cur_thread =
 let handle (t : Monitor.t) ~cur_asp ~cur_thread =
   let call = Word.to_int (ureg t 0) in
   let t = Monitor.charge Cost.svc_trap t in
+  let traced = Monitor.telemetry_on t in
+  let entry_cycles = Monitor.cycles t and db0 = t.Monitor.pagedb in
+  if traced then
+    Monitor.emit t (Komodo_telemetry.Event.Svc_entry { call; name = call_name call });
   let t, err =
     if call = sv_get_random then get_random t
     else if call = sv_attest then attest t ~cur_asp
@@ -253,4 +269,21 @@ let handle (t : Monitor.t) ~cur_asp ~cur_thread =
     else if call = sv_set_dispatcher then set_dispatcher t ~cur_thread
     else (set_results t Errors.Invalid_arg [], Errors.Invalid_arg)
   in
-  (Monitor.charge Cost.exception_return t, err)
+  let t = Monitor.charge Cost.exception_return t in
+  if traced then begin
+    List.iter
+      (fun (page, from_type, to_type) ->
+        Monitor.emit t
+          (Komodo_telemetry.Event.Page_transition { page; from_type; to_type }))
+      (Pagedb.diff_types db0 t.Monitor.pagedb);
+    Monitor.emit t
+      (Komodo_telemetry.Event.Svc_exit
+         {
+           call;
+           name = call_name call;
+           err = Word.to_int (Errors.to_word err);
+           err_name = Errors.show err;
+           cycles = Monitor.cycles t - entry_cycles;
+         })
+  end;
+  (t, err)

@@ -32,6 +32,8 @@ val sv_set_dispatcher : int
 val sv_resume_faulted : int
 (** Restore the context parked by a fault upcall and retry. *)
 
+val call_name : int -> string
+
 val fault_code : Exec.fault -> Word.t
 (** How a fault is described to the dispatcher (r0 of the upcall); the
     OS is never told more than [Fault]. *)

@@ -29,7 +29,15 @@ type t = {
           havoc model a fresh seed per burst. *)
 }
 
-val concrete : ?fuel:int -> ?native:(int -> Exec.native option) -> unit -> t
+val concrete :
+  ?fuel:int ->
+  ?native:(int -> Exec.native option) ->
+  ?probe:(steps:int -> unit) ->
+  unit ->
+  t
+(** [probe] observes the instructions retired per burst — the machine
+    layer's telemetry hook (e.g. feed it into a metrics registry with
+    {!Komodo_telemetry.Metrics.add_count}). *)
 
 val visible_state_key : State.t -> string
 (** Digest of the user-visible state (registers, flags, PC, every

@@ -200,8 +200,15 @@ let step_insn s (i : Insn.insn) : (State.t, event * State.t) result =
 (** Run the bytecode program from flat index [start_pc] until an event.
     [fuel] bounds total steps (exhaustion models a timer interrupt).
     On return, [State.upc] holds the flat index at which execution
-    stopped — the resumption PC. *)
-let run_bytecode s (prog : Insn.fop array) ~start_pc ~fuel =
+    stopped — the resumption PC. [probe], if given, observes the number
+    of instructions retired in this burst — the machine layer's
+    telemetry hook (it never affects execution or cycle charging). *)
+let run_bytecode ?probe s (prog : Insn.fop array) ~start_pc ~fuel =
+  let retired = ref 0 in
+  let finish (s, ev) =
+    (match probe with Some f -> f ~steps:!retired | None -> ());
+    (s, ev)
+  in
   let n = Array.length prog in
   let rec loop s pc fuel =
     if fuel <= 0 then ({ s with State.upc = Word.of_int pc }, Ev_irq)
@@ -215,6 +222,7 @@ let run_bytecode s (prog : Insn.fop array) ~start_pc ~fuel =
           else
             let op = prog.(pc) in
             let s = State.charge (Insn.fop_cost op) s in
+            incr retired;
             (match op with
             | Insn.FJmp t -> loop s t (fuel - 1)
             | Insn.FJcc (c, t) ->
@@ -233,11 +241,11 @@ let run_bytecode s (prog : Insn.fop array) ~start_pc ~fuel =
                     in
                     ({ s with State.upc = Word.of_int resume_pc }, ev)))
   in
-  loop s start_pc fuel
+  finish (loop s start_pc fuel)
 
 (** Execute user code at/under [entry_va] starting from flat index
     [start_pc], dispatching native services through [native]. *)
-let run s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
+let run ?probe s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
   match fetch_image s ~entry_va with
   | Bad_image -> (s, Ev_fault Prefetch)
   | Native_ref id -> (
@@ -245,5 +253,7 @@ let run s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
       | None -> (s, Ev_fault Undef_insn)
       | Some prog ->
           let { nstate; nevent } = prog s in
+          (* Native bursts retire no modelled instructions. *)
+          (match probe with Some f -> f ~steps:0 | None -> ());
           (nstate, nevent))
-  | Bytecode prog -> run_bytecode s prog ~start_pc ~fuel
+  | Bytecode prog -> run_bytecode ?probe s prog ~start_pc ~fuel

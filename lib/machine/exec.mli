@@ -60,14 +60,23 @@ val fetch_image : State.t -> entry_va:Word.t -> code_image
 (** Read and decode the program at [entry_va] (header: magic, length,
     body), fetching through the page table. *)
 
-val run_bytecode : State.t -> Insn.fop array -> start_pc:int -> fuel:int -> State.t * event
+val run_bytecode :
+  ?probe:(steps:int -> unit) ->
+  State.t ->
+  Insn.fop array ->
+  start_pc:int ->
+  fuel:int ->
+  State.t * event
 (** Interpret from flat index [start_pc] until an event; [fuel] bounds
     total steps (exhaustion models a timer interrupt). On return,
     [State.upc] holds the flat index at which execution stopped — the
     resumption PC (for SVCs, past the SVC; for faults, the faulting
-    instruction itself so it can be retried). *)
+    instruction itself so it can be retried). [probe] observes the
+    number of instructions retired in the burst (telemetry hook; never
+    affects execution or cycle charging). *)
 
 val run :
+  ?probe:(steps:int -> unit) ->
   State.t ->
   entry_va:Word.t ->
   start_pc:int ->
@@ -75,4 +84,5 @@ val run :
   native:(int -> native option) ->
   State.t * event
 (** Execute user code at [entry_va], dispatching native services through
-    [native]. An undecodable image is a prefetch abort. *)
+    [native]. An undecodable image is a prefetch abort. Native bursts
+    report zero retired instructions to [probe]. *)

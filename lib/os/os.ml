@@ -29,14 +29,14 @@ let staging_base = Word.of_int 0x1000_0000 (* MapSecure initial contents *)
 let document_base = Word.of_int 0x0200_0000 (* large input buffers *)
 let shared_base = Word.of_int 0x0300_0000 (* enclave <-> OS shared pages *)
 
-let boot ?seed ?npages ?optimised ?(exec = Komodo_user.Verifier.executor ()) () =
+let boot ?seed ?npages ?optimised ?sink ?(exec = Komodo_user.Verifier.executor ()) () =
   let plat =
     match npages with
     | None -> Platform.default
     | Some npages -> Platform.make ~npages ()
   in
   let b = Boot.boot ?seed ~plat () in
-  let mon = Monitor.of_boot ?optimised b in
+  let mon = Monitor.of_boot ?optimised ?sink b in
   { mon; alloc = Alloc.make ~npages:plat.Platform.npages; exec }
 
 (** Raised when normal-world software touches TrustZone-protected
@@ -163,3 +163,26 @@ let run_thread ?budget t ~thread ~args =
   go t true
 
 let cycles t = Monitor.cycles t.mon
+
+(** Full teardown of an enclave: Stop, Remove every owned page, Remove
+    the address-space page. Returns the first non-success error (the
+    teardown keeps going so later removes still run) — the OS-side
+    mirror of the paper's Figure 3 exit arc, and the tail of the
+    lifecycle the telemetry audit log checks. *)
+let teardown t ~addrspace =
+  let worst = ref Errors.Success in
+  let note e = if Errors.is_success !worst && not (Errors.is_success e) then worst := e in
+  let t, e = stop t ~addrspace in
+  note e;
+  let owned = Komodo_core.Pagedb.owned_pages t.mon.Monitor.pagedb addrspace in
+  let t =
+    List.fold_left
+      (fun t page ->
+        let t, e = remove t ~page in
+        note e;
+        t)
+      t owned
+  in
+  let t, e = remove t ~page:addrspace in
+  note e;
+  (t, !worst)

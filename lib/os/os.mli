@@ -26,9 +26,17 @@ val document_base : Word.t
 val shared_base : Word.t
 (** Enclave <-> OS shared pages. *)
 
-val boot : ?seed:int -> ?npages:int -> ?optimised:bool -> ?exec:Uexec.t -> unit -> t
+val boot :
+  ?seed:int ->
+  ?npages:int ->
+  ?optimised:bool ->
+  ?sink:Komodo_telemetry.Sink.t ->
+  ?exec:Uexec.t ->
+  unit ->
+  t
 (** Boot the platform (bootloader then normal world). The default
-    executor has both native services (notary, verifier) registered. *)
+    executor has both native services (notary, verifier) registered;
+    [sink] attaches a telemetry sink to the monitor (default: null). *)
 
 exception Protected of Word.t
 (** Normal-world software touched TrustZone-protected memory. *)
@@ -67,3 +75,8 @@ val run_thread :
     faults; [budget] arms the interrupt source before each crossing. *)
 
 val cycles : t -> int
+
+val teardown : t -> addrspace:int -> t * Errors.t
+(** Stop the enclave, Remove every owned page, then Remove the
+    address-space page itself; returns the first non-success error.
+    The tail of the lifecycle the telemetry audit log checks. *)

@@ -1,0 +1,122 @@
+(** Lifecycle audit log: replay a trace and check its orderliness.
+
+    The event stream is a checkable record of the monitor's behaviour,
+    in the way Guardian validates SGX enclave orderliness from the
+    ecall/ocall sequence: a well-behaved run never Enters an enclave
+    before Finalise, never touches an enclave after Remove, only
+    Removes what was Stopped, and every page retyping starts from the
+    type the page actually had. [check] replays a stamped event list
+    against that state machine and returns every violation (empty =
+    orderly). It is pure — it never consults the monitor — so it can
+    audit a live ring buffer, a parsed JSONL file, or a hand-built
+    trace in a test. *)
+
+type violation = { index : int; at : int; message : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "event %d (cycle %d): %s" v.index v.at v.message
+
+(** Lifecycle states an address space moves through, as witnessed by
+    [Enclave_lifecycle] events. *)
+type asp_state = A_init | A_final | A_stopped | A_removed
+
+let state_name = function
+  | A_init -> "init"
+  | A_final -> "final"
+  | A_stopped -> "stopped"
+  | A_removed -> "removed"
+
+let check (trace : Event.stamped list) : violation list =
+  let violations = ref [] in
+  let page_types : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let asp_states : (int, asp_state) Hashtbl.t = Hashtbl.create 8 in
+  (* The SMC currently open (events nest inside an Smc_entry/Smc_exit
+     pair; Enter/Resume wrap the whole SVC loop, Figure 3). *)
+  let open_smc = ref None in
+  let prev_at = ref min_int in
+  let report index at fmt = Printf.ksprintf (fun message -> violations := { index; at; message } :: !violations) fmt in
+  let page_type page =
+    match Hashtbl.find_opt page_types page with Some ty -> ty | None -> "free"
+  in
+  let asp_status asp = Hashtbl.find_opt asp_states asp in
+  List.iteri
+    (fun index { Event.at; ev } ->
+      let bad fmt = report index at fmt in
+      if at < !prev_at then
+        bad "cycle stamp %d regresses below %d" at !prev_at;
+      prev_at := at;
+      (match ev with
+      | Event.Smc_entry { call; name; _ } -> (
+          match !open_smc with
+          | Some (_, open_name) ->
+              bad "SMC %s begins inside unfinished SMC %s" name open_name
+          | None -> open_smc := Some (call, name))
+      | Event.Smc_exit { call; name; _ } -> (
+          match !open_smc with
+          | Some (open_call, _) when open_call = call -> open_smc := None
+          | Some (_, open_name) ->
+              bad "SMC %s exits while %s is open" name open_name;
+              open_smc := None
+          | None -> bad "SMC %s exits without a matching entry" name)
+      | Event.Svc_entry { name; _ } | Event.Svc_exit { name; _ } ->
+          if !open_smc = None then bad "SVC %s outside any SMC" name
+      | Event.Exception _ ->
+          if !open_smc = None then bad "user exception outside any SMC"
+      | Event.Page_transition { page; from_type; to_type } ->
+          let cur = page_type page in
+          if not (String.equal cur from_type) then
+            bad "page %d retyped %s -> %s but its type is %s" page from_type
+              to_type cur;
+          Hashtbl.replace page_types page to_type
+      | Event.Enclave_lifecycle { addrspace; stage } -> (
+          let set s = Hashtbl.replace asp_states addrspace s in
+          match stage with
+          | Event.Ls_init -> (
+              match asp_status addrspace with
+              | Some (A_init | A_final | A_stopped) ->
+                  bad "addrspace %d re-initialised while %s" addrspace
+                    (state_name (Option.get (asp_status addrspace)));
+                  set A_init
+              | Some A_removed | None -> set A_init)
+          | Event.Ls_finalise -> (
+              match asp_status addrspace with
+              | Some A_init -> set A_final
+              | Some s ->
+                  bad "addrspace %d finalised while %s" addrspace (state_name s)
+              | None -> bad "addrspace %d finalised before init" addrspace)
+          | Event.Ls_enter | Event.Ls_resume -> (
+              let what = Event.stage_name stage in
+              match asp_status addrspace with
+              | Some A_final -> ()
+              | Some A_removed ->
+                  bad "addrspace %d %s after Remove" addrspace what
+              | Some s ->
+                  bad "addrspace %d %s before Finalise (state %s)" addrspace
+                    what (state_name s)
+              | None -> bad "addrspace %d %s before init" addrspace what)
+          | Event.Ls_stop -> (
+              match asp_status addrspace with
+              | Some (A_final | A_stopped) -> set A_stopped
+              | Some A_removed -> bad "addrspace %d stopped after Remove" addrspace
+              | Some A_init ->
+                  bad "addrspace %d stopped before Finalise" addrspace
+              | None -> bad "addrspace %d stopped before init" addrspace)
+          | Event.Ls_remove -> (
+              match asp_status addrspace with
+              | Some A_stopped -> set A_removed
+              | Some A_removed ->
+                  bad "addrspace %d removed twice" addrspace
+              | Some s ->
+                  bad "addrspace %d removed before Stop (state %s)" addrspace
+                    (state_name s);
+                  set A_removed
+              | None -> bad "addrspace %d removed before init" addrspace)));
+      ())
+    trace;
+  (match !open_smc with
+  | Some (_, name) ->
+      report (List.length trace) !prev_at "trace ends inside SMC %s" name
+  | None -> ());
+  List.rev !violations
+
+let orderly trace = check trace = []

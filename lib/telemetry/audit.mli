@@ -1,0 +1,16 @@
+(** Lifecycle audit log: replay a trace and check its orderliness — no
+    Enter before Finalise, no access after Remove, Remove only after
+    Stop, every page retyping consistent with the page's tracked type,
+    SMC entry/exit properly bracketed, cycle stamps monotone. Pure:
+    works on a live ring buffer, a parsed JSONL file, or a hand-built
+    trace. *)
+
+type violation = { index : int; at : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Event.stamped list -> violation list
+(** All orderliness violations in the trace, in order; [[]] means the
+    trace is orderly. *)
+
+val orderly : Event.stamped list -> bool

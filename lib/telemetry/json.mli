@@ -1,0 +1,32 @@
+(** A minimal, dependency-free JSON value type, printer, and parser —
+    just enough for JSONL traces and metrics dumps. Integers stay
+    distinct from floats (cycle counters and page numbers are exact). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Compact single-line rendering (no interior newlines: one value per
+    line is valid JSONL). *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val parse : string -> (t, string) result
+
+(** Accessors for picking results apart in tests and tooling. *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

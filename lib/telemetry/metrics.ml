@@ -1,0 +1,141 @@
+(** Metrics registry: per-call counters, error-code counters, and
+    cycle-cost histograms, aggregated from the event stream.
+
+    Attach {!sink} to a monitor (alone or fanned out with a trace
+    writer) and every [Smc_exit] / [Svc_exit] event updates a counter
+    keyed ["smc.<Name>"] / ["svc.<Name>"] plus that key's cycle
+    histogram; error names count separately. {!dump} renders the whole
+    registry as JSON — the machine-readable face of the paper's
+    Table 3 / Figure 5 measurements. *)
+
+type hist = { mutable samples : int list; mutable n : int }
+
+type t = {
+  calls : (string, int ref) Hashtbl.t;
+  errors : (string, int ref) Hashtbl.t;
+  cycles : (string, hist) Hashtbl.t;
+  events : (string, int ref) Hashtbl.t;  (** every event, by kind *)
+}
+
+let create () =
+  {
+    calls = Hashtbl.create 16;
+    errors = Hashtbl.create 16;
+    cycles = Hashtbl.create 16;
+    events = Hashtbl.create 8;
+  }
+
+let incr_tbl tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let add_sample t key v =
+  let h =
+    match Hashtbl.find_opt t.cycles key with
+    | Some h -> h
+    | None ->
+        let h = { samples = []; n = 0 } in
+        Hashtbl.add t.cycles key h;
+        h
+  in
+  h.samples <- v :: h.samples;
+  h.n <- h.n + 1
+
+(** Count an out-of-band occurrence (e.g. retired user instructions)
+    under [key] in the event table. *)
+let add_count t key n =
+  match Hashtbl.find_opt t.events key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.events key (ref n)
+
+let observe t (sev : Event.stamped) =
+  incr_tbl t.events (Event.kind_name sev.Event.ev);
+  match sev.Event.ev with
+  | Event.Smc_exit { name; err_name; cycles; _ } ->
+      let key = "smc." ^ name in
+      incr_tbl t.calls key;
+      incr_tbl t.errors err_name;
+      add_sample t key cycles
+  | Event.Svc_exit { name; err_name; cycles; _ } ->
+      let key = "svc." ^ name in
+      incr_tbl t.calls key;
+      incr_tbl t.errors err_name;
+      add_sample t key cycles
+  | Event.Exception { kind } -> incr_tbl t.events ("exception." ^ kind)
+  | _ -> ()
+
+let sink t = Sink.make (observe t)
+
+(* -- Readout ------------------------------------------------------------ *)
+
+let call_count t name =
+  match Hashtbl.find_opt t.calls name with Some r -> !r | None -> 0
+
+let error_count t err_name =
+  match Hashtbl.find_opt t.errors err_name with Some r -> !r | None -> 0
+
+let event_count t kind =
+  match Hashtbl.find_opt t.events kind with Some r -> !r | None -> 0
+
+type stats = { count : int; p50 : int; p95 : int; max : int; mean : float }
+
+let percentile sorted n q =
+  (* Nearest-rank on the sorted sample array. *)
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let stats t name =
+  match Hashtbl.find_opt t.cycles name with
+  | None -> None
+  | Some { samples; n } when n > 0 ->
+      let sorted = Array.of_list samples in
+      Array.sort compare sorted;
+      Some
+        {
+          count = n;
+          p50 = percentile sorted n 0.50;
+          p95 = percentile sorted n 0.95;
+          max = sorted.(n - 1);
+          mean = float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int n;
+        }
+  | Some _ -> None
+
+let call_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.calls [] |> List.sort compare
+
+(* -- JSON dump ---------------------------------------------------------- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+
+let dump t =
+  let counter_obj tbl =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (sorted_bindings tbl))
+  in
+  let hist_obj =
+    Json.Obj
+      (List.filter_map
+         (fun name ->
+           match stats t name with
+           | None -> None
+           | Some s ->
+               Some
+                 ( name,
+                   Json.Obj
+                     [
+                       ("count", Json.Int s.count);
+                       ("p50", Json.Int s.p50);
+                       ("p95", Json.Int s.p95);
+                       ("max", Json.Int s.max);
+                       ("mean", Json.Float s.mean);
+                     ] ))
+         (call_names t))
+  in
+  Json.Obj
+    [
+      ("calls", counter_obj t.calls);
+      ("errors", counter_obj t.errors);
+      ("cycles", hist_obj);
+      ("events", counter_obj t.events);
+    ]

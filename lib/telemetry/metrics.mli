@@ -1,0 +1,41 @@
+(** Metrics registry: per-call counters, error-code counters, and
+    cycle-cost histograms aggregated from the event stream. Attach
+    {!sink} to a monitor and read the registry back directly or as a
+    JSON {!dump}. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Event.stamped -> unit
+(** Feed one event into the registry ([Smc_exit]/[Svc_exit] update the
+    call counter and cycle histogram keyed ["smc.<Name>"] /
+    ["svc.<Name>"]; every event bumps its kind counter). *)
+
+val sink : t -> Sink.t
+(** A sink that feeds this registry. *)
+
+val add_count : t -> string -> int -> unit
+(** Count an out-of-band occurrence (e.g. retired user instructions). *)
+
+val call_count : t -> string -> int
+(** Completed calls under a key such as ["smc.Enter"] or
+    ["svc.MapData"]. *)
+
+val error_count : t -> string -> int
+(** Results carrying the given error name (e.g. ["Success"]). *)
+
+val event_count : t -> string -> int
+(** Events of a kind (["smc_exit"], ["exception.irq"], ...). *)
+
+type stats = { count : int; p50 : int; p95 : int; max : int; mean : float }
+
+val stats : t -> string -> stats option
+(** Cycle-cost histogram summary for one call key. *)
+
+val call_names : t -> string list
+(** All call keys seen, sorted. *)
+
+val dump : t -> Json.t
+(** The whole registry: [{"calls": {...}, "errors": {...},
+    "cycles": {key: {count,p50,p95,max,mean}}, "events": {...}}]. *)

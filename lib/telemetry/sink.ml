@@ -1,0 +1,76 @@
+(** Pluggable event sinks.
+
+    A sink is where the instrumented monitor sends its events. The
+    [Null] sink is a distinguished constructor, not a no-op closure, so
+    instrumentation sites can test {!is_null} with one branch and skip
+    building the event entirely — the verified-path semantics (and the
+    bench cycle numbers) are bit-for-bit unchanged when telemetry is
+    off.
+
+    Sinks are mutable objects shared by every copy of the (otherwise
+    purely functional) monitor state; emission is the one side effect
+    of the telemetry layer and charges no modelled cycles. *)
+
+let log_src = Logs.Src.create "komodo.telemetry" ~doc:"Komodo telemetry event stream"
+
+module Log = (val Logs.src_log log_src)
+
+type t = Null | Emit of (Event.stamped -> unit)
+
+let null = Null
+let is_null = function Null -> true | Emit _ -> false
+let emit t ev = match t with Null -> () | Emit f -> f ev
+let make f = Emit f
+
+(** Fan one event stream out to several sinks ([Null]s are dropped). *)
+let fanout sinks =
+  match List.filter (fun s -> not (is_null s)) sinks with
+  | [] -> Null
+  | [ s ] -> s
+  | live ->
+      Emit
+        (fun ev ->
+          List.iter (function Null -> () | Emit f -> f ev) live)
+
+(** Accumulate every event in order; the second component returns the
+    events seen so far. *)
+let collect () =
+  let events = ref [] in
+  (Emit (fun ev -> events := ev :: !events), fun () -> List.rev !events)
+
+(** Keep only the last [capacity] events (a flight recorder). *)
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  let buf = Array.make capacity None in
+  let next = ref 0 in
+  let total = ref 0 in
+  let sink =
+    Emit
+      (fun ev ->
+        buf.(!next) <- Some ev;
+        next := (!next + 1) mod capacity;
+        incr total)
+  in
+  let contents () =
+    let n = min !total capacity in
+    let start = if !total <= capacity then 0 else !next in
+    List.init n (fun i ->
+        match buf.((start + i) mod capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  in
+  (sink, contents)
+
+(** Stream events to [oc] as JSONL, one event per line. *)
+let jsonl oc =
+  Emit
+    (fun ev ->
+      output_string oc (Event.to_jsonl_line ev);
+      output_char oc '\n')
+
+(** Human-readable event lines on [ppf]. *)
+let console ppf = Emit (fun ev -> Format.fprintf ppf "%a@." Event.pp_stamped ev)
+
+(** Events as [Logs] debug messages on {!log_src}, interleaving with
+    the monitor-call log under the CLI's [-v] control. *)
+let logs () = Emit (fun ev -> Log.debug (fun m -> m "%a" Event.pp_stamped ev))

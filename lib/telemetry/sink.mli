@@ -1,0 +1,35 @@
+(** Pluggable event sinks. [Null] is a distinguished constructor so
+    instrumentation sites can test {!is_null} with one branch and skip
+    building events entirely — telemetry off costs one comparison and
+    zero allocation, and charges no modelled cycles. *)
+
+val log_src : Logs.src
+(** Telemetry log source ("komodo.telemetry"); the {!logs} sink and
+    internal diagnostics report through it. *)
+
+type t = Null | Emit of (Event.stamped -> unit)
+
+val null : t
+val is_null : t -> bool
+val emit : t -> Event.stamped -> unit
+val make : (Event.stamped -> unit) -> t
+
+val fanout : t list -> t
+(** Send every event to each sink; [Null]s are dropped, and an
+    all-[Null] list collapses back to [Null]. *)
+
+val collect : unit -> t * (unit -> Event.stamped list)
+(** Accumulate every event; the closure returns them in order. *)
+
+val ring : capacity:int -> t * (unit -> Event.stamped list)
+(** Flight recorder: keep only the last [capacity] events.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val jsonl : out_channel -> t
+(** Stream events as JSONL, one event per line (caller closes). *)
+
+val console : Format.formatter -> t
+(** Human-readable event lines. *)
+
+val logs : unit -> t
+(** Events as [Logs] debug messages on {!log_src}. *)

@@ -137,7 +137,7 @@ let native : Exec.native =
 let registry id = if id = native_id then Some native else None
 
 (** An executor with the notary registered. *)
-let executor ?fuel () = Komodo_core.Uexec.concrete ?fuel ~native:registry ()
+let executor ?fuel ?probe () = Komodo_core.Uexec.concrete ?fuel ~native:registry ?probe ()
 
 (* -- Native-process baseline (Figure 5) ---------------------------------
    The same workload running as an ordinary process: identical compute

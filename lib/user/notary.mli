@@ -37,7 +37,7 @@ val cmd_attest_key : int
 
 val native : Exec.native
 val registry : int -> Exec.native option
-val executor : ?fuel:int -> unit -> Komodo_core.Uexec.t
+val executor : ?fuel:int -> ?probe:(steps:int -> unit) -> unit -> Komodo_core.Uexec.t
 
 (** The native-process baseline of Figure 5: identical compute (hash +
     sign + copies), no enclave crossings, no monitor. *)

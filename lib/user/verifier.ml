@@ -140,4 +140,4 @@ let native : Exec.native =
 let registry id =
   if id = native_id then Some native else Notary.registry id
 
-let executor ?fuel () = Komodo_core.Uexec.concrete ?fuel ~native:registry ()
+let executor ?fuel ?probe () = Komodo_core.Uexec.concrete ?fuel ~native:registry ?probe ()

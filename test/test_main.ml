@@ -25,4 +25,5 @@ let () =
       ("uexec", Test_uexec.suite);
       ("sgx", Test_sgx.suite);
       ("security", Test_sec.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,215 @@
+(* Telemetry: metrics counters against known call sequences, JSONL
+   round-trips, the lifecycle audit log, and the null sink's
+   zero-observable-cost guarantee. *)
+
+open Testlib
+module Event = Komodo_telemetry.Event
+module Sink = Komodo_telemetry.Sink
+module Metrics = Komodo_telemetry.Metrics
+module Audit = Komodo_telemetry.Audit
+module Json = Komodo_telemetry.Json
+
+let stamp at ev = { Event.at; ev }
+let lc at addrspace stage = stamp at (Event.Enclave_lifecycle { addrspace; stage })
+
+let stamped = Alcotest.testable Event.pp_stamped Event.equal_stamped
+
+(* One complete Figure 3 arc: load (InitAddrspace, InitL2PTable,
+   MapSecure, InitThread, Finalise), Enter until SVC Exit, then
+   teardown (Stop, Remove x5). Returns the final OS state. *)
+let full_lifecycle ?(sink = Sink.null) () =
+  let os = Os.boot ~seed:0x7E57 ~npages:32 ~sink () in
+  let os, h = load_prog os Progs.sum_to_n in
+  let os, e, v =
+    Os.enter os ~thread:(List.hd h.Loader.threads)
+      ~args:(Word.of_int 100, Word.zero, Word.zero)
+  in
+  check_err "enter" Errors.Success e;
+  Alcotest.(check int) "sum result" 5050 (Word.to_int v);
+  let os, e = Os.teardown os ~addrspace:h.Loader.addrspace in
+  check_err "teardown" Errors.Success e;
+  os
+
+(* -- Metrics ------------------------------------------------------------ *)
+
+let test_counters_match_invocations () =
+  let reg = Metrics.create () in
+  let _ = full_lifecycle ~sink:(Metrics.sink reg) () in
+  (* The lifecycle above issues exactly these calls. *)
+  List.iter
+    (fun (key, n) ->
+      Alcotest.(check int) (key ^ " count") n (Metrics.call_count reg key))
+    [
+      ("smc.InitAddrspace", 1);
+      ("smc.InitL2PTable", 1);
+      ("smc.MapSecure", 1);
+      ("smc.InitThread", 1);
+      ("smc.Finalise", 1);
+      ("smc.Enter", 1);
+      ("smc.Stop", 1);
+      ("smc.Remove", 5);
+      ("svc.Exit", 1);
+      ("smc.Resume", 0);
+    ];
+  (* 12 SMCs + 1 SVC, all successful. *)
+  Alcotest.(check int) "successes" 13 (Metrics.error_count reg "Success");
+  Alcotest.(check int) "entries = exits" (Metrics.event_count reg "smc_entry")
+    (Metrics.event_count reg "smc_exit");
+  Alcotest.(check int) "12 SMC entries" 12 (Metrics.event_count reg "smc_entry");
+  Alcotest.(check int) "one user burst, one exception" 1
+    (Metrics.event_count reg "exception.svc")
+
+let test_histograms_cover_every_call () =
+  let reg = Metrics.create () in
+  let _ = full_lifecycle ~sink:(Metrics.sink reg) () in
+  let names = Metrics.call_names reg in
+  Alcotest.(check bool) "some calls recorded" true (names <> []);
+  List.iter
+    (fun name ->
+      match Metrics.stats reg name with
+      | None -> Alcotest.failf "%s: no cycle histogram" name
+      | Some s ->
+          Alcotest.(check int) (name ^ " samples") (Metrics.call_count reg name) s.Metrics.count;
+          Alcotest.(check bool) (name ^ " p50 > 0") true (s.Metrics.p50 > 0);
+          Alcotest.(check bool) (name ^ " p95 >= p50") true (s.Metrics.p95 >= s.Metrics.p50);
+          Alcotest.(check bool) (name ^ " max >= p95") true (s.Metrics.max >= s.Metrics.p95))
+    names
+
+let test_null_sink_same_cycles () =
+  let reg = Metrics.create () in
+  let quiet = full_lifecycle () in
+  let watched = full_lifecycle ~sink:(Metrics.sink reg) () in
+  Alcotest.(check int) "instrumentation charges no modelled cycles"
+    (Os.cycles quiet) (Os.cycles watched)
+
+(* -- JSONL round-trip --------------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let sink, collected = Sink.collect () in
+  let _ = full_lifecycle ~sink () in
+  let events = collected () in
+  Alcotest.(check bool) "trace nonempty" true (events <> []);
+  List.iter
+    (fun ev ->
+      match Event.of_jsonl_line (Event.to_jsonl_line ev) with
+      | Ok ev' -> Alcotest.check stamped "event round-trips" ev ev'
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    events;
+  let text = String.concat "\n" (List.map Event.to_jsonl_line events) ^ "\n" in
+  match Event.parse_trace text with
+  | Ok events' -> Alcotest.(check (list stamped)) "trace round-trips" events events'
+  | Error e -> Alcotest.failf "trace parse failed: %s" e
+
+let test_json_values () =
+  let v =
+    Json.Obj
+      [ ("a", Json.List [ Json.Int 1; Json.Str "x]},"; Json.Null ]);
+        ("b", Json.Obj [ ("neg", Json.Int (-3)); ("t", Json.Bool true) ]) ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "nested JSON round-trips" true (Json.equal v v')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Json.parse "{\"a\": [1, }" with
+  | Ok _ -> Alcotest.fail "malformed JSON accepted"
+  | Error _ -> ()
+
+(* -- Trace file + audit (the CLI's `komodo trace` contract) ------------- *)
+
+let test_trace_file_is_orderly () =
+  let path = Filename.temp_file "komodo_trace" ".jsonl" in
+  let oc = open_out path in
+  let _ = full_lifecycle ~sink:(Sink.jsonl oc) () in
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Event.parse_trace text with
+  | Error e -> Alcotest.failf "trace parse failed: %s" e
+  | Ok events ->
+      Alcotest.(check (list string))
+        "audit clean" []
+        (List.map (Format.asprintf "%a" Audit.pp_violation) (Audit.check events));
+      let stages =
+        List.filter_map
+          (fun { Event.ev; _ } ->
+            match ev with
+            | Event.Enclave_lifecycle { stage; _ } -> Some (Event.stage_name stage)
+            | _ -> None)
+          events
+      in
+      Alcotest.(check (list string))
+        "full lifecycle arc"
+        [ "init"; "finalise"; "enter"; "stop"; "remove" ]
+        stages
+
+let test_ring_keeps_tail () =
+  let sink, contents = Sink.ring ~capacity:3 in
+  let evs = List.init 5 (fun i -> lc i 0 Event.Ls_init) in
+  List.iter (Sink.emit sink) evs;
+  Alcotest.(check (list stamped))
+    "last three survive"
+    [ lc 2 0 Event.Ls_init; lc 3 0 Event.Ls_init; lc 4 0 Event.Ls_init ]
+    (contents ())
+
+(* -- Audit rejections --------------------------------------------------- *)
+
+let expect_violation name trace needle =
+  match Audit.check trace with
+  | [] -> Alcotest.failf "%s: accepted" name
+  | v :: _ ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message mentions %S (got %S)" name needle v.Audit.message)
+        true (contains v.Audit.message needle)
+
+let test_audit_rejects_disorder () =
+  expect_violation "enter before finalise"
+    [ lc 0 0 Event.Ls_init; lc 1 0 Event.Ls_enter ]
+    "before Finalise";
+  expect_violation "enter after remove"
+    [ lc 0 0 Event.Ls_init; lc 1 0 Event.Ls_finalise; lc 2 0 Event.Ls_stop;
+      lc 3 0 Event.Ls_remove; lc 4 0 Event.Ls_enter ]
+    "after Remove";
+  expect_violation "remove before stop"
+    [ lc 0 0 Event.Ls_init; lc 1 0 Event.Ls_finalise; lc 2 0 Event.Ls_remove ]
+    "before Stop";
+  expect_violation "retype from wrong type"
+    [ stamp 0 (Event.Page_transition { page = 3; from_type = "datapage"; to_type = "free" }) ]
+    "its type is free";
+  expect_violation "svc outside smc"
+    [ stamp 0 (Event.Svc_entry { call = 0; name = "Exit" }) ]
+    "outside any SMC";
+  expect_violation "time regression"
+    [ lc 10 0 Event.Ls_init; lc 5 0 Event.Ls_finalise ]
+    "regresses";
+  expect_violation "unterminated smc"
+    [ stamp 0 (Event.Smc_entry { call = 1; name = "GetPhysPages"; args = [] }) ]
+    "ends inside";
+  (* And the positive case: a well-bracketed fragment is orderly. *)
+  Alcotest.(check bool) "orderly fragment" true
+    (Audit.orderly
+       [
+         stamp 0 (Event.Smc_entry { call = 2; name = "InitAddrspace"; args = [ 0; 1 ] });
+         stamp 9 (Event.Page_transition { page = 0; from_type = "free"; to_type = "addrspace" });
+         lc 9 0 Event.Ls_init;
+         stamp 9
+           (Event.Smc_exit
+              { call = 2; name = "InitAddrspace"; err = 0; err_name = "Success"; retval = 0; cycles = 9 });
+       ])
+
+let suite =
+  [
+    Alcotest.test_case "counters match invocations" `Quick test_counters_match_invocations;
+    Alcotest.test_case "histograms cover every call" `Quick test_histograms_cover_every_call;
+    Alcotest.test_case "null sink: identical cycles" `Quick test_null_sink_same_cycles;
+    Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "JSON values round-trip" `Quick test_json_values;
+    Alcotest.test_case "trace file parses and audits clean" `Quick test_trace_file_is_orderly;
+    Alcotest.test_case "ring buffer keeps the tail" `Quick test_ring_keeps_tail;
+    Alcotest.test_case "audit rejects out-of-order traces" `Quick test_audit_rejects_disorder;
+  ]
