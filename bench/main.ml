@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- table3  -- run one section
 
    Sections: table1 table2 table3 figure5 ablations latency security
-   wallclock *)
+   refinement wallclock *)
 
 let security () =
   Report.print_header "Security (Theorem 6.1 harness + attack library)";
@@ -49,6 +49,7 @@ let sections =
     ("ablations", Ablations.run);
     ("latency", Latency.run);
     ("security", security);
+    ("refinement", Refinement.run);
     ("wallclock", Wallclock.run);
   ]
 

@@ -22,11 +22,18 @@ let json_dir () =
     metrics dump). *)
 let emit_json ~name json =
   let path = Filename.concat (json_dir ()) ("BENCH_" ^ name ^ ".json") in
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.eprintf "[wrote %s]\n%!" path
+  match
+    let oc = open_out path in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc
+  with
+  | () -> Printf.eprintf "[wrote %s]\n%!" path
+  | exception Sys_error e ->
+      (* A bench run whose artifacts silently vanish is worse than a
+         failing one: the trajectory would show a gap, not an error. *)
+      Printf.eprintf "bench: cannot write JSON mirror %s: %s\n%!" path e;
+      exit 1
 
 let table_json ~columns rows =
   let strings l = Json.List (List.map (fun s -> Json.Str s) l) in

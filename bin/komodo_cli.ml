@@ -251,13 +251,18 @@ let trace_cmd =
     List.iter (fun v -> Format.eprintf "audit: %a@." Audit.pp_violation v) violations;
     if violations = [] then
       Printf.eprintf "audit: trace orderly (%d events)\n" (List.length events);
-    if Errors.is_success err && Errors.is_success terr && violations = [] then 0 else 1
+    (* Distinct exit codes so CI can gate on the audit specifically:
+       0 clean, 1 enclave/teardown error, 3 lifecycle audit rejected. *)
+    if violations <> [] then 3
+    else if Errors.is_success err && Errors.is_success terr then 0
+    else 1
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run an enclave through its full lifecycle (init, finalise, enter, stop, remove), \
-          emitting a JSONL telemetry trace and checking it with the audit log")
+          emitting a JSONL telemetry trace and checking it with the audit log. Exits 0 on \
+          a clean run, 1 on an enclave error, 3 when the lifecycle audit rejects the trace.")
     Term.(
       const run $ verbosity $ seed_arg $ npages_arg $ program_arg $ args_arg $ budget_arg
       $ file_arg $ spares_arg $ trace_out_arg $ metrics_arg $ pretty)
@@ -443,6 +448,102 @@ let asm_cmd =
        ~doc:"Assemble a .kasm program, report its size and expected measurement")
     Term.(const run $ file)
 
+(* -- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Differential trials to run.")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Adversarial ops per trial.")
+  in
+  let check_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generation seed.")
+  in
+  let check_pages =
+    Arg.(
+      value & opt int 40
+      & info [ "pages" ] ~docv:"N"
+          ~doc:"Secure pages per trial world (and expected by --replay).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Instead of generating trials, re-check the JSONL telemetry trace in $(docv) against the spec.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Run against a deliberately broken spec variant (self-test; expects a divergence). \
+             One of: no-alias-check, no-monitor-image-check, drop-refcount.")
+  in
+  let run level trials ops seed pages replay mutate =
+    setup_logs level;
+    match replay with
+    | Some path -> (
+        match Komodo_spec.Trace_check.replay_file ~npages:pages path with
+        | Error e ->
+            Printf.eprintf "komodo check: cannot replay %s: %s\n" path e;
+            2
+        | Ok r ->
+            Printf.printf "replayed %d events (%d monitor calls) against the spec\n"
+              r.Komodo_spec.Trace_check.events r.Komodo_spec.Trace_check.calls;
+            List.iter
+              (fun (i, msg) -> Printf.printf "event %d: VIOLATION: %s\n" i msg)
+              r.Komodo_spec.Trace_check.violations;
+            if r.Komodo_spec.Trace_check.violations = [] then (
+              print_endline "trace refines the spec";
+              0)
+            else 1)
+    | None -> (
+        let mutate =
+          match mutate with
+          | None -> None
+          | Some name -> (
+              match Komodo_spec.Aspec.mutation_of_string name with
+              | Some m -> Some m
+              | None ->
+                  Printf.eprintf "komodo check: unknown mutation %S\n" name;
+                  exit 2)
+        in
+        let o =
+          Komodo_spec.Diff.run_trials ?mutate ~npages:pages ~ops_per_trial:ops ~trials
+            ~seed ()
+        in
+        Printf.printf "%d trials, %d lockstep ops checked\n"
+          o.Komodo_spec.Diff.trials_run o.Komodo_spec.Diff.ops_run;
+        List.iter print_endline (Komodo_spec.Cover.report o.Komodo_spec.Diff.cover);
+        match o.Komodo_spec.Diff.divergence with
+        | None ->
+            print_endline "no divergence: implementation refines the spec";
+            if mutate <> None then (
+              print_endline "MUTATION SURVIVED: the checker failed its self-test";
+              1)
+            else 0
+        | Some (tseed, shrunk, d) ->
+            Printf.printf "DIVERGENCE (trial seed %d), shrunk to %d calls:\n" tseed
+              (List.length shrunk);
+            List.iteri
+              (fun i op -> Printf.printf "  %2d. %s\n" i (Komodo_spec.Diff.pp_op op))
+              shrunk;
+            print_endline (Komodo_spec.Diff.pp_divergence d);
+            if mutate <> None then (
+              print_endline "mutation caught: checker self-test passed";
+              0)
+            else 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differentially check the monitor against the abstract spec (adversarial call \
+          sequences, lockstep comparison, shrinking), or --replay a telemetry trace")
+    Term.(const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate)
+
 (* -- verify ------------------------------------------------------------- *)
 
 let verify_cmd =
@@ -486,4 +587,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; inspect_cmd; notary_cmd; verify_cmd ]))
+          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; inspect_cmd; notary_cmd; verify_cmd ]))

@@ -57,6 +57,16 @@ let digest = function
   | Finalised d -> Some d
   | In_progress _ -> None
 
+(** The digest of the transcript so far, finalised or not. Finalisation
+    does not mutate the context, so this is observable at any stage —
+    the hook the refinement checker's abstraction function uses to
+    compare in-progress transcripts without replaying them. *)
+let current_digest = function
+  | Finalised d -> d
+  | In_progress ctx -> Sha256.finalize ctx
+
+let is_finalised = function Finalised _ -> true | In_progress _ -> false
+
 let equal a b =
   match (a, b) with
   | Finalised x, Finalised y -> String.equal x y

@@ -34,6 +34,13 @@ val finalise : t -> t
 val digest : t -> Sha256.digest option
 (** The measurement, available only once finalised. *)
 
+val current_digest : t -> Sha256.digest
+(** The digest of the transcript so far, whether or not finalised
+    (finalisation does not mutate the context). Used by the refinement
+    checker's abstraction function to compare in-progress transcripts. *)
+
+val is_finalised : t -> bool
+
 val equal : t -> t -> bool
 
 val extend_cycles : content_bytes:int -> int

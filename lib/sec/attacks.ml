@@ -358,6 +358,32 @@ let measurement_toctou () =
       | None -> Leaked "no measurement")
   | _ -> Leaked "addrspace lost"
 
+(** The attack scenarios above as raw SMC call shapes, for the
+    refinement checker's adversarial generator: each is a short
+    [(call, args)] sequence over scratch pages [base..base+3].
+    [monitor_pa] / [secure_pa] are the §9.1 "insecure" content
+    addresses that must be rejected. Mapping words pack a page-aligned
+    VA with permission bits (read|write<<1|execute<<2). *)
+let smc_shapes ~base ~monitor_pa ~secure_pa =
+  let p i = base + i in
+  let init_at l1index = [ (2, [ p 0; p 1 ]); (4, [ p 0; p 2; l1index ]) ] in
+  [
+    ("addrspace-page-aliasing", [ (2, [ p 0; p 0 ]) ]);
+    ( "map-secure-from-monitor-image",
+      init_at 0 @ [ (6, [ p 0; p 3; 0x1000 lor 1; monitor_pa ]) ] );
+    ( "map-secure-from-secure-region",
+      init_at 0 @ [ (6, [ p 0; p 3; 0x1000 lor 1; secure_pa ]) ] );
+    ( "map-insecure-of-secure-page",
+      init_at 0 @ [ (7, [ p 0; 0x2000 lor 3; secure_pa ]) ] );
+    ( "double-map-same-va",
+      init_at 0
+      @ [ (6, [ p 0; p 3; 0x1000 lor 3; 0 ]); (6, [ p 0; p 3; 0x1000 lor 3; 0 ]) ]
+    );
+    ("enter-unfinalised", [ (2, [ p 0; p 1 ]); (3, [ p 0; p 2; 0 ]); (9, [ p 2; 0; 0; 0 ]) ]);
+    ("remove-live-page", [ (2, [ p 0; p 1 ]); (12, [ p 1 ]) ]);
+    ("remove-referenced-addrspace", [ (2, [ p 0; p 1 ]); (11, [ p 0 ]); (12, [ p 0 ]) ]);
+  ]
+
 let all_komodo =
   [
     ("addrspace-page-aliasing", addrspace_page_aliasing);

@@ -47,3 +47,10 @@ val sgx_controlled_channel_leak : secret_bits:bool list -> bool list
     recovers from the fault trace (all of them). *)
 
 val all_komodo : (string * (unit -> verdict)) list
+
+val smc_shapes :
+  base:int -> monitor_pa:int -> secure_pa:int -> (string * (int * int list) list) list
+(** The attack scenarios as raw SMC [(call, args)] shapes over scratch
+    pages [base..base+3], for the refinement checker's adversarial
+    generator ({!Komodo_spec.Diff}); [monitor_pa]/[secure_pa] are the
+    §9.1 content addresses MapSecure must reject. *)

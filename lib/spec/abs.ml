@@ -1,0 +1,108 @@
+(* Abstraction function: Monitor.t -> Astate.t. *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+module Layout = Komodo_tz.Layout
+module Platform = Komodo_tz.Platform
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+module Measure = Komodo_core.Measure
+module Imap = Map.Make (Int)
+open Astate
+
+let plat ~npages =
+  {
+    npages;
+    page_size = Layout.page_size;
+    secure_base = Word.to_int Layout.secure_region_base;
+    insecure_base = Word.to_int Layout.insecure_base;
+    insecure_limit = Word.to_int Layout.insecure_limit;
+    monitor_base = Word.to_int Layout.monitor_image_base;
+    monitor_size = Layout.monitor_image_size;
+    va_limit = Word.to_int Ptable.va_limit;
+  }
+
+let plat_of (m : Monitor.t) = plat ~npages:m.Monitor.plat.Platform.npages
+
+let abs_meas meas = Mdone (Measure.current_digest meas)
+
+let abs_perms (p : Ptable.perms) = { w = p.Ptable.w; x = p.Ptable.x }
+
+(* Decode a live first-level table page: slot -> second-level page
+   number. A decodable entry whose target is not a secure page maps to
+   -1, surfacing the breakage as a divergence instead of crashing. *)
+let abs_l1 (m : Monitor.t) pg =
+  let npages = m.Monitor.plat.Platform.npages in
+  let rec go i slots =
+    if i >= Ptable.l1_entries then slots
+    else
+      let slots =
+        match Ptable.decode_l1e (Monitor.load_page_word m pg i) with
+        | None -> slots
+        | Some base -> (
+            match Layout.page_of_pa ~npages base with
+            | Some l2pg -> Imap.add i l2pg slots
+            | None -> Imap.add i (-1) slots)
+      in
+      go (i + 1) slots
+  in
+  go 0 Imap.empty
+
+let abs_l2 (m : Monitor.t) pg =
+  let npages = m.Monitor.plat.Platform.npages in
+  let rec go i slots =
+    if i >= Ptable.l2_entries then slots
+    else
+      let slots =
+        match Ptable.decode_l2e (Monitor.load_page_word m pg i) with
+        | None -> slots
+        | Some (pa, ns, perms) ->
+            let pte =
+              if ns then Pins (Word.to_int pa, abs_perms perms)
+              else
+                match Layout.page_of_pa ~npages pa with
+                | Some data -> Psec (data, abs_perms perms)
+                | None -> Psec (-1, abs_perms perms)
+            in
+            Imap.add i pte slots
+      in
+      go (i + 1) slots
+  in
+  go 0 Imap.empty
+
+let abs_page (m : Monitor.t) n = function
+  | Pagedb.Free -> Afree
+  | Pagedb.Addrspace a ->
+      Aaddrspace
+        {
+          l1pt = a.Pagedb.l1pt;
+          refcount = a.Pagedb.refcount;
+          st =
+            (match a.Pagedb.state with
+            | Pagedb.Init -> Sinit
+            | Pagedb.Final -> Sfinal
+            | Pagedb.Stopped -> Sstopped);
+          meas = abs_meas a.Pagedb.measurement;
+        }
+  | Pagedb.Thread th ->
+      Athread
+        {
+          tasp = th.Pagedb.addrspace;
+          entry = Word.to_int th.Pagedb.entry_point;
+          entered = th.Pagedb.entered;
+          has_ctx = th.Pagedb.ctx <> None;
+          dispatcher = Option.map Word.to_int th.Pagedb.dispatcher;
+          has_fault_ctx = th.Pagedb.fault_ctx <> None;
+        }
+  | Pagedb.L1PTable { addrspace } -> Al1 { asp = addrspace; slots = abs_l1 m n }
+  | Pagedb.L2PTable { addrspace } -> Al2 { asp = addrspace; slots = abs_l2 m n }
+  | Pagedb.DataPage { addrspace } -> Adata { asp = addrspace }
+  | Pagedb.SparePage { addrspace } -> Aspare { asp = addrspace }
+
+let abs (m : Monitor.t) =
+  let plat = plat_of m in
+  let rec go i pages =
+    if i >= plat.npages then pages
+    else go (i + 1) (Imap.add i (abs_page m i (Pagedb.get m.Monitor.pagedb i)) pages)
+  in
+  { plat; pages = go 0 Imap.empty }

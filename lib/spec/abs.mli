@@ -1,0 +1,19 @@
+(** The abstraction function of the refinement: concrete monitor state
+    to abstract spec state.
+
+    [abs] reads the implementation's PageDB and decodes its live page
+    tables out of machine memory (first-level slots to second-level
+    page numbers, second-level slots to abstract PTEs), collapses each
+    measurement to its current digest, and forgets everything the spec
+    treats as secret: page contents, saved register contexts, cycle
+    counts, the RNG. The refinement theorem the differential checker
+    tests is [abs (impl_step s c) = spec_step (abs s) c]. *)
+
+module Monitor = Komodo_core.Monitor
+
+val plat : npages:int -> Astate.plat
+(** The spec's platform-constants record for this build's layout
+    (Figure 4), usable without a booted monitor (trace replay). *)
+
+val plat_of : Monitor.t -> Astate.plat
+val abs : Monitor.t -> Astate.t

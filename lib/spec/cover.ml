@@ -1,0 +1,68 @@
+(* Coverage counters for the differential checker. *)
+
+type t = {
+  smc : (int * int, int) Hashtbl.t; (* (call, err) -> count *)
+  svc : (int * int, int) Hashtbl.t;
+  trans : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { smc = Hashtbl.create 64; svc = Hashtbl.create 32; trans = Hashtbl.create 16 }
+
+let incr tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let record_smc t ~call ~err = incr t.smc (call, err) 1
+let record_svc t ~call ~err = incr t.svc (call, err) 1
+
+let record_transition t ~from_type ~to_type =
+  incr t.trans (from_type ^ "->" ^ to_type) 1
+
+let all_smcs = List.init 12 (fun i -> i + 1)
+let all_svcs = List.init 9 (fun i -> i)
+
+let call_count tbl call =
+  Hashtbl.fold (fun (c, _) n acc -> if c = call then acc + n else acc) tbl 0
+
+let smc_covered t =
+  List.map (fun c -> (Aspec.smc_name c, call_count t.smc c)) all_smcs
+
+let svc_covered t =
+  List.map (fun c -> (Aspec.svc_name c, call_count t.svc c)) all_svcs
+
+let errors_covered t =
+  let errs = Hashtbl.create 24 in
+  let add (_, e) n = incr errs e n in
+  Hashtbl.iter add t.smc;
+  Hashtbl.iter add t.svc;
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) errs []
+  |> List.sort compare
+  |> List.map (fun (e, n) -> (Aspec.err_name e, n))
+
+let transitions t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.trans [] |> List.sort compare
+
+let deficit tbl calls = List.filter (fun c -> call_count tbl c = 0) calls
+let smc_deficit t = deficit t.smc all_smcs
+let svc_deficit t = deficit t.svc all_svcs
+
+let report t =
+  let counts l =
+    String.concat " " (List.map (fun (n, c) -> Printf.sprintf "%s=%d" n c) l)
+  in
+  let hit l = List.length (List.filter (fun (_, c) -> c > 0) l) in
+  let smc = smc_covered t and svc = svc_covered t in
+  let errs = errors_covered t and trans = transitions t in
+  [
+    Printf.sprintf "SMC coverage (%d/%d calls): %s" (hit smc) (List.length smc)
+      (counts smc);
+    Printf.sprintf "SVC coverage (%d/%d calls): %s" (hit svc) (List.length svc)
+      (counts svc);
+    Printf.sprintf "error codes exercised (%d): %s" (List.length errs) (counts errs);
+    Printf.sprintf "page transitions (%d): %s" (List.length trans) (counts trans);
+  ]
+
+let merge_into dst src =
+  Hashtbl.iter (fun k n -> incr dst.smc k n) src.smc;
+  Hashtbl.iter (fun k n -> incr dst.svc k n) src.svc;
+  Hashtbl.iter (fun k n -> incr dst.trans k n) src.trans

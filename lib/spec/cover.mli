@@ -1,0 +1,33 @@
+(** Coverage counters for the differential checker: which calls ran,
+    which error codes each produced, which page-type transitions were
+    observed. The driver uses the deficit sets to bias generation
+    toward unexercised behaviour. *)
+
+type t
+
+val create : unit -> t
+val record_smc : t -> call:int -> err:int -> unit
+val record_svc : t -> call:int -> err:int -> unit
+val record_transition : t -> from_type:string -> to_type:string -> unit
+
+val smc_covered : t -> (string * int) list
+(** Per-SMC hit counts, every Table 1 call listed (zero if never run),
+    in call-number order. *)
+
+val svc_covered : t -> (string * int) list
+
+val errors_covered : t -> (string * int) list
+(** Distinct error codes observed across all calls, with counts. *)
+
+val transitions : t -> (string * int) list
+
+val smc_deficit : t -> int list
+(** Table 1 SMC calls with no observations yet. *)
+
+val svc_deficit : t -> int list
+
+val report : t -> string list
+(** Human-readable coverage summary, one line per section. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s counts into [dst]. *)

@@ -1,0 +1,82 @@
+(** The differential refinement checker.
+
+    Builds a world (booted platform plus a *probe* enclave whose
+    behaviour the spec predicts exactly, a workload enclave with
+    exit/fault/spin threads, and an unfinalised enclave mid
+    construction), generates adversarial OS call sequences biased
+    toward lifecycle edges, aliased page numbers, interrupt injection
+    mid-Enter and the §8.2/§9.1 attack shapes, and steps the abstract
+    spec ({!Aspec}) and the real monitor in lockstep, checking after
+    every call that
+
+    {v abs (impl_step s c)  =  spec_step (abs s) c v}
+
+    including the returned error code and r1 value. Any divergence is
+    shrunk to a minimal op trace by greedy deletion. The prelude that
+    builds the world runs through the same checked lockstep pipeline,
+    so construction-call coverage is free and exact. *)
+
+type op =
+  | Smc of { call : int; args : int list; budget : int option }
+      (** one monitor call; [budget] arms the interrupt source before
+          the crossing (None leaves interrupts off) *)
+  | Write_ins of { addr : int; value : int }
+      (** an OS store to insecure memory between calls *)
+
+val pp_op : op -> string
+
+type divergence = { index : int; op : op; reason : string }
+
+val pp_divergence : divergence -> string
+
+type world
+(** A built post-prelude world; reusable as the fixed starting point of
+    any number of op-sequence runs (generation, shrinking, replay). *)
+
+val make_world :
+  ?mutate:Aspec.mutation -> ?npages:int -> seed:int -> unit -> world
+(** Boot and build the three prelude enclaves through the checked
+    lockstep pipeline. The prelude always runs against the unmutated
+    spec — a [mutate] flag applies to the generated phase only.
+    @raise Failure if the prelude itself diverges. *)
+
+val world_cover : world -> Cover.t
+(** Coverage recorded while building the prelude. *)
+
+val probe_thread : world -> int
+(** The probe enclave's thread page. *)
+
+val gen_ops : world -> seed:int -> n:int -> op list
+(** Generate an adversarial op sequence. Generation is coverage-guided
+    at the trial level: the profile rotates with the seed, and SVC
+    probes cycle through every call number. *)
+
+val run_ops : ?cover:Cover.t -> world -> op list -> (int, divergence) result
+(** Run an op sequence from the world's initial state in lockstep;
+    [Ok n] means all [n] ops matched, [Error d] is the first
+    divergence. *)
+
+val shrink : world -> op list -> op list * divergence
+(** Truncate at the first divergence, then greedily delete ops while
+    the remainder still diverges. The result is 1-minimal: removing
+    any single op makes the divergence disappear.
+    @raise Invalid_argument if the ops do not diverge at all. *)
+
+type outcome = {
+  trials_run : int;
+  ops_run : int;
+  divergence : (int * op list * divergence) option;
+      (** trial seed, shrunk ops, divergence *)
+  cover : Cover.t;
+}
+
+val run_trials :
+  ?mutate:Aspec.mutation ->
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** The top-level checker: fresh world + generated sequence per trial,
+    stopping (and shrinking) at the first divergence. *)

@@ -61,6 +61,14 @@ let checksum : Insn.stmt list =
   ]
   @ exit_with r3
 
+(** Issue one SVC — call number arriving in entry r0, arguments in
+    r1/r2 — then exit with the SVC's r0 error code. The refinement
+    checker's probe enclave: every SVC's error semantics become
+    observable (and predictable) at the SMC boundary, as the Enter
+    return value. *)
+let svc_probe : Insn.stmt list =
+  [ Insn.I (Insn.Svc Word.zero) ] @ exit_with r0
+
 (** Ask the monitor for a random word, exit with it. *)
 let random_word : Insn.stmt list =
   [

@@ -18,6 +18,12 @@ val store_load : Insn.stmt list
 val checksum : Insn.stmt list
 (** Sum r1 words at VA r0 — e.g. over a mapped insecure buffer. *)
 
+val svc_probe : Insn.stmt list
+(** Issue one SVC (call in entry r0, arguments in r1/r2), then exit
+    with the SVC's r0 error code — the refinement checker's probe
+    enclave, making SVC error semantics observable at the SMC
+    boundary. *)
+
 val random_word : Insn.stmt list
 (** One GetRandom SVC; exit with the word. *)
 

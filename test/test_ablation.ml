@@ -93,5 +93,5 @@ let suite =
     Alcotest.test_case "optimised crossings are cheaper" `Quick test_optimised_is_cheaper;
     Alcotest.test_case "optimised still flushes across enclaves" `Quick
       test_optimised_flushes_when_needed;
-    QCheck_alcotest.to_alcotest prop_observationally_identical;
+    Testlib.qcheck prop_observationally_identical;
   ]

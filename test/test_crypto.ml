@@ -228,14 +228,14 @@ let suite =
     Alcotest.test_case "rsa determinism" `Quick test_rsa_deterministic;
     Alcotest.test_case "rsa key size" `Quick test_rsa_key_size;
     Alcotest.test_case "rsa cost model" `Quick test_rsa_cost_model;
-    QCheck_alcotest.to_alcotest prop_sha_incremental_split;
-    QCheck_alcotest.to_alcotest prop_add_comm;
-    QCheck_alcotest.to_alcotest prop_mul_distributes;
-    QCheck_alcotest.to_alcotest prop_divmod;
-    QCheck_alcotest.to_alcotest prop_shift_roundtrip;
-    QCheck_alcotest.to_alcotest prop_sub_add;
-    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
-    QCheck_alcotest.to_alcotest prop_modpow_small;
+    Testlib.qcheck prop_sha_incremental_split;
+    Testlib.qcheck prop_add_comm;
+    Testlib.qcheck prop_mul_distributes;
+    Testlib.qcheck prop_divmod;
+    Testlib.qcheck prop_shift_roundtrip;
+    Testlib.qcheck prop_sub_add;
+    Testlib.qcheck prop_bytes_roundtrip;
+    Testlib.qcheck prop_modpow_small;
   ]
 
 (* -- Late additions: deeper bignum properties --------------------------- *)
@@ -268,9 +268,9 @@ let prop_compare_total_order =
 
 let late_suite =
   [
-    QCheck_alcotest.to_alcotest prop_modinv_correct;
-    QCheck_alcotest.to_alcotest prop_divmod_pow2_is_shift;
-    QCheck_alcotest.to_alcotest prop_compare_total_order;
+    Testlib.qcheck prop_modinv_correct;
+    Testlib.qcheck prop_divmod_pow2_is_shift;
+    Testlib.qcheck prop_compare_total_order;
   ]
 
 let suite = suite @ late_suite

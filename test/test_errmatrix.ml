@@ -1,0 +1,159 @@
+(* The SMC error matrix: for every Table 1 call and every class of
+   invalid precondition, the exact KOM_ERR code — asserted against BOTH
+   the implementation and the abstract spec (Komodo_spec.Aspec), so the
+   two error semantics can never drift apart silently.
+
+   One immutable base world provides every precondition class:
+
+     enclave A (pages 0-4):    finalised    (addrspace 0, l1 1, l2 2,
+                                             data 3, idle thread 4)
+     enclave B (pages 5-8,17,18): Init      (addrspace 5, l1 6, l2 7,
+                                             spare 8, data 17 at VA 0,
+                                             thread 18)
+     enclave D (pages 9-11):   stopped      (addrspace 9, l1 10,
+                                             thread 11)
+     enclave E (pages 12-16):  suspended    (spinner interrupted mid-run;
+                                             thread 16 holds a context)
+     pages 19+                 free *)
+
+module Word = Komodo_machine.Word
+module Os = Komodo_os.Os
+module Errors = Komodo_core.Errors
+module Mapping = Komodo_core.Mapping
+module Layout = Komodo_tz.Layout
+module Uprog = Komodo_user.Uprog
+module Progs = Komodo_user.Progs
+module Aspec = Komodo_spec.Aspec
+module Abs = Komodo_spec.Abs
+
+let ok name (os, e) =
+  Testlib.check_err name Errors.Success e;
+  os
+
+let base =
+  lazy
+    (let os = Testlib.boot ~npages:32 () in
+     let os = Testlib.build_manual ~finalise:true os in
+     let os = ok "B.init" (Os.init_addrspace os ~addrspace:5 ~l1pt:6) in
+     let os = ok "B.l2" (Os.init_l2ptable os ~addrspace:5 ~l2pt:7 ~l1index:0) in
+     let os = ok "B.spare" (Os.alloc_spare os ~addrspace:5 ~spare:8) in
+     let os =
+       ok "B.data"
+         (Os.map_secure os ~addrspace:5 ~data:17
+            ~mapping:(Mapping.make ~va:Word.zero ~w:true ~x:false)
+            ~content:Word.zero)
+     in
+     let os = ok "B.thread" (Os.init_thread os ~addrspace:5 ~thread:18 ~entry:Word.zero) in
+     let os = ok "D.init" (Os.init_addrspace os ~addrspace:9 ~l1pt:10) in
+     let os = ok "D.thread" (Os.init_thread os ~addrspace:9 ~thread:11 ~entry:Word.zero) in
+     let os = ok "D.fin" (Os.finalise os ~addrspace:9) in
+     let os = ok "D.stop" (Os.stop os ~addrspace:9) in
+     let os = ok "E.init" (Os.init_addrspace os ~addrspace:12 ~l1pt:13) in
+     let os = ok "E.l2" (Os.init_l2ptable os ~addrspace:12 ~l2pt:14 ~l1index:0) in
+     let code = List.hd (Uprog.to_page_images (Uprog.code_words Progs.spin_forever)) in
+     let os = Os.write_bytes os Os.staging_base code in
+     let os =
+       ok "E.code"
+         (Os.map_secure os ~addrspace:12 ~data:15
+            ~mapping:(Mapping.make ~va:Word.zero ~w:false ~x:true)
+            ~content:Os.staging_base)
+     in
+     let os = ok "E.thread" (Os.init_thread os ~addrspace:12 ~thread:16 ~entry:Word.zero) in
+     let os = ok "E.fin" (Os.finalise os ~addrspace:12) in
+     let os = Testlib.set_irq_budget 1 os in
+     let os, e, _ = Os.enter os ~thread:16 ~args:(Word.zero, Word.zero, Word.zero) in
+     Testlib.check_err "E.enter" Errors.Interrupted e;
+     Testlib.clear_irq_budget os)
+
+let monitor_base = Word.to_int Layout.monitor_image_base
+let secure_base = Word.to_int Layout.secure_region_base
+
+(* call, args, precondition class, exact expected error *)
+let matrix =
+  [
+    (Aspec.smc_init_addrspace, [ 40; 41 ], "page out of range", Errors.Invalid_pageno);
+    (Aspec.smc_init_addrspace, [ 0; 20 ], "page in use", Errors.Page_in_use);
+    (Aspec.smc_init_addrspace, [ 20; 20 ], "aliased pages (9.1)", Errors.Page_in_use);
+    (Aspec.smc_init_thread, [ 1; 20; 0 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_init_thread, [ 0; 20; 0 ], "addrspace finalised", Errors.Already_final);
+    (Aspec.smc_init_thread, [ 5; 8; 0 ], "thread page in use", Errors.Page_in_use);
+    (Aspec.smc_init_thread, [ 5; 99; 0 ], "thread page out of range", Errors.Invalid_pageno);
+    (Aspec.smc_init_l2ptable, [ 20; 21; 0 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_init_l2ptable, [ 0; 20; 1 ], "addrspace finalised", Errors.Already_final);
+    (Aspec.smc_init_l2ptable, [ 5; 20; 256 ], "l1 index out of range", Errors.Invalid_mapping);
+    (Aspec.smc_init_l2ptable, [ 5; 20; 0 ], "l1 slot occupied", Errors.Addr_in_use);
+    (Aspec.smc_init_l2ptable, [ 5; 0; 1 ], "l2 page in use", Errors.Page_in_use);
+    (Aspec.smc_alloc_spare, [ 20; 21 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_alloc_spare, [ 9; 20 ], "addrspace stopped", Errors.Not_final);
+    (Aspec.smc_alloc_spare, [ 5; 0 ], "spare page in use", Errors.Page_in_use);
+    (Aspec.smc_map_secure, [ 20; 21; 0x1003; 0 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_map_secure, [ 0; 20; 0x1003; 0 ], "addrspace finalised", Errors.Already_final);
+    (Aspec.smc_map_secure, [ 5; 20; 0x1000; 0 ], "mapping missing valid bit", Errors.Invalid_mapping);
+    (Aspec.smc_map_secure, [ 5; 20; 0x1003; 0x1001 ], "content unaligned", Errors.Invalid_arg);
+    (Aspec.smc_map_secure, [ 5; 20; 0x1003; monitor_base ], "content in monitor image (9.1)", Errors.Invalid_arg);
+    (Aspec.smc_map_secure, [ 5; 20; 0x1003; secure_base ], "content in secure region", Errors.Invalid_arg);
+    (Aspec.smc_map_secure, [ 5; 20; 0x400003; 0 ], "no second-level table for VA", Errors.Invalid_mapping);
+    (Aspec.smc_map_secure, [ 5; 20; 0x3; 0 ], "VA already mapped", Errors.Addr_in_use);
+    (Aspec.smc_map_insecure, [ 5; 0x2007; 0 ], "executable insecure mapping", Errors.Invalid_mapping);
+    (Aspec.smc_map_insecure, [ 5; 0x2003; secure_base ], "target in secure region", Errors.Invalid_arg);
+    (Aspec.smc_map_insecure, [ 5; 0x2003; monitor_base ], "target in monitor image (9.1)", Errors.Invalid_arg);
+    (Aspec.smc_map_insecure, [ 5; 0x3; 0 ], "VA already mapped", Errors.Addr_in_use);
+    (Aspec.smc_finalise, [ 20 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_finalise, [ 0 ], "already finalised", Errors.Already_final);
+    (Aspec.smc_finalise, [ 9 ], "stopped", Errors.Already_final);
+    (Aspec.smc_enter, [ 3; 0; 0; 0 ], "not a thread page", Errors.Invalid_thread);
+    (Aspec.smc_enter, [ 20; 0; 0; 0 ], "free page", Errors.Invalid_thread);
+    (Aspec.smc_enter, [ 18; 0; 0; 0 ], "enclave not finalised", Errors.Not_final);
+    (Aspec.smc_enter, [ 11; 0; 0; 0 ], "enclave stopped", Errors.Not_final);
+    (Aspec.smc_enter, [ 16; 0; 0; 0 ], "thread suspended", Errors.Already_entered);
+    (Aspec.smc_resume, [ 4 ], "no saved context", Errors.Not_entered);
+    (Aspec.smc_resume, [ 2 ], "not a thread page", Errors.Invalid_thread);
+    (Aspec.smc_stop, [ 4 ], "not an addrspace", Errors.Invalid_addrspace);
+    (Aspec.smc_stop, [ 5 ], "not finalised", Errors.Not_final);
+    (Aspec.smc_remove, [ 20 ], "free page", Errors.Invalid_pageno);
+    (Aspec.smc_remove, [ 99 ], "page out of range", Errors.Invalid_pageno);
+    (Aspec.smc_remove, [ 4 ], "thread of a live enclave", Errors.Not_stopped);
+    (Aspec.smc_remove, [ 1 ], "l1 table of a live enclave", Errors.Not_stopped);
+    (Aspec.smc_remove, [ 9 ], "addrspace still referenced", Errors.In_use);
+    (99, [], "unknown call number", Errors.Invalid_arg);
+  ]
+
+let row_name (call, _, cls, _) = Printf.sprintf "%s / %s" (Aspec.smc_name call) cls
+
+let test_impl () =
+  let os = Lazy.force base in
+  List.iter
+    (fun ((call, args, _, expected) as row) ->
+      let _, e, _ = Os.smc os ~call ~args:(List.map Word.of_int args) in
+      Testlib.check_err (row_name row) expected e)
+    matrix
+
+let test_spec () =
+  let os = Lazy.force base in
+  let a = Abs.abs os.Os.mon in
+  List.iter
+    (fun ((call, args, _, expected) as row) ->
+      match Aspec.step_smc a ~probe:(fun _ _ -> false) ~contents:None ~call ~args with
+      | Aspec.Done (_, err, _) ->
+          Alcotest.(check string) (row_name row)
+            (Errors.show expected)
+            (Aspec.err_name err)
+      | Aspec.Pending _ -> Alcotest.failf "%s: spec did not reject" (row_name row))
+    matrix
+
+let test_coverage () =
+  let calls = List.sort_uniq compare (List.map (fun (c, _, _, _) -> c) matrix) in
+  Alcotest.(check bool) "all 12 Table 1 calls appear (plus unknown)" true
+    (List.length (List.filter (fun c -> c >= 1 && c <= 12) calls) >= 11);
+  let errs = List.sort_uniq compare (List.map (fun (_, _, _, e) -> Errors.show e) matrix) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10 distinct error codes (got %d)" (List.length errs))
+    true
+    (List.length errs >= 10)
+
+let suite =
+  [
+    Alcotest.test_case "implementation returns the exact code" `Quick test_impl;
+    Alcotest.test_case "spec returns the exact code" `Quick test_spec;
+    Alcotest.test_case "matrix coverage" `Quick test_coverage;
+  ]

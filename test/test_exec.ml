@@ -344,5 +344,5 @@ let suite =
     Alcotest.test_case "bad code image" `Quick test_bad_image;
     Alcotest.test_case "native dispatch" `Quick test_native_dispatch;
     Alcotest.test_case "cycles charged" `Quick test_cycles_charged;
-    QCheck_alcotest.to_alcotest prop_pure_programs_exit;
+    Testlib.qcheck prop_pure_programs_exit;
   ]

@@ -175,6 +175,6 @@ let suite =
     Alcotest.test_case "decode rejects bad register" `Quick test_decode_rejects_bad_reg;
     Alcotest.test_case "decode rejects truncated imm" `Quick test_decode_rejects_truncated_imm;
     Alcotest.test_case "instruction costs" `Quick test_costs;
-    QCheck_alcotest.to_alcotest prop_encode_decode;
-    QCheck_alcotest.to_alcotest prop_decode_garbage_safe;
+    Testlib.qcheck prop_encode_decode;
+    Testlib.qcheck prop_decode_garbage_safe;
   ]

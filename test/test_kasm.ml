@@ -207,8 +207,8 @@ let suite =
     Alcotest.test_case "errors carry line numbers" `Quick test_errors_carry_lines;
     Alcotest.test_case "stock programs reprint" `Quick test_print_parse_roundtrip_samples;
     Alcotest.test_case "assembled program runs" `Quick test_assembled_program_runs;
-    QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
-    QCheck_alcotest.to_alcotest prop_parse_never_raises;
+    Testlib.qcheck prop_print_parse_roundtrip;
+    Testlib.qcheck prop_parse_never_raises;
   ]
 
 (* -- Symbols (.equ and built-ins) ----------------------------------------- *)

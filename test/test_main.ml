@@ -26,4 +26,6 @@ let () =
       ("sgx", Test_sgx.suite);
       ("security", Test_sec.suite);
       ("telemetry", Test_telemetry.suite);
+      ("spec", Test_spec.suite);
+      ("errmatrix", Test_errmatrix.suite);
     ]

@@ -147,5 +147,5 @@ let suite =
     Alcotest.test_case "attest binds data" `Quick test_attest_binds_data;
     Alcotest.test_case "attest binds boot key" `Quick test_attest_binds_key;
     Alcotest.test_case "attest size validation" `Quick test_attest_sizes;
-    QCheck_alcotest.to_alcotest prop_measurement_injective_on_content;
+    Testlib.qcheck prop_measurement_injective_on_content;
   ]

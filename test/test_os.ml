@@ -161,5 +161,5 @@ let suite =
     Alcotest.test_case "allocator discipline" `Quick test_alloc_discipline;
     Alcotest.test_case "monitor-call trace" `Quick test_monitor_trace;
     Alcotest.test_case "call names" `Quick test_call_names;
-    QCheck_alcotest.to_alcotest prop_loader_roundtrip;
+    Testlib.qcheck prop_loader_roundtrip;
   ]

@@ -115,5 +115,5 @@ let suite =
     Alcotest.test_case "translate misses" `Quick test_translate_misses;
     Alcotest.test_case "writable pages" `Quick test_writable_pages;
     Alcotest.test_case "all mappings" `Quick test_all_mappings;
-    QCheck_alcotest.to_alcotest prop_l2e_roundtrip;
+    Testlib.qcheck prop_l2e_roundtrip;
   ]

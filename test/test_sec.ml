@@ -199,7 +199,7 @@ let suite =
     Alcotest.test_case "mutation: memory leak detected" `Quick test_harness_detects_memory_leak;
     Alcotest.test_case "mutation: register leak detected" `Quick test_harness_detects_register_leak;
     Alcotest.test_case "mutation: integrity tamper detected" `Quick test_harness_detects_integrity_tamper;
-    QCheck_alcotest.to_alcotest prop_confidentiality;
-    QCheck_alcotest.to_alcotest prop_integrity;
+    Testlib.qcheck prop_confidentiality;
+    Testlib.qcheck prop_integrity;
   ]
   @ attack_cases @ declass_cases

@@ -362,5 +362,5 @@ let suite =
     Alcotest.test_case "insecure memory invariant" `Quick test_insecure_memory_invariant;
     Alcotest.test_case "failed calls change nothing" `Quick test_failed_calls_change_nothing;
     Alcotest.test_case "mode and world restored" `Quick test_mode_restored;
-    QCheck_alcotest.to_alcotest prop_random_smc_volleys;
+    Testlib.qcheck prop_random_smc_volleys;
   ]

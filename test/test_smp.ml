@@ -120,5 +120,5 @@ let suite =
     Alcotest.test_case "racing scripts stay consistent" `Quick test_conflicting_scripts_stay_consistent;
     Alcotest.test_case "contention accounting" `Quick test_contention_accounting;
     Alcotest.test_case "single core = sequential" `Quick test_matches_sequential_execution;
-    QCheck_alcotest.to_alcotest prop_random_interleavings_wf;
+    Testlib.qcheck prop_random_interleavings_wf;
   ]

@@ -1,0 +1,167 @@
+(* The abstract spec and differential refinement checker (lib/spec).
+
+   The heavyweight acceptance run is `komodo check --trials 500`; here
+   the same machinery runs at test scale: lockstep trials must find no
+   divergence with full call coverage, every deliberately broken spec
+   variant must be caught and shrunk to a short trace, and telemetry
+   traces must replay cleanly against the spec (and not replay when
+   tampered with). *)
+
+module Word = Komodo_machine.Word
+module Os = Komodo_os.Os
+module Errors = Komodo_core.Errors
+module Event = Komodo_telemetry.Event
+module Sink = Komodo_telemetry.Sink
+module Astate = Komodo_spec.Astate
+module Aspec = Komodo_spec.Aspec
+module Abs = Komodo_spec.Abs
+module Cover = Komodo_spec.Cover
+module Diff = Komodo_spec.Diff
+module Trace_check = Komodo_spec.Trace_check
+module Imap = Map.Make (Int)
+
+let test_abs_boot () =
+  let os = Testlib.boot ~npages:16 () in
+  let a = Abs.abs os.Os.mon in
+  Alcotest.(check int) "npages" 16 a.Astate.plat.Astate.npages;
+  for i = 0 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "page %d free" i)
+      true
+      (Astate.get a i = Astate.Afree)
+  done
+
+let test_abs_built_enclave () =
+  let os = Testlib.boot () in
+  let os = Testlib.build_manual ~finalise:true os in
+  let a = Abs.abs os.Os.mon in
+  (match Astate.get a 0 with
+  | Astate.Aaddrspace asp ->
+      Alcotest.(check bool) "final" true (asp.Astate.st = Astate.Sfinal);
+      Alcotest.(check int) "l1pt" 1 asp.Astate.l1pt;
+      (* addrspace page itself excluded: l1, l2, data, thread *)
+      Alcotest.(check int) "refcount" 4 asp.Astate.refcount;
+      Alcotest.(check bool)
+        "measurement is a digest" true
+        (Astate.meas_digest asp.Astate.meas <> None)
+  | p -> Alcotest.failf "page 0 is %s" (Astate.pp_page p));
+  match Astate.get a 2 with
+  | Astate.Al2 { slots; _ } ->
+      Alcotest.(check bool) "code mapped at VA 0" true
+        (match Imap.find_opt 0 slots with
+        | Some (Astate.Psec (3, { w = false; x = true })) -> true
+        | _ -> false)
+  | p -> Alcotest.failf "page 2 is %s" (Astate.pp_page p)
+
+let test_lockstep () =
+  let o = Diff.run_trials ~trials:30 ~seed:42 () in
+  (match o.Diff.divergence with
+  | None -> ()
+  | Some (tseed, ops, d) ->
+      Alcotest.failf "divergence (trial seed %d, %d ops): %s" tseed (List.length ops)
+        (Diff.pp_divergence d));
+  Alcotest.(check (list int)) "every SMC exercised" [] (Cover.smc_deficit o.Diff.cover);
+  Alcotest.(check (list int)) "every SVC exercised" [] (Cover.svc_deficit o.Diff.cover);
+  Alcotest.(check bool)
+    "at least 10 distinct error codes" true
+    (List.length (Cover.errors_covered o.Diff.cover) >= 10)
+
+let test_mutation mutation () =
+  let o = Diff.run_trials ~mutate:mutation ~trials:60 ~seed:42 () in
+  match o.Diff.divergence with
+  | None ->
+      Alcotest.failf "mutation %s survived the checker"
+        (Aspec.mutation_name mutation)
+  | Some (_, ops, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s shrunk to <= 6 calls (got %d)"
+           (Aspec.mutation_name mutation) (List.length ops))
+        true
+        (List.length ops <= 6)
+
+(* A real lifecycle trace, captured via the telemetry sink, replays
+   against the spec with no violations. *)
+let lifecycle_events () =
+  let sink, collected = Sink.collect () in
+  let os = Os.boot ~seed:0x7E57 ~npages:32 ~sink () in
+  let os, h = Testlib.load_prog os Komodo_user.Progs.add_args in
+  let th = List.hd h.Komodo_os.Loader.threads in
+  let os, err, _ =
+    Os.enter os ~thread:th ~args:(Word.of_int 1, Word.of_int 2, Word.of_int 3)
+  in
+  Testlib.check_err "enter" Errors.Success err;
+  let _os, terr = Os.teardown os ~addrspace:h.Komodo_os.Loader.addrspace in
+  Testlib.check_err "teardown" Errors.Success terr;
+  collected ()
+
+let test_replay_clean () =
+  let events = lifecycle_events () in
+  let r = Trace_check.replay ~npages:32 events in
+  Alcotest.(check bool) "calls replayed" true (r.Trace_check.calls > 5);
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map (fun (i, m) -> Printf.sprintf "%d: %s" i m) r.Trace_check.violations)
+
+let test_replay_tampered () =
+  let events = lifecycle_events () in
+  (* Flip the first successful SMC exit to a failure the spec cannot
+     explain. *)
+  let flipped = ref false in
+  let tampered =
+    List.map
+      (fun s ->
+        match s.Event.ev with
+        | Event.Smc_exit e when e.err = 0 && not !flipped ->
+            flipped := true;
+            { s with Event.ev = Event.Smc_exit { e with err = 8; err_name = "x" } }
+        | _ -> s)
+      events
+  in
+  let r = Trace_check.replay ~npages:32 tampered in
+  Alcotest.(check bool) "tampering detected" true (r.Trace_check.violations <> [])
+
+let test_replay_wrong_pages () =
+  let events =
+    [
+      { Event.at = 0; ev = Event.Smc_entry { call = 1; name = "GetPhysPages"; args = [] } };
+      {
+        Event.at = 1;
+        ev =
+          Event.Smc_exit
+            { call = 1; name = "GetPhysPages"; err = 0; err_name = "Success";
+              retval = 64; cycles = 1 };
+      };
+    ]
+  in
+  let r = Trace_check.replay ~npages:32 events in
+  Alcotest.(check bool) "page-count mismatch detected" true
+    (r.Trace_check.violations <> [])
+
+let prop_lockstep_random_seed =
+  QCheck.Test.make ~count:15 ~name:"lockstep holds from arbitrary seeds"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let o = Diff.run_trials ~trials:1 ~ops_per_trial:30 ~seed () in
+      match o.Diff.divergence with
+      | None -> true
+      | Some (_, _, d) -> QCheck.Test.fail_report (Diff.pp_divergence d))
+
+let suite =
+  [
+    Alcotest.test_case "abstraction: fresh boot is all-free" `Quick test_abs_boot;
+    Alcotest.test_case "abstraction: built enclave decodes" `Quick test_abs_built_enclave;
+    Alcotest.test_case "lockstep: 30 trials, no divergence, full coverage" `Quick
+      test_lockstep;
+    Alcotest.test_case "mutation no-alias-check caught and shrunk" `Quick
+      (test_mutation Aspec.No_alias_check);
+    Alcotest.test_case "mutation no-monitor-image-check caught and shrunk" `Quick
+      (test_mutation Aspec.No_monitor_image_check);
+    Alcotest.test_case "mutation drop-refcount caught and shrunk" `Quick
+      (test_mutation Aspec.Drop_refcount);
+    Alcotest.test_case "replay: lifecycle trace refines the spec" `Quick
+      test_replay_clean;
+    Alcotest.test_case "replay: tampered trace rejected" `Quick test_replay_tampered;
+    Alcotest.test_case "replay: wrong page count rejected" `Quick
+      test_replay_wrong_pages;
+    Testlib.qcheck prop_lockstep_random_seed;
+  ]

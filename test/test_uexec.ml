@@ -147,5 +147,5 @@ let suite =
     Alcotest.test_case "havoc per-iteration freshness" `Quick test_havoc_iter_differs;
     Alcotest.test_case "havoc touches only writable pages" `Quick test_havoc_touches_only_writable;
     Alcotest.test_case "visible-state key" `Quick test_visible_state_key;
-    QCheck_alcotest.to_alcotest prop_register_discipline_all_calls;
+    Testlib.qcheck prop_register_discipline_all_calls;
   ]

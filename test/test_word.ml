@@ -103,7 +103,7 @@ let prop_shift_is_mul =
       Word.equal (Word.shift_left a k) (Word.mul a (Word.of_int (1 lsl k))))
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Testlib.qcheck
     [
       prop_add_comm; prop_add_neg; prop_sub_add; prop_lognot_involutive;
       prop_rotr_full; prop_extract_insert; prop_bytes_roundtrip; prop_shift_is_mul;

@@ -95,3 +95,32 @@ let clear_irq_budget (os : Os.t) =
   }
 
 let enter0 os ~thread = Os.enter os ~thread ~args:(Word.zero, Word.zero, Word.zero)
+
+(* Reproducible property tests: every qcheck case runs from one seed,
+   taken from QCHECK_SEED when set (rerun a failure exactly) and chosen
+   randomly otherwise — in which case the failing case names the seed to
+   rerun with. Use this instead of [QCheck_alcotest.to_alcotest]. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> failwith "QCHECK_SEED must be an integer")
+    | None ->
+        Random.self_init ();
+        Random.int 0x3FFFFFFF)
+
+let qcheck cell =
+  let seed = Lazy.force qcheck_seed in
+  let name, speed, f =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) cell
+  in
+  ( name,
+    speed,
+    fun () ->
+      try f ()
+      with e ->
+        Printf.eprintf "\nqcheck: %S failed; reproduce with QCHECK_SEED=%d\n%!" name
+          seed;
+        raise e )
