@@ -544,6 +544,141 @@ let check_cmd =
           sequences, lockstep comparison, shrinking), or --replay a telemetry trace")
     Term.(const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate)
 
+(* -- fault -------------------------------------------------------------- *)
+
+let fault_cmd =
+  let module Drive = Komodo_fault.Drive in
+  let trials =
+    Arg.(value & opt int 25 & info [ "trials" ] ~docv:"N" ~doc:"Fault-injection trials to run.")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Adversarial ops per trial (before fault decoration).")
+  in
+  let fseed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.") in
+  let fpages =
+    Arg.(value & opt int 40 & info [ "pages" ] ~docv:"N" ~doc:"Secure pages per trial world.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt string "irq,mem,rng,storm,crash"
+      & info [ "faults" ] ~docv:"CLASSES"
+          ~doc:"Comma-separated fault classes to arm: irq, mem, rng, storm, crash.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"NAME"
+          ~doc:
+            "Re-enable a deliberate partial-mutation bug in the monitor (self-test; \
+             expects the campaign to catch it). One of: partial_map_secure, partial_remove.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run the fault campaign trace in $(docv) instead of generating trials.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"On violation, save the shrunk campaign as a replayable JSONL trace.")
+  in
+  let run level trials ops seed pages faults bug replay save =
+    setup_logs level;
+    match replay with
+    | Some path -> (
+        let ic = open_in path in
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let lines = read [] in
+        close_in ic;
+        match Drive.trace_parse lines with
+        | Error e ->
+            Printf.eprintf "komodo fault: cannot replay %s: %s\n" path e;
+            2
+        | Ok (h, fops) -> (
+            match Drive.replay h fops with
+            | Ok st ->
+                Printf.printf "replayed %d fops (%d faults fired): no violation\n"
+                  st.Drive.fops_run st.Drive.injections;
+                0
+            | Error v ->
+                Printf.printf "replayed campaign VIOLATION:\n%s\n" (Drive.pp_violation v);
+                4))
+    | None -> (
+        let faults =
+          List.map
+            (fun s ->
+              match Drive.class_of_string (String.trim s) with
+              | Some c -> c
+              | None ->
+                  Printf.eprintf "komodo fault: unknown fault class %S\n" s;
+                  exit 2)
+            (String.split_on_char ',' faults)
+        in
+        let bug =
+          match bug with
+          | None -> None
+          | Some name -> (
+              match Monitor.bug_of_string name with
+              | Some b -> Some b
+              | None ->
+                  Printf.eprintf "komodo fault: unknown bug %S\n" name;
+                  exit 2)
+        in
+        let o =
+          Drive.run_trials ~npages:pages ~ops_per_trial:ops ?bug ~faults ~trials ~seed ()
+        in
+        Printf.printf "%d trials, %d fault-decorated ops, %d faults fired\n"
+          o.Drive.trials_run o.Drive.total_fops o.Drive.total_injections;
+        Printf.printf "worst interrupt blackout: %d cycles (%.3f ms at 900 MHz)\n"
+          o.Drive.blackout
+          (Komodo_machine.Cost.cycles_to_ms o.Drive.blackout);
+        match o.Drive.violation with
+        | None ->
+            if bug <> None then (
+              print_endline "BUG SURVIVED: the fault campaign failed its self-test";
+              1)
+            else (
+              print_endline "no violation: every call stayed atomic under injected faults";
+              0)
+        | Some (tseed, shrunk, v) ->
+            Printf.printf "VIOLATION (trial seed %d), shrunk to %d fops:\n" tseed
+              (List.length shrunk);
+            List.iteri (fun i f -> Printf.printf "  %2d. %s\n" i (Drive.pp_fop f)) shrunk;
+            print_endline (Drive.pp_violation v);
+            (match save with
+            | None -> ()
+            | Some file ->
+                let oc = open_out file in
+                List.iter
+                  (fun l -> output_string oc (l ^ "\n"))
+                  (Drive.trace_lines ~seed:tseed ~npages:pages ~bug shrunk);
+                close_out oc;
+                Printf.printf "shrunk campaign saved to %s\n" file);
+            if bug <> None then (
+              print_endline "bug caught: fault-campaign self-test passed";
+              0)
+            else 4)
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Inject adversarial faults (spurious interrupts, concurrent-core memory writes, \
+          entropy exhaustion, SMC storms, OS crash/restarts) while differentially checking \
+          the monitor, asserting PageDB invariants and transactional atomicity after every \
+          call. Exits 0 on a clean campaign, 4 on an atomicity/invariant violation.")
+    Term.(
+      const run $ verbosity $ trials $ ops $ fseed $ fpages $ faults $ bug $ replay $ save)
+
 (* -- verify ------------------------------------------------------------- *)
 
 let verify_cmd =
@@ -587,4 +722,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; inspect_cmd; notary_cmd; verify_cmd ]))
+          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; fault_cmd; inspect_cmd; notary_cmd; verify_cmd ]))

@@ -24,6 +24,7 @@ type t =
   | Pages_exhausted  (** no secure page available *)
   | In_use  (** refcount prevents removal *)
   | Invalid_arg  (** malformed argument (alignment, insecure range, ...) *)
+  | Entropy_exhausted  (** the hardware randomness source ran dry *)
 [@@deriving eq, show { with_path = false }]
 
 let to_word = function
@@ -44,6 +45,7 @@ let to_word = function
   | Pages_exhausted -> Word.of_int 14
   | In_use -> Word.of_int 15
   | Invalid_arg -> Word.of_int 16
+  | Entropy_exhausted -> Word.of_int 17
 
 let of_word w =
   match Word.to_int w with
@@ -64,6 +66,7 @@ let of_word w =
   | 14 -> Some Pages_exhausted
   | 15 -> Some In_use
   | 16 -> Some Invalid_arg
+  | 17 -> Some Entropy_exhausted
   | _ -> None
 
 let is_success = function Success -> true | _ -> false

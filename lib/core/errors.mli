@@ -22,6 +22,7 @@ type t =
   | Pages_exhausted  (** no secure page available *)
   | In_use  (** reference count prevents removal *)
   | Invalid_arg  (** malformed argument (alignment, insecure range, ...) *)
+  | Entropy_exhausted  (** the hardware randomness source ran dry *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

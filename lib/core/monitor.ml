@@ -20,6 +20,33 @@ module Platform = Komodo_tz.Platform
 module Layout = Komodo_tz.Layout
 module Rng = Komodo_tz.Rng
 
+(** Points in a handler where the fault injector may act. The commit
+    point sits between a call's validation phase and its (single,
+    atomic) commit — exactly where a concurrent core's write to
+    insecure memory, an interrupt assertion, or an entropy-source
+    failure would land on real hardware. *)
+type phase = Ph_commit of { smc : bool; call : int }
+
+(** Deliberately re-enabled partial-mutation bugs, for checker
+    self-tests: each breaks the validate-then-commit discipline the
+    paper's proofs (and our transactional handlers) rule out. *)
+type bug =
+  | Bug_partial_map_secure
+      (** MapSecure copies the page contents in, then fails — leaving
+          secure memory mutated on an error return *)
+  | Bug_partial_remove
+      (** Remove of a final addrspace releases the page before the
+          refcount check fails — PageDB mutated on an error return *)
+
+let bug_name = function
+  | Bug_partial_map_secure -> "partial_map_secure"
+  | Bug_partial_remove -> "partial_remove"
+
+let bugs = [ Bug_partial_map_secure; Bug_partial_remove ]
+
+let bug_of_string s =
+  List.find_opt (fun b -> String.equal (bug_name b) s) bugs
+
 type t = {
   mach : State.t;
   pagedb : Pagedb.t;
@@ -37,6 +64,15 @@ type t = {
           instrumentation site a single branch: no events are built,
           no cycles charged, and the verified-path semantics are
           unchanged. *)
+  inject : (phase -> t -> t) option;
+      (** Fault-injection hook, fired at every {!phase} boundary. The
+          injector may only do what the threat model allows the
+          environment to do: write insecure memory, perturb the
+          entropy source, assert interrupts. [None] (the default) is
+          fault-free execution. *)
+  bug : bug option;
+      (** Re-enabled partial-mutation bug for self-tests; [None] is the
+          correct monitor. *)
 }
 
 let of_boot ?(optimised = false) ?(sink = Komodo_telemetry.Sink.null)
@@ -49,7 +85,13 @@ let of_boot ?(optimised = false) ?(sink = Komodo_telemetry.Sink.null)
     rng = b.Komodo_tz.Boot.rng;
     optimised;
     sink;
+    inject = None;
+    bug = None;
   }
+
+(** Fire the fault-injection hook at a phase boundary (identity when no
+    injector is installed). *)
+let phase t p = match t.inject with None -> t | Some f -> f p t
 
 let charge n t = { t with mach = State.charge n t.mach }
 let cycles t = t.mach.State.cycles

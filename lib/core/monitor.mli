@@ -13,6 +13,21 @@ module Regs = Komodo_machine.Regs
 module Platform = Komodo_tz.Platform
 module Rng = Komodo_tz.Rng
 
+(** Fault-injection points inside a handler: the commit point sits
+    between a call's pure validation phase and its single atomic
+    commit, where asynchronous environment actions (concurrent-core
+    stores, interrupt assertion, entropy failure) would land. *)
+type phase = Ph_commit of { smc : bool; call : int }
+
+(** Deliberately re-enabled partial-mutation bugs for checker
+    self-tests (the analogue of {!Aspec.mutation} on the
+    implementation side). *)
+type bug = Bug_partial_map_secure | Bug_partial_remove
+
+val bug_name : bug -> string
+val bug_of_string : string -> bug option
+val bugs : bug list
+
 type t = {
   mach : State.t;
   pagedb : Pagedb.t;
@@ -27,9 +42,19 @@ type t = {
       (** Telemetry sink for the instrumented hot paths; the default
           null sink makes instrumentation a single branch with no
           allocation and no modelled-cycle cost. *)
+  inject : (phase -> t -> t) option;
+      (** Fault-injection hook fired at every phase boundary; [None]
+          (the default) is fault-free execution. The injector is bound
+          by the threat model: insecure memory, the entropy source and
+          interrupt lines only. *)
+  bug : bug option;  (** re-enabled partial-mutation bug; [None] = correct *)
 }
 
 val of_boot : ?optimised:bool -> ?sink:Komodo_telemetry.Sink.t -> Komodo_tz.Boot.t -> t
+
+val phase : t -> phase -> t
+(** Fire the fault-injection hook at a phase boundary (identity when no
+    injector is installed). *)
 val charge : int -> t -> t
 val cycles : t -> int
 

@@ -196,8 +196,14 @@ let check (plat : Platform.t) (mem : Memory.t) (t : t) : violation list =
       match e with
       | Free -> err n "Free entry explicitly stored"
       | Addrspace a -> begin
+          (* Stopped spaces are mid-teardown: Remove may reclaim the
+             first-level table page before the addrspace page itself,
+             so the l1pt reference only has to be well-typed while the
+             space could still run (Komodo's stopped-addrspace
+             exception). *)
           (match get t a.l1pt with
           | L1PTable { addrspace } when addrspace = n -> ()
+          | _ when equal_addrspace_state a.state Stopped -> ()
           | L1PTable _ -> err n "l1pt owned by another address space"
           | _ -> err n "l1pt is not an L1PTable");
           if a.refcount <> count_owned t n then
@@ -239,6 +245,13 @@ let check (plat : Platform.t) (mem : Memory.t) (t : t) : violation list =
   List.iter
     (fun (asn, (a : _)) ->
       match a with
+      | { state = Stopped; _ } ->
+          (* A stopped space can never be entered again, so its tables
+             are dead: Remove reclaims them one page at a time, and a
+             first-level entry may dangle over a freed second-level
+             table mid-teardown. Komodo's invariant makes exactly this
+             exception for stopped address spaces. *)
+          ()
       | { l1pt; _ } when not (valid_pagenr t l1pt) -> err asn "l1pt out of range"
       | { l1pt; _ } ->
           let l1_base = page_pa l1pt in

@@ -44,9 +44,24 @@ let sm_remove = 12
 let ok retval t = (t, Errors.Success, retval)
 let fail err t = (t, err, Word.zero)
 
+(* -- Transactional discipline -------------------------------------------
+   Every handler below is written in validate-then-commit shape: a pure
+   validation prefix that only reads state and can only [fail], then a
+   single [commit] performing every mutation (PageDB, secure memory,
+   cycle charges). The commit point is also where the fault injector may
+   act — [Monitor.phase] fires there — so the shape makes the paper's
+   atomicity claim (§4: every call completes or leaves state untouched)
+   checkable under injected faults: validation facts concern secure
+   state the environment cannot touch, so they survive the hook. *)
+
+(** Fire the commit-point injection hook, then run the commit [k] — the
+    handler's single atomic mutation. *)
+let commit ~call t k = k (Monitor.phase t (Monitor.Ph_commit { smc = true; call }))
+
 (* -- Construction calls ------------------------------------------------- *)
 
 let get_phys_pages (t : Monitor.t) =
+  commit ~call:sm_get_phys_pages t @@ fun t ->
   ok (Word.of_int t.Monitor.plat.Platform.npages) (Monitor.charge 10 t)
 
 let init_addrspace (t : Monitor.t) =
@@ -57,7 +72,8 @@ let init_addrspace (t : Monitor.t) =
       (* The two arguments must be distinct pages — the aliasing bug the
          paper found in its unverified prototype (§9.1). *)
       if as_pg = l1_pg then fail Errors.Page_in_use t
-      else begin
+      else
+        commit ~call:sm_init_addrspace t @@ fun t ->
         let t = Monitor.zero_page t l1_pg in
         let db = t.Monitor.pagedb in
         let db =
@@ -72,7 +88,6 @@ let init_addrspace (t : Monitor.t) =
         in
         let db = Pagedb.set db l1_pg (Pagedb.L1PTable { addrspace = as_pg }) in
         ok Word.zero (Monitor.charge 24 { t with Monitor.pagedb = db })
-      end
 
 let init_thread (t : Monitor.t) =
   let as_w = Monitor.arg t 1
@@ -84,6 +99,7 @@ let init_thread (t : Monitor.t) =
       match Monitor.free_page t th_w with
       | Error e -> fail e t
       | Ok th_pg ->
+          commit ~call:sm_init_thread t @@ fun t ->
           let db =
             Pagedb.alloc t.Monitor.pagedb th_pg
               (Pagedb.Thread
@@ -126,6 +142,7 @@ let init_l2ptable (t : Monitor.t) =
             match Ptable.decode_l1e (Monitor.load_page_word t l1pt l1index) with
             | Some _ -> fail Errors.Addr_in_use t
             | None ->
+                commit ~call:sm_init_l2ptable t @@ fun t ->
                 let t = Monitor.zero_page t l2_pg in
                 let db =
                   Pagedb.alloc t.Monitor.pagedb l2_pg
@@ -147,6 +164,7 @@ let alloc_spare (t : Monitor.t) =
         match Monitor.free_page t sp_w with
         | Error e -> fail e t
         | Ok sp_pg ->
+            commit ~call:sm_alloc_spare t @@ fun t ->
             let db =
               Pagedb.alloc t.Monitor.pagedb sp_pg
                 (Pagedb.SparePage { addrspace = as_pg })
@@ -179,15 +197,23 @@ let map_secure (t : Monitor.t) =
               in
               if not content_ok then fail Errors.Invalid_arg t
               else
+                (* [Bug_partial_map_secure] resurrects the naive handler
+                   ordering: copy the contents in before the
+                   mapping-slot checks, so a late failure returns an
+                   error with secure memory already mutated. *)
+                let buggy = t.Monitor.bug = Some Monitor.Bug_partial_map_secure in
+                let fill t = Monitor.fill_page_from_insecure t data_pg ~src:content in
+                let t_err = if buggy then fill t else t in
                 match Monitor.l2pt_for t ~l1pt:a.Pagedb.l1pt mapping.Mapping.va with
-                | None -> fail Errors.Invalid_mapping t
+                | None -> fail Errors.Invalid_mapping t_err
                 | Some l2pt -> (
                     match
                       Ptable.decode_l2e (Monitor.read_l2e t ~l2pt mapping.Mapping.va)
                     with
-                    | Some _ -> fail Errors.Addr_in_use t
+                    | Some _ -> fail Errors.Addr_in_use t_err
                     | None ->
-                        let t = Monitor.fill_page_from_insecure t data_pg ~src:content in
+                        commit ~call:sm_map_secure t @@ fun t ->
+                        let t = fill t in
                         let contents = Monitor.page_bytes t data_pg in
                         let measurement =
                           Measure.add_data_page a.Pagedb.measurement ~mapping
@@ -244,6 +270,7 @@ let map_insecure (t : Monitor.t) =
                 with
                 | Some _ -> fail Errors.Addr_in_use t
                 | None ->
+                    commit ~call:sm_map_insecure t @@ fun t ->
                     let pte =
                       Ptable.make_l2e ~base:target ~ns:true mapping.Mapping.perms
                     in
@@ -255,6 +282,7 @@ let finalise (t : Monitor.t) =
   match Monitor.addrspace_page t ~want:Pagedb.Init as_w with
   | Error e -> fail e t
   | Ok (as_pg, a) ->
+      commit ~call:sm_finalise t @@ fun t ->
       let measurement = Measure.finalise a.Pagedb.measurement in
       let db =
         Pagedb.set t.Monitor.pagedb as_pg
@@ -271,6 +299,7 @@ let stop (t : Monitor.t) =
       if Pagedb.equal_addrspace_state a.Pagedb.state Pagedb.Init then
         fail Errors.Not_final t
       else begin
+        commit ~call:sm_stop t @@ fun t ->
         let measurement =
           match a.Pagedb.state with
           | Pagedb.Init -> assert false
@@ -299,17 +328,34 @@ let remove (t : Monitor.t) =
       | Pagedb.SparePage _ ->
           (* Spare pages may be reclaimed from any enclave at any time;
              this is the OS-visible face of dynamic allocation (§4). *)
-          ok Word.zero (Monitor.charge 14 { t with Monitor.pagedb = Pagedb.release db pg })
+          commit ~call:sm_remove t @@ fun t ->
+          ok Word.zero
+            (Monitor.charge 14 { t with Monitor.pagedb = Pagedb.release t.Monitor.pagedb pg })
       | Pagedb.Addrspace a ->
           if not (Pagedb.equal_addrspace_state a.Pagedb.state Pagedb.Stopped) then
             fail Errors.Not_stopped t
-          else if a.Pagedb.refcount > 0 then fail Errors.In_use t
-          else ok Word.zero (Monitor.charge 14 { t with Monitor.pagedb = Pagedb.set db pg Pagedb.Free })
+          else if a.Pagedb.refcount > 0 then
+            (* [Bug_partial_remove] resurrects the naive ordering:
+               release the page before the refcount check, so the
+               [In_use] error returns with the PageDB already mutated. *)
+            if t.Monitor.bug = Some Monitor.Bug_partial_remove then
+              fail Errors.In_use
+                { t with Monitor.pagedb = Pagedb.set db pg Pagedb.Free }
+            else fail Errors.In_use t
+          else
+            commit ~call:sm_remove t @@ fun t ->
+            ok Word.zero
+              (Monitor.charge 14
+                 { t with Monitor.pagedb = Pagedb.set t.Monitor.pagedb pg Pagedb.Free })
       | (Pagedb.Thread _ | Pagedb.L1PTable _ | Pagedb.L2PTable _ | Pagedb.DataPage _)
         as e ->
           let asp = Option.get (Pagedb.owner e) in
           if not (stopped asp) then fail Errors.Not_stopped t
-          else ok Word.zero (Monitor.charge 14 { t with Monitor.pagedb = Pagedb.release db pg }))
+          else
+            commit ~call:sm_remove t @@ fun t ->
+            ok Word.zero
+              (Monitor.charge 14
+                 { t with Monitor.pagedb = Pagedb.release t.Monitor.pagedb pg }))
 
 (* -- Enclave execution (Enter / Resume) -------------------------------- *)
 
@@ -546,6 +592,7 @@ let enter ~exec (t : Monitor.t) =
   | Ok (th_pg, th, a) ->
       if th.Pagedb.entered then fail Errors.Already_entered t
       else begin
+        commit ~call:sm_enter t @@ fun t ->
         if Monitor.telemetry_on t then
           Monitor.emit t
             (Komodo_telemetry.Event.Enclave_lifecycle
@@ -586,6 +633,7 @@ let resume ~exec (t : Monitor.t) =
       match (th.Pagedb.entered, th.Pagedb.ctx) with
       | false, _ | _, None -> fail Errors.Not_entered t
       | true, Some ctx ->
+          commit ~call:sm_resume t @@ fun t ->
           if Monitor.telemetry_on t then
             Monitor.emit t
               (Komodo_telemetry.Event.Enclave_lifecycle

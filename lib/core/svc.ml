@@ -65,12 +65,31 @@ let set_results t err values =
   let t = set_ureg t 0 (Errors.to_word err) in
   List.fold_left (fun (t, i) v -> (set_ureg t i v, i + 1)) (t, 1) values |> fst
 
-(* -- Individual calls --------------------------------------------------- *)
+(* -- Individual calls ---------------------------------------------------
+   Like the SMC handlers, each call is validate-then-commit: a pure
+   validation prefix, then one atomic commit at which the fault
+   injector's hook fires ([Monitor.phase]). Result registers are part
+   of the return discipline, not enclave state, so setting them on an
+   error path does not break atomicity. *)
+
+(** Fire the commit-point injection hook, then run the commit [k]. *)
+let commit ~call t k = k (Monitor.phase t (Monitor.Ph_commit { smc = false; call }))
 
 let get_random (t : Monitor.t) =
-  let w, rng = Rng.next_word t.Monitor.rng in
-  let t = Monitor.charge Cost.rng_word { t with Monitor.rng } in
-  (set_results t Errors.Success [ w ], Errors.Success)
+  (* A drained entropy source is a defined error, not a trap: the
+     enclave learns the source failed and nothing else (fault model).
+     The check repeats inside the commit because the injector may drain
+     the source at the commit point itself. *)
+  if Rng.exhausted t.Monitor.rng then
+    (set_results t Errors.Entropy_exhausted [], Errors.Entropy_exhausted)
+  else
+    commit ~call:sv_get_random t @@ fun t ->
+    if Rng.exhausted t.Monitor.rng then
+      (set_results t Errors.Entropy_exhausted [], Errors.Entropy_exhausted)
+    else
+      let w, rng = Rng.next_word t.Monitor.rng in
+      let t = Monitor.charge Cost.rng_word { t with Monitor.rng } in
+      (set_results t Errors.Success [ w ], Errors.Success)
 
 let attest (t : Monitor.t) ~cur_asp =
   match Pagedb.get t.Monitor.pagedb cur_asp with
@@ -78,6 +97,7 @@ let attest (t : Monitor.t) ~cur_asp =
       match Measure.digest a.Pagedb.measurement with
       | None -> (set_results t Errors.Not_final [], Errors.Not_final)
       | Some measurement ->
+          commit ~call:sv_attest t @@ fun t ->
           let data =
             Sha256.digest_of_words (List.init 8 (fun i -> ureg t (i + 1)))
           in
@@ -105,6 +125,7 @@ let verify (t : Monitor.t) =
   match read_user_words t buf 24 with
   | None -> (set_results t Errors.Invalid_arg [], Errors.Invalid_arg)
   | Some ws ->
+      commit ~call:sv_verify t @@ fun t ->
       let take n l = List.filteri (fun i _ -> i < n) l
       and drop n l = List.filteri (fun i _ -> i >= n) l in
       let data = Sha256.digest_of_words (take 8 ws) in
@@ -150,6 +171,7 @@ let init_l2ptable (t : Monitor.t) ~cur_asp =
   match result with
   | Error e -> (set_results t e [], e)
   | Ok (n, l1pt) ->
+      commit ~call:sv_init_l2ptable t @@ fun t ->
       let t = Monitor.zero_page t n in
       let t =
         {
@@ -182,6 +204,7 @@ let map_data (t : Monitor.t) ~cur_asp =
   match result with
   | Error e -> (set_results t e [], e)
   | Ok (n, l2pt, mapping) ->
+      commit ~call:sv_map_data t @@ fun t ->
       (* Zero-fill, retype, then publish the mapping. *)
       let t = Monitor.charge (Cost.smc_body_small * 5) t in
       let t = Monitor.zero_page t n in
@@ -220,6 +243,7 @@ let unmap_data (t : Monitor.t) ~cur_asp =
   match result with
   | Error e -> (set_results t e [], e)
   | Ok (n, l2pt, mapping) ->
+      commit ~call:sv_unmap_data t @@ fun t ->
       let t = Monitor.write_l2e t ~l2pt mapping.Mapping.va Word.zero in
       let t =
         {
@@ -237,6 +261,7 @@ let set_dispatcher (t : Monitor.t) ~cur_thread =
       if not (Word.ult entry Ptable.va_limit) then
         (set_results t Errors.Invalid_arg [], Errors.Invalid_arg)
       else begin
+        commit ~call:sv_set_dispatcher t @@ fun t ->
         (* Entry 0 deregisters (reverting to exit-with-Fault). *)
         let dispatcher = if Word.equal entry Word.zero then None else Some entry in
         let db =

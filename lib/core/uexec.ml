@@ -38,9 +38,9 @@ type t = {
 
 (* -- Concrete interpretation ------------------------------------------ *)
 
-let concrete ?(fuel = 2_000_000) ?(native = fun _ -> None) ?probe () =
+let concrete ?(fuel = 2_000_000) ?(native = fun _ -> None) ?probe ?inject () =
   let run mach ~entry_va ~start_pc ~iter:_ =
-    let mach, event = Exec.run ?probe mach ~entry_va ~start_pc ~fuel ~native in
+    let mach, event = Exec.run ?probe ?inject mach ~entry_va ~start_pc ~fuel ~native in
     { mach; event }
   in
   { name = "concrete"; run }

@@ -33,11 +33,13 @@ val concrete :
   ?fuel:int ->
   ?native:(int -> Exec.native option) ->
   ?probe:(steps:int -> unit) ->
+  ?inject:(State.t -> State.t * Exec.event option) ->
   unit ->
   t
 (** [probe] observes the instructions retired per burst — the machine
     layer's telemetry hook (e.g. feed it into a metrics registry with
-    {!Komodo_telemetry.Metrics.add_count}). *)
+    {!Komodo_telemetry.Metrics.add_count}). [inject] is the
+    fault-injection hook threaded down to {!Exec.run_bytecode}. *)
 
 val visible_state_key : State.t -> string
 (** Digest of the user-visible state (registers, flags, PC, every

@@ -1,0 +1,514 @@
+(** Fault-injection campaigns over the differential lockstep checker
+    (see the interface for the big picture).
+
+    The driver owns the two invariants the lockstep comparison alone
+    does not check:
+
+    - {b PageDB well-formedness} after every step, faulted or not —
+      the paper proves every SMC and SVC preserves it, so a fault that
+      breaks it is a monitor bug, full stop;
+    - {b transactional atomicity}: an error return must leave the
+      abstract PageDB *and* the concrete bytes of every secure page
+      untouched. The concrete half matters: {!Pagedb.check} does not
+      require free pages to be zeroed, so a handler that copies data
+      in and then fails (the re-enabled [Bug_partial_map_secure]) is
+      invisible abstractly and caught only here. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Memory = Komodo_machine.Memory
+module Regs = Komodo_machine.Regs
+module Ptable = Komodo_machine.Ptable
+module Platform = Komodo_tz.Platform
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+module Os = Komodo_os.Os
+module Aspec = Komodo_spec.Aspec
+module Diff = Komodo_spec.Diff
+module Json = Komodo_telemetry.Json
+
+type fault_class = F_irq | F_mem | F_rng | F_storm | F_crash
+
+let class_name = function
+  | F_irq -> "irq"
+  | F_mem -> "mem"
+  | F_rng -> "rng"
+  | F_storm -> "storm"
+  | F_crash -> "crash"
+
+let all_classes = [ F_irq; F_mem; F_rng; F_storm; F_crash ]
+
+let class_of_string s =
+  List.find_opt (fun c -> String.equal (class_name c) s) all_classes
+
+type fop = Op of { op : Diff.op; inj : Inject.plan_item list } | Crash of { seed : int }
+
+let pp_fop = function
+  | Crash { seed } -> Printf.sprintf "crash_reboot(seed=%d)" seed
+  | Op { op; inj = [] } -> Diff.pp_op op
+  | Op { op; inj } ->
+      Printf.sprintf "%s  +{%s}" (Diff.pp_op op)
+        (String.concat "; " (List.map Inject.pp_item inj))
+
+type violation = { index : int; fop : fop; reason : string }
+
+let pp_violation v =
+  Printf.sprintf "fop %d: %s\n  %s" v.index (pp_fop v.fop) v.reason
+
+type stats = { fops_run : int; injections : int; worst_blackout : int }
+
+(* -- one campaign ------------------------------------------------------- *)
+
+let secure_pages_equal (plat : Platform.t) before after =
+  let rec go n =
+    if n >= plat.Platform.npages then None
+    else if
+      Memory.equal_range before after (Platform.page_base plat n)
+        Ptable.words_per_page
+    then go (n + 1)
+    else Some n
+  in
+  go 0
+
+let is_exec_call call = call = Aspec.smc_enter || call = Aspec.smc_resume
+
+let has_commit_action pred items =
+  List.exists
+    (fun i ->
+      (match i.Inject.point with Inject.Commit -> true | Inject.Insn _ -> false)
+      && pred i.Inject.action)
+    items
+
+let has_insn_point items =
+  List.exists
+    (fun i -> match i.Inject.point with Inject.Insn _ -> true | Inject.Commit -> false)
+    items
+
+let step inj ~worst rs i fop : (Diff.rstate, violation) result =
+  let fail reason = Error { index = i; fop; reason } in
+  match fop with
+  | Crash { seed } -> Ok { rs with Diff.os = Os.crash_reboot ~seed rs.Diff.os }
+  | Op { op; inj = items } -> (
+      Inject.arm inj items;
+      (* A concurrent store at the commit point makes MapSecure's staged
+         contents unknowable in advance; instruction-level injection
+         makes a probe run unpredictable; an armed exhaustion tells the
+         entropy oracle the source will be dry by the time GetRandom
+         looks. *)
+      let opaque_contents =
+        has_commit_action (function Inject.Mem_write _ -> true | _ -> false) items
+      in
+      let opaque_probe =
+        has_insn_point items
+        || (match op with
+           | Diff.Smc { call; _ } when is_exec_call call ->
+               (* A commit-point interrupt assertion preempts the probe
+                  at its first instruction. *)
+               has_commit_action
+                 (function Inject.Irq | Inject.Fiq -> true | _ -> false)
+                 items
+           | _ -> false)
+      in
+      let rng_exhausted =
+        if has_commit_action (function Inject.Rng_exhaust -> true | _ -> false) items
+        then Some true
+        else None
+      in
+      let before = rs.Diff.os.Os.mon in
+      let r =
+        Diff.apply_op ~opaque_contents ~opaque_probe ?rng_exhausted rs i op
+      in
+      Inject.disarm inj;
+      match r with
+      | Error d -> fail ("lockstep divergence: " ^ d.Diff.reason)
+      | Ok rs' -> (
+          let mon' = rs'.Diff.os.Os.mon in
+          (match Inject.take_blackout inj with
+          | Some c0 -> worst := max !worst (Os.cycles rs'.Diff.os - c0)
+          | None -> ());
+          match
+            Pagedb.check mon'.Monitor.plat mon'.Monitor.mach.State.mem
+              mon'.Monitor.pagedb
+          with
+          | _ :: _ as vs ->
+              fail
+                (Printf.sprintf "PageDB invariant broken:\n  %s"
+                   (String.concat "\n  "
+                      (List.map
+                         (fun v -> Format.asprintf "%a" Pagedb.pp_violation v)
+                         vs)))
+          | [] -> (
+              (* Transactional atomicity on error returns. Enter/Resume
+                 are exempt: they commit before running opaque enclave
+                 code, and an Interrupted/Fault return legitimately
+                 carries the suspension. *)
+              match op with
+              | Diff.Write_ins _ -> Ok rs'
+              | Diff.Smc { call; _ } when is_exec_call call -> Ok rs'
+              | Diff.Smc _ ->
+                  let err =
+                    Word.to_int (State.read_reg mon'.Monitor.mach (Regs.R 0))
+                  in
+                  if err = Aspec.e_success then Ok rs'
+                  else if not (Pagedb.equal before.Monitor.pagedb mon'.Monitor.pagedb)
+                  then
+                    fail
+                      (Printf.sprintf
+                         "atomicity: %s returned %s but mutated the PageDB"
+                         (pp_fop fop) (Aspec.err_name err))
+                  else
+                    (match
+                       secure_pages_equal mon'.Monitor.plat
+                         before.Monitor.mach.State.mem mon'.Monitor.mach.State.mem
+                     with
+                    | None -> Ok rs'
+                    | Some pg ->
+                        fail
+                          (Printf.sprintf
+                             "atomicity: %s returned %s but mutated secure page %d"
+                             (pp_fop fop) (Aspec.err_name err) pg)))))
+
+let run_fops ?bug w fops =
+  let rs0 = Diff.initial_rstate w in
+  let plat = rs0.Diff.os.Os.mon.Monitor.plat in
+  let inj = Inject.create ~plat () in
+  let mon0 =
+    { rs0.Diff.os.Os.mon with Monitor.inject = Some (Inject.hook inj); Monitor.bug = bug }
+  in
+  let exec = Komodo_user.Verifier.executor ~inject:(Inject.exec_inject inj) () in
+  let rs0 = { rs0 with Diff.os = { rs0.Diff.os with Os.mon = mon0; Os.exec = exec } } in
+  let worst = ref 0 in
+  let rec go rs i = function
+    | [] ->
+        Ok { fops_run = i; injections = Inject.fired_count inj; worst_blackout = !worst }
+    | fop :: rest -> (
+        match step inj ~worst rs i fop with
+        | Error v -> Error v
+        | Ok rs' -> go rs' (i + 1) rest)
+  in
+  go rs0 0 fops
+
+(* -- campaign generation ------------------------------------------------ *)
+
+let lcg s = ((s * 1103515245) + 12345) land 0x3fffffff
+
+let gen_fops w ~faults ~seed ~n =
+  ignore w;
+  let has c = List.mem c faults in
+  let g = ref ((seed lxor 0xfa17) land 0x3fffffff) in
+  let rnd n =
+    g := lcg !g;
+    if n <= 0 then 0 else !g mod n
+  in
+  let pick l = List.nth l (rnd (List.length l)) in
+  let staging = Word.to_int Os.staging_base in
+  let shared = Word.to_int Os.shared_base in
+  let document = Word.to_int Os.document_base in
+  let ins_addr () =
+    (* OS-owned insecure windows the monitor actually reads from, plus
+       the shared page enclaves map: the spots where a concurrent
+       writer hurts most. *)
+    pick
+      [
+        staging + (4 * rnd 4096);
+        shared + (4 * rnd 1024);
+        document + (4 * rnd 1024);
+      ]
+  in
+  let irq_or_fiq () = if rnd 2 = 0 then Inject.Irq else Inject.Fiq in
+  let inj_for (op : Diff.op) =
+    let items = ref [] in
+    let add point action = items := { Inject.point; action } :: !items in
+    (match op with
+    | Diff.Smc { call; _ } ->
+        let exec = is_exec_call call in
+        if has F_irq && rnd 4 = 0 then add Inject.Commit (irq_or_fiq ());
+        if has F_irq && exec && rnd 3 = 0 then
+          add (Inject.Insn (rnd 40)) (irq_or_fiq ());
+        if has F_mem && rnd 4 = 0 then
+          add Inject.Commit
+            (Inject.Mem_write { addr = ins_addr (); value = rnd 0x40000000 });
+        if has F_mem && exec && rnd 4 = 0 then
+          add (Inject.Insn (rnd 40))
+            (Inject.Mem_write { addr = ins_addr (); value = rnd 0x40000000 });
+        if has F_rng && rnd 6 = 0 then
+          add Inject.Commit
+            (if rnd 3 = 0 then Inject.Rng_reseed (rnd 1_000_000)
+             else Inject.Rng_exhaust)
+    | Diff.Write_ins _ -> ());
+    List.rev !items
+  in
+  let storm () =
+    (* A burst of malformed calls: bad call numbers, wild page numbers,
+       misaligned and out-of-range addresses. All still checked in
+       lockstep — the spec predicts every rejection. *)
+    List.init
+      (2 + rnd 4)
+      (fun _ ->
+        let call =
+          pick
+            [ 0; 13; 42; 99; Aspec.smc_map_secure; Aspec.smc_init_addrspace;
+              Aspec.smc_remove; Aspec.smc_enter ]
+        in
+        let garbage () =
+          pick [ 0; 1; 0x3fffffff; 0x1001; staging; rnd 0x40000000; 255 ]
+        in
+        Op
+          {
+            op =
+              Diff.Smc
+                {
+                  call;
+                  args = [ garbage (); garbage (); garbage (); garbage () ];
+                  budget = None;
+                };
+            inj = [];
+          })
+  in
+  let dirty_map_secure () =
+    (* Junk in an insecure window, then a MapSecure whose mapping
+       argument fails *after* the content checks: the sequence that
+       exposes a handler copying contents in before it is sure the call
+       succeeds (the [Bug_partial_map_secure] shape). *)
+    [
+      Op
+        {
+          op = Diff.Write_ins { addr = staging + (4 * rnd 64); value = 1 + rnd 0xffffff };
+          inj = [];
+        };
+      Op
+        {
+          op =
+            Diff.Smc
+              {
+                call = Aspec.smc_map_secure;
+                args =
+                  [
+                    17;
+                    20 + rnd 16;
+                    pick [ 0x5; 0x1003; 0x400005; 0x2000 ];
+                    pick [ staging; shared; document ];
+                  ];
+                budget = None;
+              };
+          inj = [];
+        };
+    ]
+  in
+  let base = Diff.gen_ops w ~seed ~n in
+  List.concat_map
+    (fun op ->
+      let pre = if has F_storm && rnd 10 = 0 then storm () else [] in
+      let pre = if has F_storm && rnd 12 = 0 then pre @ dirty_map_secure () else pre in
+      let crash =
+        if has F_crash && rnd 16 = 0 then [ Crash { seed = rnd 1_000_000 } ]
+        else []
+      in
+      pre @ crash @ [ Op { op; inj = inj_for op } ])
+    base
+
+(* -- trials ------------------------------------------------------------- *)
+
+type outcome = {
+  trials_run : int;
+  total_fops : int;
+  total_injections : int;
+  blackout : int;
+  violation : (int * fop list * violation) option;
+}
+
+let run_trials ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~trials ~seed () =
+  let rec go t fops injs blk =
+    if t >= trials then
+      {
+        trials_run = trials;
+        total_fops = fops;
+        total_injections = injs;
+        blackout = blk;
+        violation = None;
+      }
+    else
+      let tseed = seed + (t * 6947) in
+      let w = Diff.make_world ~npages ~seed:tseed () in
+      let campaign = gen_fops w ~faults ~seed:tseed ~n:ops_per_trial in
+      match run_fops ?bug w campaign with
+      | Ok st ->
+          go (t + 1) (fops + st.fops_run) (injs + st.injections)
+            (max blk st.worst_blackout)
+      | Error v ->
+          let shrunk, v' =
+            Diff.shrink_seq ~run:(run_fops ?bug w) ~index:(fun v -> v.index)
+              campaign
+          in
+          {
+            trials_run = t + 1;
+            total_fops = fops + v.index;
+            total_injections = injs;
+            blackout = blk;
+            violation = Some (tseed, shrunk, v');
+          }
+  in
+  go 0 0 0 0
+
+(* -- replay traces ------------------------------------------------------ *)
+
+type header = { h_seed : int; h_npages : int; h_bug : Monitor.bug option }
+
+let point_to_json = function
+  | Inject.Commit -> Json.Str "commit"
+  | Inject.Insn n -> Json.Obj [ ("insn", Json.Int n) ]
+
+let action_to_json = function
+  | Inject.Irq -> Json.Str "irq"
+  | Inject.Fiq -> Json.Str "fiq"
+  | Inject.Mem_write { addr; value } ->
+      Json.Obj [ ("mem_write", Json.Obj [ ("addr", Json.Int addr); ("value", Json.Int value) ]) ]
+  | Inject.Rng_reseed n -> Json.Obj [ ("rng_reseed", Json.Int n) ]
+  | Inject.Rng_exhaust -> Json.Str "rng_exhaust"
+
+let item_to_json (i : Inject.plan_item) =
+  Json.Obj [ ("point", point_to_json i.Inject.point); ("action", action_to_json i.Inject.action) ]
+
+let op_to_json = function
+  | Diff.Smc { call; args; budget } ->
+      Json.Obj
+        [
+          ("call", Json.Int call);
+          ("args", Json.List (List.map (fun a -> Json.Int a) args));
+          ("budget", match budget with None -> Json.Null | Some b -> Json.Int b);
+        ]
+  | Diff.Write_ins { addr; value } ->
+      Json.Obj
+        [ ("write_ins", Json.Obj [ ("addr", Json.Int addr); ("value", Json.Int value) ]) ]
+
+let fop_to_json = function
+  | Crash { seed } -> Json.Obj [ ("crash", Json.Int seed) ]
+  | Op { op; inj } ->
+      Json.Obj [ ("op", op_to_json op); ("inj", Json.List (List.map item_to_json inj)) ]
+
+let trace_lines ~seed ~npages ~bug fops =
+  let header =
+    Json.Obj
+      [
+        ("komodo_fault_trace", Json.Int 1);
+        ("seed", Json.Int seed);
+        ("npages", Json.Int npages);
+        ("bug", match bug with None -> Json.Null | Some b -> Json.Str (Monitor.bug_name b));
+      ]
+  in
+  Json.to_string header :: List.map (fun f -> Json.to_string (fop_to_json f)) fops
+
+let ( let* ) = Result.bind
+let req what = function Some v -> Ok v | None -> Error ("missing/ill-typed " ^ what)
+
+let int_field name j = req name (Option.bind (Json.member name j) Json.to_int_opt)
+
+let point_of_json j =
+  match j with
+  | Json.Str "commit" -> Ok Inject.Commit
+  | Json.Obj _ ->
+      let* n = int_field "insn" j in
+      Ok (Inject.Insn n)
+  | _ -> Error "bad injection point"
+
+let action_of_json j =
+  match j with
+  | Json.Str "irq" -> Ok Inject.Irq
+  | Json.Str "fiq" -> Ok Inject.Fiq
+  | Json.Str "rng_exhaust" -> Ok Inject.Rng_exhaust
+  | Json.Obj _ -> (
+      match Json.member "mem_write" j with
+      | Some mw ->
+          let* addr = int_field "addr" mw in
+          let* value = int_field "value" mw in
+          Ok (Inject.Mem_write { addr; value })
+      | None ->
+          let* n = int_field "rng_reseed" j in
+          Ok (Inject.Rng_reseed n))
+  | _ -> Error "bad injection action"
+
+let item_of_json j =
+  let* pj = req "point" (Json.member "point" j) in
+  let* point = point_of_json pj in
+  let* aj = req "action" (Json.member "action" j) in
+  let* action = action_of_json aj in
+  Ok { Inject.point; action }
+
+let op_of_json j =
+  match Json.member "write_ins" j with
+  | Some wi ->
+      let* addr = int_field "addr" wi in
+      let* value = int_field "value" wi in
+      Ok (Diff.Write_ins { addr; value })
+  | None ->
+      let* call = int_field "call" j in
+      let* args = req "args" (Option.bind (Json.member "args" j) Json.to_list_opt) in
+      let* args =
+        List.fold_left
+          (fun acc a ->
+            let* acc = acc in
+            let* n = req "arg" (Json.to_int_opt a) in
+            Ok (n :: acc))
+          (Ok []) args
+      in
+      let budget =
+        match Json.member "budget" j with
+        | Some (Json.Int b) -> Some b
+        | _ -> None
+      in
+      Ok (Diff.Smc { call; args = List.rev args; budget })
+
+let fop_of_json j =
+  match Json.member "crash" j with
+  | Some s ->
+      let* seed = req "crash seed" (Json.to_int_opt s) in
+      Ok (Crash { seed })
+  | None ->
+      let* oj = req "op" (Json.member "op" j) in
+      let* op = op_of_json oj in
+      let* inj = req "inj" (Option.bind (Json.member "inj" j) Json.to_list_opt) in
+      let* inj =
+        List.fold_left
+          (fun acc i ->
+            let* acc = acc in
+            let* it = item_of_json i in
+            Ok (it :: acc))
+          (Ok []) inj
+      in
+      Ok (Op { op; inj = List.rev inj })
+
+let trace_parse lines =
+  match List.filter (fun l -> String.trim l <> "") lines with
+  | [] -> Error "empty trace"
+  | hline :: rest ->
+      let* h = Result.map_error (fun e -> "header: " ^ e) (Json.parse hline) in
+      let* () =
+        match Json.member "komodo_fault_trace" h with
+        | Some (Json.Int 1) -> Ok ()
+        | _ -> Error "not a komodo fault trace (bad or missing magic)"
+      in
+      let* h_seed = int_field "seed" h in
+      let* h_npages = int_field "npages" h in
+      let* h_bug =
+        match Json.member "bug" h with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Str s) -> (
+            match Monitor.bug_of_string s with
+            | Some b -> Ok (Some b)
+            | None -> Error ("unknown bug " ^ s))
+        | Some _ -> Error "bad bug field"
+      in
+      let* fops =
+        List.fold_left
+          (fun acc line ->
+            let* acc = acc in
+            let* j = Result.map_error (fun e -> "fop: " ^ e) (Json.parse line) in
+            let* f = fop_of_json j in
+            Ok (f :: acc))
+          (Ok []) rest
+      in
+      Ok ({ h_seed; h_npages; h_bug }, List.rev fops)
+
+let replay h fops =
+  let w = Diff.make_world ~npages:h.h_npages ~seed:h.h_seed () in
+  run_fops ?bug:h.h_bug w fops

@@ -1,0 +1,148 @@
+(** The seeded, deterministic fault injector (see the interface for the
+    threat-model framing). The injector is the *environment*: it may
+    write OS-owned insecure memory, perturb the entropy source, and
+    assert interrupt lines, but the modelled TZASC blocks anything
+    aimed at secure memory — the injector cannot do what the hardware
+    promises the environment cannot. *)
+
+module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Exec = Komodo_machine.Exec
+module Platform = Komodo_tz.Platform
+module Rng = Komodo_tz.Rng
+module Monitor = Komodo_core.Monitor
+module Event = Komodo_telemetry.Event
+
+type action =
+  | Irq
+  | Fiq
+  | Mem_write of { addr : int; value : int }
+  | Rng_reseed of int
+  | Rng_exhaust
+
+type point = Commit | Insn of int
+
+type plan_item = { point : point; action : action }
+
+let action_name = function
+  | Irq -> "irq"
+  | Fiq -> "fiq"
+  | Mem_write { addr; value } -> Printf.sprintf "mem_write:0x%x<-0x%x" addr value
+  | Rng_reseed n -> Printf.sprintf "rng_reseed:%d" n
+  | Rng_exhaust -> "rng_exhaust"
+
+let pp_item { point; action } =
+  let at = match point with Commit -> "commit" | Insn n -> Printf.sprintf "insn %d" n in
+  Printf.sprintf "%s@%s" (action_name action) at
+
+type t = {
+  plat : Platform.t;
+  mutable armed : plan_item list;
+  mutable insns : int;  (** instruction boundaries seen in the current call *)
+  mutable log : (string * string) list;  (** fired (point, action), newest first *)
+  mutable blackout_start : int option;
+      (** cycles at the first commit-point IRQ/FIQ since last {!take_blackout} *)
+}
+
+let create ~plat () =
+  { plat; armed = []; insns = 0; log = []; blackout_start = None }
+
+let arm t items =
+  t.armed <- items;
+  t.insns <- 0
+
+let disarm t = t.armed <- []
+let fired t = List.rev t.log
+let fired_count t = List.length t.log
+
+let take_blackout t =
+  let b = t.blackout_start in
+  t.blackout_start <- None;
+  b
+
+let is_commit i = match i.point with Commit -> true | Insn _ -> false
+
+(* -- commit-point firing ------------------------------------------------ *)
+
+let hook inj (Monitor.Ph_commit { smc; call }) (t : Monitor.t) =
+  let now, later = List.partition is_commit inj.armed in
+  match now with
+  | [] -> t
+  | _ ->
+      (* Fire-once: a deterministic plan must not re-fire at the later
+         commits of a multi-phase call (Enter commits, then the probe's
+         SVC commits). *)
+      inj.armed <- later;
+      let point =
+        Printf.sprintf "commit:%s:%d" (if smc then "smc" else "svc") call
+      in
+      let record t what =
+        inj.log <- (point, what) :: inj.log;
+        if Monitor.telemetry_on t then
+          Monitor.emit t (Event.Fault_injected { point; action = what })
+      in
+      List.fold_left
+        (fun t item ->
+          match item.action with
+          | Irq | Fiq ->
+              (* Interrupts are masked in monitor mode, so the assertion
+                 pends across the rest of the call — but if the call
+                 goes on to run enclave code, the line preempts it at
+                 the first instruction boundary (arm the interrupt
+                 source with a zero budget). Record when it was raised
+                 so the driver can measure the blackout until the OS
+                 runs again. *)
+              record t (action_name item.action);
+              if inj.blackout_start = None then
+                inj.blackout_start <- Some (Monitor.cycles t);
+              { t with
+                Monitor.mach = { t.Monitor.mach with State.irq_budget = Some 0 } }
+          | Mem_write { addr; value } ->
+              let a = Word.of_int addr in
+              if Platform.normal_world_accessible t.Monitor.plat a then begin
+                record t (action_name item.action);
+                { t with Monitor.mach = State.store t.Monitor.mach a (Word.of_int value) }
+              end
+              else t (* TZASC: the environment cannot reach secure memory *)
+          | Rng_reseed n ->
+              record t (action_name item.action);
+              { t with Monitor.rng = Rng.seed n }
+          | Rng_exhaust ->
+              record t (action_name item.action);
+              { t with Monitor.rng = Rng.with_budget t.Monitor.rng (Some 0) })
+        t now
+
+(* -- instruction-boundary firing --------------------------------------- *)
+
+let exec_inject inj (s : State.t) =
+  let n = inj.insns in
+  inj.insns <- n + 1;
+  let hit = function Insn k -> k = n | Commit -> false in
+  let now, later = List.partition (fun i -> hit i.point) inj.armed in
+  match now with
+  | [] -> (s, None)
+  | _ ->
+      inj.armed <- later;
+      let point = Printf.sprintf "insn:%d" n in
+      let record what = inj.log <- (point, what) :: inj.log in
+      List.fold_left
+        (fun (s, forced) item ->
+          match item.action with
+          | Irq ->
+              record (action_name item.action);
+              (s, Some Exec.Ev_irq)
+          | Fiq ->
+              record (action_name item.action);
+              (s, Some Exec.Ev_fiq)
+          | Mem_write { addr; value } ->
+              let a = Word.of_int addr in
+              if Platform.normal_world_accessible inj.plat a then begin
+                record (action_name item.action);
+                ({ s with State.mem = Komodo_machine.Memory.store s.State.mem a (Word.of_int value) }, forced)
+              end
+              else (s, forced)
+          | Rng_reseed _ | Rng_exhaust ->
+              (* The entropy source lives in the monitor, not the
+                 machine; these only make sense at commit points. *)
+              (s, forced))
+        (s, None) now

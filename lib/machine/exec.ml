@@ -202,8 +202,12 @@ let step_insn s (i : Insn.insn) : (State.t, event * State.t) result =
     On return, [State.upc] holds the flat index at which execution
     stopped — the resumption PC. [probe], if given, observes the number
     of instructions retired in this burst — the machine layer's
-    telemetry hook (it never affects execution or cycle charging). *)
-let run_bytecode ?probe s (prog : Insn.fop array) ~start_pc ~fuel =
+    telemetry hook (it never affects execution or cycle charging).
+    [inject] is the fault-injection hook, consulted at every
+    instruction boundary before the interrupt check: it may perturb
+    the machine state (modelling asynchronous hardware) and force an
+    event, which ends the burst exactly as a real interrupt would. *)
+let run_bytecode ?probe ?inject s (prog : Insn.fop array) ~start_pc ~fuel =
   let retired = ref 0 in
   let finish (s, ev) =
     (match probe with Some f -> f ~steps:!retired | None -> ());
@@ -211,6 +215,12 @@ let run_bytecode ?probe s (prog : Insn.fop array) ~start_pc ~fuel =
   in
   let n = Array.length prog in
   let rec loop s pc fuel =
+    let s, forced =
+      match inject with None -> (s, None) | Some f -> f s
+    in
+    match forced with
+    | Some ev -> ({ s with State.upc = Word.of_int pc }, ev)
+    | None ->
     if fuel <= 0 then ({ s with State.upc = Word.of_int pc }, Ev_irq)
     else
       match s.State.irq_budget with
@@ -245,7 +255,7 @@ let run_bytecode ?probe s (prog : Insn.fop array) ~start_pc ~fuel =
 
 (** Execute user code at/under [entry_va] starting from flat index
     [start_pc], dispatching native services through [native]. *)
-let run ?probe s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
+let run ?probe ?inject s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
   match fetch_image s ~entry_va with
   | Bad_image -> (s, Ev_fault Prefetch)
   | Native_ref id -> (
@@ -256,4 +266,4 @@ let run ?probe s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
           (* Native bursts retire no modelled instructions. *)
           (match probe with Some f -> f ~steps:0 | None -> ());
           (nstate, nevent))
-  | Bytecode prog -> run_bytecode ?probe s prog ~start_pc ~fuel
+  | Bytecode prog -> run_bytecode ?probe ?inject s prog ~start_pc ~fuel

@@ -62,6 +62,7 @@ val fetch_image : State.t -> entry_va:Word.t -> code_image
 
 val run_bytecode :
   ?probe:(steps:int -> unit) ->
+  ?inject:(State.t -> State.t * event option) ->
   State.t ->
   Insn.fop array ->
   start_pc:int ->
@@ -73,10 +74,15 @@ val run_bytecode :
     resumption PC (for SVCs, past the SVC; for faults, the faulting
     instruction itself so it can be retried). [probe] observes the
     number of instructions retired in the burst (telemetry hook; never
-    affects execution or cycle charging). *)
+    affects execution or cycle charging). [inject] is the
+    fault-injection hook, consulted at every instruction boundary: it
+    may perturb the state (asynchronous hardware writes to memory the
+    attacker owns) and force an event ending the burst, exactly as a
+    real interrupt would. *)
 
 val run :
   ?probe:(steps:int -> unit) ->
+  ?inject:(State.t -> State.t * event option) ->
   State.t ->
   entry_va:Word.t ->
   start_pc:int ->

@@ -164,6 +164,29 @@ let run_thread ?budget t ~thread ~args =
 
 let cycles t = Monitor.cycles t.mon
 
+(** The untrusted OS crashes and reboots while enclaves stay live: the
+    secure world (monitor, PageDB, secure memory, entropy source)
+    persists across a normal-world restart — that is the whole point of
+    TrustZone isolation — but the normal world's working RAM comes back
+    as junk and the driver's page-allocation bookkeeping is lost. The
+    fault model's crash/restart class. [seed] makes the junk
+    deterministic. *)
+let crash_reboot ?(seed = 0) t =
+  let junk seed n =
+    let b = Bytes.create n in
+    let s = ref ((seed lxor 0x5eed1e55) land 0x3fffffff) in
+    for i = 0 to n - 1 do
+      s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+      Bytes.set b i (Char.chr (!s land 0xff))
+    done;
+    Bytes.to_string b
+  in
+  let scrub t base len k = write_bytes t base (junk (seed + k) len) in
+  let t = scrub t staging_base 0x4000 1 in
+  let t = scrub t document_base 0x1000 2 in
+  let t = scrub t shared_base 0x1000 3 in
+  { t with alloc = Alloc.make ~npages:t.mon.Monitor.plat.Platform.npages }
+
 (** Full teardown of an enclave: Stop, Remove every owned page, Remove
     the address-space page. Returns the first non-success error (the
     teardown keeps going so later removes still run) — the OS-side

@@ -76,6 +76,12 @@ val run_thread :
 
 val cycles : t -> int
 
+val crash_reboot : ?seed:int -> t -> t
+(** Crash and restart the untrusted OS while enclaves stay live: the
+    secure world persists; insecure working windows (staging, document,
+    shared) come back as [seed]-deterministic junk and the driver's
+    page-allocation bookkeeping is reset. *)
+
 val teardown : t -> addrspace:int -> t * Errors.t
 (** Stop the enclave, Remove every owned page, then Remove the
     address-space page itself; returns the first non-success error.

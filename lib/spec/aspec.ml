@@ -21,6 +21,7 @@ let e_invalid_thread = 13
 let e_pages_exhausted = 14
 let e_in_use = 15
 let e_invalid_arg = 16
+let e_entropy_exhausted = 17
 
 let err_name e =
   match e with
@@ -41,6 +42,7 @@ let err_name e =
   | 14 -> "Pages_exhausted"
   | 15 -> "In_use"
   | 16 -> "Invalid_arg"
+  | 17 -> "Entropy_exhausted"
   | e -> Printf.sprintf "Err(%d)" e
 
 (* SMC call numbers. *)
@@ -199,12 +201,13 @@ let user_readable t ~l1pt va =
   | None -> false
   | Some (_, slots) -> Imap.mem (l2_index va) slots
 
-let step_svc ?mutate t ~asp ~thread ~call ~a1 ~a2 =
+let step_svc ?mutate ?(rng_exhausted = false) t ~asp ~thread ~call ~a1 ~a2 =
   ignore mutate;
   let a1 = a1 land 0xffffffff and a2 = a2 land 0xffffffff in
   let aspace () = addrspace_page t asp in
   try
-    if call = svc_get_random then (t, e_success)
+    if call = svc_get_random then
+      if rng_exhausted then (t, e_entropy_exhausted) else (t, e_success)
     else if call = svc_attest then
       if (aspace ()).st = Sinit then (t, e_not_final) else (t, e_success)
     else if call = svc_verify then begin
@@ -304,17 +307,17 @@ let thread_page t n =
     in entry r0, arguments in entry r1/r2) and exits with the SVC's r0
     error word. Exit and ResumeFaulted are control flow, intercepted by
     the Enter loop before {!step_svc}. *)
-let run_probe ?mutate t ~th ~asp ~call ~a1 ~a2 =
+let run_probe ?mutate ?rng_exhausted t ~th ~asp ~call ~a1 ~a2 =
   if call = svc_exit then Done (t, e_success, a1)
   else if call = svc_resume_faulted then
     (* No parked fault context: the loop reports Not_entered in r0 and
        continues at the next instruction, so the probe exits with it. *)
     Done (t, e_success, e_not_entered)
   else
-    let t, err = step_svc ?mutate t ~asp ~thread:th ~call ~a1 ~a2 in
+    let t, err = step_svc ?mutate ?rng_exhausted t ~asp ~thread:th ~call ~a1 ~a2 in
     Done (t, e_success, err)
 
-let step_smc ?mutate t ~probe ~contents ~call ~args =
+let step_smc ?mutate ?rng_exhausted t ~probe ~contents ~call ~args =
   let mut m = mutate = Some m in
   let arg i =
     match List.nth_opt args i with Some a -> a land 0xffffffff | None -> 0
@@ -443,8 +446,8 @@ let step_smc ?mutate t ~probe ~contents ~call ~args =
       let th = thread_page t th_pg in
       if th.entered then raise (Err e_already_entered);
       if probe t th_pg then
-        run_probe ?mutate t ~th:th_pg ~asp:th.tasp ~call:(arg 1) ~a1:(arg 2)
-          ~a2:(arg 3)
+        run_probe ?mutate ?rng_exhausted t ~th:th_pg ~asp:th.tasp ~call:(arg 1)
+          ~a1:(arg 2) ~a2:(arg 3)
       else Pending { th = th_pg; asp = th.tasp; resume = false }
     end
     else if call = smc_resume then begin

@@ -35,6 +35,7 @@ val e_invalid_thread : int
 val e_pages_exhausted : int
 val e_in_use : int
 val e_invalid_arg : int
+val e_entropy_exhausted : int
 
 val err_name : int -> string
 
@@ -99,6 +100,7 @@ type result =
 
 val step_smc :
   ?mutate:mutation ->
+  ?rng_exhausted:bool ->
   Astate.t ->
   probe:(Astate.t -> int -> bool) ->
   contents:string option ->
@@ -110,7 +112,10 @@ val step_smc :
     [contents] is the oracle for MapSecure initial contents: the staged
     insecure page's bytes at call time ([None] degrades the measurement
     transcript to opaque). [probe] decides whether a thread page is a
-    live probe thread whose execution is predicted exactly. *)
+    live probe thread whose execution is predicted exactly.
+    [rng_exhausted] is the entropy oracle: when true, a probe GetRandom
+    is predicted to fail with {!e_entropy_exhausted} (the fault model's
+    drained hardware source). *)
 
 val resolve : Astate.t -> pending -> outcome:[ `Exit | `Interrupted | `Fault ] -> Astate.t
 (** Apply the observed outcome of an opaque enclave run to the spec
@@ -122,6 +127,7 @@ val allowed_outcome : int -> [ `Exit | `Interrupted | `Fault ] option
 
 val step_svc :
   ?mutate:mutation ->
+  ?rng_exhausted:bool ->
   Astate.t ->
   asp:int ->
   thread:int ->

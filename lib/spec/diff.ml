@@ -41,6 +41,8 @@ let probe_thread _ = probe_th_page
 
 type rstate = { os : Os.t; spec : Astate.t; probe_ok : bool }
 
+let initial_rstate w = { os = w.w_os; spec = w.w_spec; probe_ok = true }
+
 (* -- plumbing ------------------------------------------------------------ *)
 
 let err_word e = Word.to_int (Errors.to_word e)
@@ -141,7 +143,8 @@ let reconcile spec' impl_abs (p : Aspec.pending) =
 
 (* -- one lockstep op ----------------------------------------------------- *)
 
-let apply_op ?mutate ?cover rs index op : (rstate, divergence) result =
+let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
+    ?rng_exhausted rs index op : (rstate, divergence) result =
   let diverge reason = Error { index; op; reason } in
   match op with
   | Write_ins { addr; value } -> (
@@ -153,13 +156,23 @@ let apply_op ?mutate ?cover rs index op : (rstate, divergence) result =
   | Smc { call; args; budget } -> (
       let os = set_irq_budget budget rs.os in
       let probe spec n =
-        rs.probe_ok && n = probe_th_page && probe_shape spec
+        (not opaque_probe) && rs.probe_ok && n = probe_th_page && probe_shape spec
       in
       let is_probe_enter =
         call = Aspec.smc_enter
         && (match args with th :: _ -> probe rs.spec (th land 0xffffffff) | [] -> false)
       in
-      let contents = contents_oracle rs ~call ~args in
+      (* The entropy oracle defaults to the implementation's own pre-call
+         budget; a fault driver arming an exhaustion at this op's commit
+         point overrides it to true. *)
+      let rng_exhausted =
+        match rng_exhausted with
+        | Some b -> b
+        | None -> Komodo_tz.Rng.exhausted os.Os.mon.Monitor.rng
+      in
+      let contents =
+        if opaque_contents then None else contents_oracle rs ~call ~args
+      in
       match Os.smc os ~call ~args:(List.map Word.of_int args) with
       | exception e ->
           diverge (Printf.sprintf "implementation raised %s" (Printexc.to_string e))
@@ -170,7 +183,10 @@ let apply_op ?mutate ?cover rs index op : (rstate, divergence) result =
           let finish spec_final =
             Ok { os = os'; spec = spec_final; probe_ok = rs.probe_ok && probe_shape spec_final }
           in
-          match Aspec.step_smc ?mutate rs.spec ~probe ~contents ~call ~args with
+          match
+            Aspec.step_smc ?mutate ~rng_exhausted rs.spec ~probe ~contents ~call
+              ~args
+          with
           | exception Aspec.Stuck msg -> diverge ("spec stuck: " ^ msg)
           | Aspec.Done (spec', serr, sret) ->
               if serr <> ew then
@@ -448,13 +464,18 @@ let run_ops ?cover w ops =
         | Ok rs' -> go rs' (i + 1) rest
         | Error d -> Error d)
   in
-  go { os = w.w_os; spec = w.w_spec; probe_ok = true } 0 ops
+  go (initial_rstate w) 0 ops
 
 let truncate_at ops index = List.filteri (fun i _ -> i <= index) ops
 
-let shrink w ops =
-  match run_ops w ops with
-  | Ok _ -> invalid_arg "Diff.shrink: op sequence does not diverge"
+(** Generic greedy 1-minimal shrinker over any op type and failure
+    representation: truncate at the first failure, then repeatedly drop
+    single ops while the remainder still fails. Shared by {!shrink} and
+    the fault-injection driver. *)
+let shrink_seq ~(run : 'op list -> ('ok, 'bad) result) ~(index : 'bad -> int) ops
+    =
+  match run ops with
+  | Ok _ -> invalid_arg "Diff.shrink_seq: op sequence does not diverge"
   | Error d0 ->
       let rec fix ops d =
         let len = List.length ops in
@@ -462,15 +483,17 @@ let shrink w ops =
           if i >= len then None
           else
             let cand = List.filteri (fun j _ -> j <> i) ops in
-            match run_ops w cand with
-            | Error d' -> Some (truncate_at cand d'.index, d')
+            match run cand with
+            | Error d' -> Some (truncate_at cand (index d'), d')
             | Ok _ -> try_i (i + 1)
         in
         match try_i 0 with
         | Some (ops', d') -> fix ops' d'
         | None -> (ops, d)
       in
-      fix (truncate_at ops d0.index) d0
+      fix (truncate_at ops (index d0)) d0
+
+let shrink w ops = shrink_seq ~run:(run_ops w) ~index:(fun d -> d.index) ops
 
 type outcome = {
   trials_run : int;

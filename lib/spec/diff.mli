@@ -33,6 +33,19 @@ type world
 (** A built post-prelude world; reusable as the fixed starting point of
     any number of op-sequence runs (generation, shrinking, replay). *)
 
+type rstate = {
+  os : Komodo_os.Os.t;  (** the concrete system *)
+  spec : Astate.t;  (** the abstract state tracked in lockstep *)
+  probe_ok : bool;
+      (** latches false permanently once the probe enclave's shape is
+          broken; later runs treat the probe as opaque *)
+}
+(** One side-by-side lockstep state, exposed so external drivers (the
+    fault injector) can step ops with {!apply_op} and interleave their
+    own checks. *)
+
+val initial_rstate : world -> rstate
+
 val make_world :
   ?mutate:Aspec.mutation -> ?npages:int -> seed:int -> unit -> world
 (** Boot and build the three prelude enclaves through the checked
@@ -46,6 +59,24 @@ val world_cover : world -> Cover.t
 val probe_thread : world -> int
 (** The probe enclave's thread page. *)
 
+val apply_op :
+  ?mutate:Aspec.mutation ->
+  ?cover:Cover.t ->
+  ?opaque_contents:bool ->
+  ?opaque_probe:bool ->
+  ?rng_exhausted:bool ->
+  rstate ->
+  int ->
+  op ->
+  (rstate, divergence) result
+(** One lockstep step: run [op] against the implementation and the spec
+    and compare. [opaque_contents] forces the MapSecure contents oracle
+    to opaque (a fault driver mutating insecure memory mid-call cannot
+    know what the handler will read). [opaque_probe] treats a probe
+    Enter as an opaque enclave run (instruction-level injection makes
+    its outcome unpredictable). [rng_exhausted] overrides the entropy
+    oracle, which defaults to the implementation's pre-call budget. *)
+
 val gen_ops : world -> seed:int -> n:int -> op list
 (** Generate an adversarial op sequence. Generation is coverage-guided
     at the trial level: the profile rotates with the seed, and SVC
@@ -55,6 +86,16 @@ val run_ops : ?cover:Cover.t -> world -> op list -> (int, divergence) result
 (** Run an op sequence from the world's initial state in lockstep;
     [Ok n] means all [n] ops matched, [Error d] is the first
     divergence. *)
+
+val shrink_seq :
+  run:('op list -> ('ok, 'bad) result) ->
+  index:('bad -> int) ->
+  'op list ->
+  'op list * 'bad
+(** Generic greedy 1-minimal shrinker: truncate at the first failure
+    ([index] extracts its position), then repeatedly drop single ops
+    while the remainder still fails.
+    @raise Invalid_argument if [run ops] does not fail. *)
 
 val shrink : world -> op list -> op list * divergence
 (** Truncate at the first divergence, then greedily delete ops while

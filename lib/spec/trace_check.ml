@@ -132,7 +132,7 @@ let step st i (ev : Event.t) =
                     { st with spec = spec' })
           end)
   | Event.Svc_entry _ | Event.Svc_exit _ | Event.Exception _
-  | Event.Enclave_lifecycle _ ->
+  | Event.Enclave_lifecycle _ | Event.Fault_injected _ ->
       st
 
 let replay ~npages (events : Event.stamped list) =

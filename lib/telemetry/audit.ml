@@ -110,7 +110,11 @@ let check (trace : Event.stamped list) : violation list =
                   bad "addrspace %d removed before Stop (state %s)" addrspace
                     (state_name s);
                   set A_removed
-              | None -> bad "addrspace %d removed before init" addrspace)));
+              | None -> bad "addrspace %d removed before init" addrspace))
+      | Event.Fault_injected _ ->
+          (* Injected faults are environment actions, not monitor
+             lifecycle steps; orderliness constraints do not apply. *)
+          ());
       ())
     trace;
   (match !open_smc with

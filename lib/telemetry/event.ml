@@ -45,6 +45,10 @@ type t =
   | Page_transition of { page : int; from_type : string; to_type : string }
       (** A PageDB retyping (e.g. free → addrspace, datapage → free). *)
   | Enclave_lifecycle of { addrspace : int; stage : lifecycle_stage }
+  | Fault_injected of { point : string; action : string }
+      (** The fault injector acted: [point] names the injection point
+          (e.g. ["commit:smc:6"], ["insn:12"]), [action] the fault
+          (["irq"], ["mem_write:0x..."], ["rng_exhaust"], ...). *)
 
 (** An event stamped with the monitor's cycle counter at emission. *)
 type stamped = { at : int; ev : t }
@@ -60,6 +64,7 @@ let kind_name = function
   | Exception _ -> "exception"
   | Page_transition _ -> "page_transition"
   | Enclave_lifecycle _ -> "enclave_lifecycle"
+  | Fault_injected _ -> "fault_injected"
 
 let pp fmt = function
   | Smc_entry { name; args; _ } ->
@@ -75,6 +80,8 @@ let pp fmt = function
       Format.fprintf fmt "page %d: %s -> %s" page from_type to_type
   | Enclave_lifecycle { addrspace; stage } ->
       Format.fprintf fmt "enclave %d: %s" addrspace (stage_name stage)
+  | Fault_injected { point; action } ->
+      Format.fprintf fmt "fault injected at %s: %s" point action
 
 let pp_stamped fmt { at; ev } = Format.fprintf fmt "@[[%8d] %a@]" at pp ev
 
@@ -122,6 +129,8 @@ let to_json { at; ev } =
   | Enclave_lifecycle { addrspace; stage } ->
       base "enclave_lifecycle"
         [ ("addrspace", Json.Int addrspace); ("stage", Json.Str (stage_name stage)) ]
+  | Fault_injected { point; action } ->
+      base "fault_injected" [ ("point", Json.Str point); ("action", Json.Str action) ]
 
 let of_json j =
   let ( let* ) o f = match o with Some v -> f v | None -> Error "malformed event" in
@@ -169,6 +178,10 @@ let of_json j =
       let* stage_s = str "stage" in
       let* stage = stage_of_name stage_s in
       ok (Enclave_lifecycle { addrspace; stage })
+  | "fault_injected" ->
+      let* point = str "point" in
+      let* action = str "action" in
+      ok (Fault_injected { point; action })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 let to_jsonl_line ev = Json.to_string (to_json ev)

@@ -20,6 +20,9 @@ type t =
   | Page_transition of { page : int; from_type : string; to_type : string }
       (** A PageDB retyping (e.g. free → addrspace, datapage → free). *)
   | Enclave_lifecycle of { addrspace : int; stage : lifecycle_stage }
+  | Fault_injected of { point : string; action : string }
+      (** The fault injector acted: [point] names the injection point
+          (["commit:smc:6"], ["insn:12"], ...), [action] the fault. *)
 
 type stamped = { at : int; ev : t }
 (** [at] is the monitor cycle counter at emission. *)

@@ -6,11 +6,33 @@
     core) so that whole-system runs are reproducible: the bootloader
     seeds it, and identical seeds give identical boots — which is also
     exactly the "same seed" hypothesis the noninterference proofs place
-    on the non-determinism source (§6.3). *)
+    on the non-determinism source (§6.3).
 
-type t = { state : int64 } [@@deriving eq]
+    Real hardware sources can stall or run dry (an attacker draining the
+    entropy pool, a failed conditioning self-test). The fault model
+    captures this with an optional draw budget: when it reaches zero the
+    source is exhausted and further draws raise {!Exhausted}. The
+    monitor never lets that exception escape — it checks {!exhausted}
+    before drawing and returns a defined error to the enclave. *)
 
-let seed n = { state = Int64.of_int n }
+type t = {
+  state : int64;
+  remaining : int option;
+      (** draws left before the source reads as exhausted; [None] is the
+          normal unbounded hardware source *)
+}
+[@@deriving eq]
+
+exception Exhausted
+(** Raised by a draw from an exhausted source. Monitor code must test
+    {!exhausted} first; this escaping into a handler is a bug. *)
+
+let seed n = { state = Int64.of_int n; remaining = None }
+
+(** Arm a draw budget (fault injection); [None] removes it. *)
+let with_budget t remaining = { t with remaining }
+
+let exhausted t = t.remaining = Some 0
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -20,8 +42,10 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let next64 t =
+  if exhausted t then raise Exhausted;
   let state = Int64.add t.state golden_gamma in
-  (mix state, { state })
+  let remaining = Option.map (fun n -> n - 1) t.remaining in
+  (mix state, { state; remaining })
 
 (** Draw one 32-bit word (the RDRAND-style primitive the monitor's
     GetRandom SVC exposes). *)

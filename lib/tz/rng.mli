@@ -4,12 +4,26 @@
     of randomness (§3.2). It is modelled as a deterministic keyed
     generator so whole-system runs are reproducible — which is also the
     "same seed" hypothesis the noninterference proofs place on the
-    non-determinism source (§6.3). *)
+    non-determinism source (§6.3).
+
+    For the fault model the source carries an optional draw budget:
+    when it hits zero the source is {!exhausted} and draws raise
+    {!Exhausted}. Monitor code checks {!exhausted} before drawing. *)
 
 type t
 
 val equal : t -> t -> bool
 val seed : int -> t
+
+exception Exhausted
+(** A draw was attempted from an exhausted source. The monitor guards
+    every draw with {!exhausted}, so this escaping is a bug. *)
+
+val with_budget : t -> int option -> t
+(** Arm a draw budget (fault injection); [None] removes it. *)
+
+val exhausted : t -> bool
+(** The budget has run out: the next draw would raise {!Exhausted}. *)
 
 val next64 : t -> int64 * t
 val next_word : t -> Komodo_machine.Word.t * t

@@ -140,4 +140,5 @@ let native : Exec.native =
 let registry id =
   if id = native_id then Some native else Notary.registry id
 
-let executor ?fuel ?probe () = Komodo_core.Uexec.concrete ?fuel ~native:registry ?probe ()
+let executor ?fuel ?probe ?inject () =
+  Komodo_core.Uexec.concrete ?fuel ~native:registry ?probe ?inject ()

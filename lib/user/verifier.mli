@@ -38,4 +38,11 @@ val native : Exec.native
 val registry : int -> Exec.native option
 (** Covers both native services (verifier and notary). *)
 
-val executor : ?fuel:int -> ?probe:(steps:int -> unit) -> unit -> Komodo_core.Uexec.t
+val executor :
+  ?fuel:int ->
+  ?probe:(steps:int -> unit) ->
+  ?inject:
+    (Komodo_machine.State.t ->
+    Komodo_machine.State.t * Komodo_machine.Exec.event option) ->
+  unit ->
+  Komodo_core.Uexec.t

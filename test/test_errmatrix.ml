@@ -17,7 +17,10 @@
      pages 19+                 free *)
 
 module Word = Komodo_machine.Word
+module State = Komodo_machine.State
+module Memory = Komodo_machine.Memory
 module Os = Komodo_os.Os
+module Pagedb = Komodo_core.Pagedb
 module Errors = Komodo_core.Errors
 module Mapping = Komodo_core.Mapping
 module Layout = Komodo_tz.Layout
@@ -141,6 +144,39 @@ let test_spec () =
       | Aspec.Pending _ -> Alcotest.failf "%s: spec did not reject" (row_name row))
     matrix
 
+(* The transactional-atomicity property, row by row: every error in the
+   matrix must leave the monitor exactly as it found it — same PageDB,
+   same memory (secure *and* insecure: a rejected call wrote nothing),
+   same attestation key — with the PageDB invariants still intact.
+   Only the cycle counter (timing is an admitted channel) and the
+   return registers may differ. *)
+let test_atomicity () =
+  let os = Lazy.force base in
+  let mon = os.Os.mon in
+  List.iter
+    (fun ((call, args, _, expected) as row) ->
+      let os', e, _ = Os.smc os ~call ~args:(List.map Word.of_int args) in
+      Testlib.check_err (row_name row) expected e;
+      let mon' = os'.Os.mon in
+      let check what cond =
+        Alcotest.(check bool) (row_name row ^ ": " ^ what) true cond
+      in
+      check "pagedb unchanged"
+        (Pagedb.equal mon.Komodo_core.Monitor.pagedb
+           mon'.Komodo_core.Monitor.pagedb);
+      check "memory unchanged"
+        (Memory.equal mon.Komodo_core.Monitor.mach.State.mem
+           mon'.Komodo_core.Monitor.mach.State.mem);
+      check "attestation key unchanged"
+        (String.equal mon.Komodo_core.Monitor.attest_key
+           mon'.Komodo_core.Monitor.attest_key);
+      check "invariants hold"
+        (Pagedb.check mon'.Komodo_core.Monitor.plat
+           mon'.Komodo_core.Monitor.mach.State.mem
+           mon'.Komodo_core.Monitor.pagedb
+        = []))
+    matrix
+
 let test_coverage () =
   let calls = List.sort_uniq compare (List.map (fun (c, _, _, _) -> c) matrix) in
   Alcotest.(check bool) "all 12 Table 1 calls appear (plus unknown)" true
@@ -155,5 +191,7 @@ let suite =
   [
     Alcotest.test_case "implementation returns the exact code" `Quick test_impl;
     Alcotest.test_case "spec returns the exact code" `Quick test_spec;
+    Alcotest.test_case "errors are transactional (state unchanged)" `Quick
+      test_atomicity;
     Alcotest.test_case "matrix coverage" `Quick test_coverage;
   ]

@@ -28,4 +28,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("spec", Test_spec.suite);
       ("errmatrix", Test_errmatrix.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -50,6 +50,33 @@ let test_get_random_deterministic_per_boot () =
   in
   Alcotest.(check int) "same boot seed, same stream" (first_draw ()) (first_draw ())
 
+let test_get_random_exhausted () =
+  (* An exhausted hardware source is a *defined* condition: GetRandom
+     returns KOM_ERR_ENTROPY_EXHAUSTED in r0 and the enclave keeps
+     running — the Rng.Exhausted exception never escapes the monitor. *)
+  let prog =
+    [
+      Insn.I (Insn.Mov (r0, imm Komodo_user.Svc_nums.get_random));
+      Insn.I (Insn.Svc Word.zero);
+    ]
+    @ exit_with r0
+  in
+  let os = boot () in
+  let os, h = load_prog os prog in
+  let os =
+    { os with
+      Os.mon =
+        { os.Os.mon with
+          Monitor.rng = Komodo_tz.Rng.with_budget os.Os.mon.Monitor.rng (Some 0)
+        }
+    }
+  in
+  let _, e, v = enter0 os ~thread:(List.hd h.Loader.threads) in
+  check_err "enclave ran to exit" Errors.Success e;
+  Alcotest.(check int) "GetRandom returned Entropy_exhausted"
+    (Word.to_int (Errors.to_word Errors.Entropy_exhausted))
+    (Word.to_int v)
+
 let test_attest_svc_matches_monitor_key () =
   (* The enclave attests to data = (w, 0...); the OS recomputes the MAC
      with the boot key and the enclave's measurement. *)
@@ -270,6 +297,7 @@ let suite =
     Alcotest.test_case "Exit value" `Quick test_exit_value;
     Alcotest.test_case "GetRandom" `Quick test_get_random;
     Alcotest.test_case "GetRandom per-boot determinism" `Quick test_get_random_deterministic_per_boot;
+    Alcotest.test_case "GetRandom under exhausted source" `Quick test_get_random_exhausted;
     Alcotest.test_case "Attest matches monitor key" `Quick test_attest_svc_matches_monitor_key;
     Alcotest.test_case "Verify accepts/rejects" `Quick test_verify_svc_accepts_and_rejects;
     Alcotest.test_case "Verify on bad buffer" `Quick test_verify_bad_buffer;

@@ -77,6 +77,47 @@ let test_rng_stream () =
   Alcotest.(check int) "as_fun matches pure stream" (Word.to_int w1) x1;
   ignore (commit ())
 
+let test_rng_edges () =
+  let rng = Rng.seed 11 in
+  (* Zero-length draw: legal, yields nothing, still advances nothing
+     observable — the empty string from any state. *)
+  let empty, _ = Rng.next_bytes rng 0 in
+  Alcotest.(check string) "zero-length draw" "" empty;
+  (* A long draw is the byte-serialisation of the word stream: drawing
+     4096 bytes at once and re-drawing from the same state must
+     agree. *)
+  let long, _ = Rng.next_bytes rng 4096 in
+  let long', _ = Rng.next_bytes rng 4096 in
+  Alcotest.(check int) "long draw length" 4096 (String.length long);
+  Alcotest.(check string) "long draw deterministic" long long';
+  let prefix, _ = Rng.next_bytes rng 96 in
+  Alcotest.(check string) "long draw extends the short one" prefix
+    (String.sub long 0 96);
+  (* as_fun read-back: the committed state continues the pure stream. *)
+  let f, commit = Rng.as_fun rng in
+  ignore (f ());
+  ignore (f ());
+  let resumed = commit () in
+  let via_fun, _ = Rng.next_word resumed in
+  let _, r1 = Rng.next_word rng in
+  let _, r2 = Rng.next_word r1 in
+  let pure, _ = Rng.next_word r2 in
+  Alcotest.(check int) "as_fun commit resumes the stream"
+    (Word.to_int pure) (Word.to_int via_fun)
+
+let test_rng_budget () =
+  let rng = Rng.with_budget (Rng.seed 3) (Some 2) in
+  Alcotest.(check bool) "not yet exhausted" false (Rng.exhausted rng);
+  let _, rng = Rng.next_word rng in
+  let _, rng = Rng.next_word rng in
+  Alcotest.(check bool) "budget spent" true (Rng.exhausted rng);
+  Alcotest.check_raises "draw past budget raises" Rng.Exhausted (fun () ->
+      ignore (Rng.next_word rng));
+  let rng = Rng.with_budget rng None in
+  Alcotest.(check bool) "budget removed" false (Rng.exhausted rng);
+  let _, _ = Rng.next_word rng in
+  ()
+
 let test_boot () =
   let b = Boot.boot ~seed:99 () in
   Alcotest.(check bool) "normal world" true
@@ -110,6 +151,8 @@ let suite =
     Alcotest.test_case "direct map" `Quick test_directmap;
     Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng stream" `Quick test_rng_stream;
+    Alcotest.test_case "rng edge draws" `Quick test_rng_edges;
+    Alcotest.test_case "rng exhaustion budget" `Quick test_rng_budget;
     Alcotest.test_case "boot" `Quick test_boot;
     Alcotest.test_case "boot determinism" `Quick test_boot_deterministic;
     Alcotest.test_case "attestation key derivation" `Quick test_boot_key_not_raw_entropy;
