@@ -89,7 +89,8 @@ let fault_storm static_worst =
   Report.print_header
     "Interrupt latency under fault storm (empirical blackout)";
   let o =
-    Drive.run_trials ~faults:Drive.all_classes ~trials:25 ~seed:42 ()
+    Komodo_campaign.Campaign.fault ~jobs:(Komodo_campaign.Campaign.default_jobs ())
+      ~faults:Drive.all_classes ~trials:25 ~seed:42 ()
   in
   (match o.Drive.violation with
   | None -> ()

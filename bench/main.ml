@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- table3  -- run one section
 
    Sections: table1 table2 table3 figure5 ablations latency security
-   refinement wallclock *)
+   refinement campaign wallclock *)
 
 let security () =
   Report.print_header "Security (Theorem 6.1 harness + attack library)";
@@ -50,6 +50,7 @@ let sections =
     ("latency", Latency.run);
     ("security", security);
     ("refinement", Refinement.run);
+    ("campaign", Campaign_bench.run);
     ("wallclock", Wallclock.run);
   ]
 

@@ -1,17 +1,22 @@
 (** Refinement-checker throughput: differential trials (world build +
     adversarial generation + lockstep spec/impl stepping) per second,
-    plus the coverage the run achieved. A divergence here is a
-    correctness failure, not a slow benchmark — it aborts the run. *)
+    plus the coverage the run achieved. Trials run on the campaign
+    engine's domain pool (all available cores); the report is
+    byte-identical at any worker count, so parallelism is free
+    throughput. A divergence here is a correctness failure, not a slow
+    benchmark — it aborts the run. *)
 
 module Diff = Komodo_spec.Diff
 module Cover = Komodo_spec.Cover
+module Campaign = Komodo_campaign.Campaign
 
 let run () =
   Report.print_header "Refinement (differential spec checker)";
   let trials = 40 and seed = 7 in
-  let t0 = Sys.time () in
-  let o = Diff.run_trials ~trials ~seed () in
-  let dt = Sys.time () -. t0 in
+  let jobs = Campaign.default_jobs () in
+  let t0 = Unix.gettimeofday () in
+  let o = Campaign.check ~jobs ~trials ~seed () in
+  let dt = Unix.gettimeofday () -. t0 in
   (match o.Diff.divergence with
   | None -> ()
   | Some (tseed, ops, d) ->
@@ -28,6 +33,7 @@ let run () =
     ~columns:[ "metric"; "value" ]
     [
       [ "trials"; string_of_int o.Diff.trials_run ];
+      [ "worker domains"; string_of_int jobs ];
       [ "lockstep ops checked"; string_of_int o.Diff.ops_run ];
       [ "sequences/sec"; per_sec o.Diff.trials_run ];
       [ "ops/sec"; per_sec o.Diff.ops_run ];

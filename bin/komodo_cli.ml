@@ -450,6 +450,19 @@ let asm_cmd =
 
 (* -- check -------------------------------------------------------------- *)
 
+(* -j/--jobs for the two campaign subcommands: 0 (the default) means
+   one worker per recommended domain. Whatever the value, the report
+   is byte-identical — parallelism only changes wallclock. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the campaign (default: the machine's recommended \
+           domain count). Reports are byte-identical at any -j: trial seeds are \
+           derived from (seed, trial index), failures report the lowest failing \
+           trial, and coverage merges are order-insensitive.")
+
 let check_cmd =
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Differential trials to run.")
@@ -482,7 +495,7 @@ let check_cmd =
             "Run against a deliberately broken spec variant (self-test; expects a divergence). \
              One of: no-alias-check, no-monitor-image-check, drop-refcount.")
   in
-  let run level trials ops seed pages replay mutate =
+  let run level trials ops seed pages replay mutate jobs metrics =
     setup_logs level;
     match replay with
     | Some path -> (
@@ -512,12 +525,15 @@ let check_cmd =
                   exit 2)
         in
         let o =
-          Komodo_spec.Diff.run_trials ?mutate ~npages:pages ~ops_per_trial:ops ~trials
-            ~seed ()
+          Komodo_campaign.Campaign.check ?mutate ~npages:pages ~ops_per_trial:ops
+            ~metrics ~jobs ~trials ~seed ()
         in
         Printf.printf "%d trials, %d lockstep ops checked\n"
           o.Komodo_spec.Diff.trials_run o.Komodo_spec.Diff.ops_run;
         List.iter print_endline (Komodo_spec.Cover.report o.Komodo_spec.Diff.cover);
+        (match o.Komodo_spec.Diff.metrics with
+        | Some reg -> print_endline (Json.to_string (Metrics.dump reg))
+        | None -> ());
         match o.Komodo_spec.Diff.divergence with
         | None ->
             print_endline "no divergence: implementation refines the spec";
@@ -541,8 +557,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Differentially check the monitor against the abstract spec (adversarial call \
-          sequences, lockstep comparison, shrinking), or --replay a telemetry trace")
-    Term.(const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate)
+          sequences, lockstep comparison, shrinking), or --replay a telemetry trace. \
+          Campaigns run trials on a domain pool (-j) with byte-identical reports at any \
+          worker count.")
+    Term.(
+      const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate
+      $ jobs_arg $ metrics_arg)
 
 (* -- fault -------------------------------------------------------------- *)
 
@@ -588,7 +608,7 @@ let fault_cmd =
       & info [ "save-trace" ] ~docv:"FILE"
           ~doc:"On violation, save the shrunk campaign as a replayable JSONL trace.")
   in
-  let run level trials ops seed pages faults bug replay save =
+  let run level trials ops seed pages faults bug replay save jobs =
     setup_logs level;
     match replay with
     | Some path -> (
@@ -635,7 +655,8 @@ let fault_cmd =
                   exit 2)
         in
         let o =
-          Drive.run_trials ~npages:pages ~ops_per_trial:ops ?bug ~faults ~trials ~seed ()
+          Komodo_campaign.Campaign.fault ~npages:pages ~ops_per_trial:ops ?bug ~jobs
+            ~faults ~trials ~seed ()
         in
         Printf.printf "%d trials, %d fault-decorated ops, %d faults fired\n"
           o.Drive.trials_run o.Drive.total_fops o.Drive.total_injections;
@@ -675,9 +696,11 @@ let fault_cmd =
          "Inject adversarial faults (spurious interrupts, concurrent-core memory writes, \
           entropy exhaustion, SMC storms, OS crash/restarts) while differentially checking \
           the monitor, asserting PageDB invariants and transactional atomicity after every \
-          call. Exits 0 on a clean campaign, 4 on an atomicity/invariant violation.")
+          call. Trials run on a domain pool (-j) with byte-identical reports at any worker \
+          count. Exits 0 on a clean campaign, 4 on an atomicity/invariant violation.")
     Term.(
-      const run $ verbosity $ trials $ ops $ fseed $ fpages $ faults $ bug $ replay $ save)
+      const run $ verbosity $ trials $ ops $ fseed $ fpages $ faults $ bug $ replay $ save
+      $ jobs_arg)
 
 (* -- verify ------------------------------------------------------------- *)
 

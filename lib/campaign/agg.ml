@@ -1,0 +1,104 @@
+(* Deterministic reduction of per-trial results into one campaign
+   report.
+
+   The contract that makes `-j N` byte-identical to `-j 1`: the report
+   is a function of the trial results for indices 0..k only, where k is
+   the lowest failing index (or trials-1 on a clean campaign) — exactly
+   the set a sequential run would have produced — and every merge used
+   here is order-insensitive (coverage and metrics counters are sums,
+   cycle histograms are multisets, blackout is a max). The failing
+   trial is reported by index, never by finish order, and its shrunk
+   trace is recomputed deterministically from its seed. *)
+
+module Cover = Komodo_spec.Cover
+module Metrics = Komodo_telemetry.Metrics
+module Diff = Komodo_spec.Diff
+module Drive = Komodo_fault.Drive
+
+let covers cs =
+  let c = Cover.create () in
+  List.iter (fun src -> Cover.merge_into c src) cs;
+  c
+
+let metrics ms =
+  let m = Metrics.create () in
+  List.iter (fun src -> Metrics.merge_into m src) ms;
+  m
+
+let opt_metrics trials =
+  match List.filter_map Fun.id trials with [] -> None | ms -> Some (metrics ms)
+
+(* -- differential (check) campaigns -------------------------------------- *)
+
+type check_failure = {
+  cf_index : int;  (** lowest failing trial index *)
+  cf_seed : int;  (** that trial's derived seed *)
+  cf_trial : Diff.trial;
+  cf_shrunk : Diff.op list * Diff.divergence;
+}
+
+let check ~(prefix : Diff.trial array) ~(failure : check_failure option) :
+    Diff.outcome =
+  let all =
+    Array.to_list prefix
+    @ match failure with None -> [] | Some f -> [ f.cf_trial ]
+  in
+  let cover = covers (List.map (fun t -> t.Diff.t_cover) all) in
+  let metrics = opt_metrics (List.map (fun t -> t.Diff.t_metrics) all) in
+  let ops_run = List.fold_left (fun a t -> a + t.Diff.t_ops_run) 0 all in
+  match failure with
+  | None ->
+      {
+        Diff.trials_run = Array.length prefix;
+        ops_run;
+        divergence = None;
+        cover;
+        metrics;
+      }
+  | Some f ->
+      let shrunk, d = f.cf_shrunk in
+      {
+        Diff.trials_run = f.cf_index + 1;
+        ops_run;
+        divergence = Some (f.cf_seed, shrunk, d);
+        cover;
+        metrics;
+      }
+
+(* -- fault campaigns ----------------------------------------------------- *)
+
+type fault_failure = {
+  ff_index : int;
+  ff_seed : int;
+  ff_trial : Drive.trial;
+  ff_shrunk : Drive.fop list * Drive.violation;
+}
+
+let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
+    Drive.outcome =
+  let all =
+    Array.to_list prefix
+    @ match failure with None -> [] | Some f -> [ f.ff_trial ]
+  in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 all in
+  let total_fops = sum (fun t -> t.Drive.t_fops_run) in
+  let total_injections = sum (fun t -> t.Drive.t_injections) in
+  let blackout = List.fold_left (fun a t -> max a t.Drive.t_blackout) 0 all in
+  match failure with
+  | None ->
+      {
+        Drive.trials_run = Array.length prefix;
+        total_fops;
+        total_injections;
+        blackout;
+        violation = None;
+      }
+  | Some f ->
+      let shrunk, v = f.ff_shrunk in
+      {
+        Drive.trials_run = f.ff_index + 1;
+        total_fops;
+        total_injections;
+        blackout;
+        violation = Some (f.ff_seed, shrunk, v);
+      }

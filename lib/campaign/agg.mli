@@ -1,0 +1,46 @@
+(** Deterministic reduction of per-trial results into one campaign
+    report.
+
+    Reduces exactly the trials a sequential run would have executed —
+    indices [0..k], [k] the lowest failing index — using only
+    order-insensitive merges (counter sums, histogram multisets, max),
+    so a parallel campaign's report is byte-identical to the
+    sequential one. *)
+
+module Cover = Komodo_spec.Cover
+module Metrics = Komodo_telemetry.Metrics
+module Diff = Komodo_spec.Diff
+module Drive = Komodo_fault.Drive
+
+val covers : Cover.t list -> Cover.t
+(** Merge per-trial coverage tables into a fresh one. *)
+
+val metrics : Metrics.t list -> Metrics.t
+(** Merge per-trial telemetry registries into a fresh one. *)
+
+type check_failure = {
+  cf_index : int;  (** lowest failing trial index *)
+  cf_seed : int;  (** that trial's derived seed *)
+  cf_trial : Diff.trial;
+  cf_shrunk : Diff.op list * Diff.divergence;
+      (** recomputed from [cf_seed] on one domain *)
+}
+
+val check :
+  prefix:Diff.trial array -> failure:check_failure option -> Diff.outcome
+(** [prefix] is trials [0..k-1] in index order; the failing trial (if
+    any) rides in [failure]. Reproduces the sequential report exactly:
+    [trials_run = k+1], [ops_run] summed over trials [0..k], coverage
+    and metrics merged over the same set. *)
+
+type fault_failure = {
+  ff_index : int;
+  ff_seed : int;
+  ff_trial : Drive.trial;
+  ff_shrunk : Drive.fop list * Drive.violation;
+}
+
+val fault :
+  prefix:Drive.trial array -> failure:fault_failure option -> Drive.outcome
+(** Fault-campaign reduction: fop/injection totals are sums, blackout
+    is a max, the violation reports the lowest failing trial. *)

@@ -1,0 +1,78 @@
+(* Domain-parallel campaign entry points for the two checking
+   campaigns (`komodo check`, `komodo fault`).
+
+   Trials are independent worlds keyed only by a seed, derived purely
+   from (root_seed, trial_index) via Seedsplit, run on a Pool of
+   domains, and reduced by Agg with sequential semantics. On failure,
+   remaining (higher-index) trials are cancelled and the lowest failing
+   trial is re-shrunk from its seed on the calling domain — shrinking
+   is a serial greedy loop and parallel workers would only race it. *)
+
+module Diff = Komodo_spec.Diff
+module Drive = Komodo_fault.Drive
+
+let default_jobs = Pool.default_jobs
+let trial_seed ~root index = Seedsplit.derive ~root index
+
+let resolve_jobs = function Some j when j > 0 -> j | _ -> default_jobs ()
+
+let label what tseed i = Printf.sprintf "%s trial %d (seed %d)" what i (tseed i)
+
+let check ?mutate ?npages ?ops_per_trial ?(metrics = false) ?jobs ~trials ~seed
+    () =
+  let jobs = resolve_jobs jobs in
+  let tseed = trial_seed ~root:seed in
+  let run i =
+    Diff.run_trial ?mutate ?npages ?ops_per_trial ~metrics ~seed:(tseed i) ()
+  in
+  match
+    Pool.run ~label:(label "check" tseed) ~jobs ~trials
+      ~failed:(fun t -> t.Diff.t_divergence <> None)
+      run
+  with
+  | Pool.Completed prefix -> Agg.check ~prefix ~failure:None
+  | Pool.Stopped { prefix; index; failure } ->
+      let cf_seed = tseed index in
+      let cf_shrunk =
+        match Diff.shrink_trial ?mutate ?npages ?ops_per_trial ~seed:cf_seed () with
+        | Some r -> r
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "campaign: check trial %d (seed %d) diverged in the pool but \
+                  not when re-run for shrinking — the trial is not a pure \
+                  function of its seed"
+                 index cf_seed)
+      in
+      Agg.check ~prefix
+        ~failure:(Some { Agg.cf_index = index; cf_seed; cf_trial = failure; cf_shrunk })
+
+let fault ?npages ?ops_per_trial ?bug ?jobs ~faults ~trials ~seed () =
+  let jobs = resolve_jobs jobs in
+  let tseed = trial_seed ~root:seed in
+  let run i =
+    Drive.run_trial ?npages ?ops_per_trial ?bug ~faults ~seed:(tseed i) ()
+  in
+  match
+    Pool.run ~label:(label "fault" tseed) ~jobs ~trials
+      ~failed:(fun t -> t.Drive.t_violation <> None)
+      run
+  with
+  | Pool.Completed prefix -> Agg.fault ~prefix ~failure:None
+  | Pool.Stopped { prefix; index; failure } ->
+      let ff_seed = tseed index in
+      let ff_shrunk =
+        match
+          Drive.shrink_trial ?npages ?ops_per_trial ?bug ~faults ~seed:ff_seed ()
+        with
+        | Some r -> r
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "campaign: fault trial %d (seed %d) violated in the pool but \
+                  not when re-run for shrinking — the trial is not a pure \
+                  function of its seed"
+                 index ff_seed)
+      in
+      Agg.fault ~prefix
+        ~failure:(Some { Agg.ff_index = index; ff_seed; ff_trial = failure; ff_shrunk })

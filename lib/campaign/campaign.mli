@@ -1,0 +1,53 @@
+(** Domain-parallel campaign engine for the two checking campaigns.
+
+    A campaign of [trials] trials under root seed [seed] is the same
+    mathematical object at any [jobs]: trial [i] runs on seed
+    [Seedsplit.derive ~root:seed i], the report covers trials [0..k]
+    where [k] is the lowest failing index, and all merges are
+    order-insensitive (see {!Agg}). [jobs] only chooses how many
+    domains race through the index queue — `-j 1` and `-j N` emit
+    byte-identical reports.
+
+    On failure, higher-index trials are cancelled
+    ({!Pool}), and the lowest failing trial is shrunk once, serially,
+    on the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], floored at 1 — the `-j`
+    default. *)
+
+val trial_seed : root:int -> int -> int
+(** The seed trial [index] runs on under [root] (the {!Seedsplit}
+    derivation; exposed so reports and replays can name it). *)
+
+val check :
+  ?mutate:Komodo_spec.Aspec.mutation ->
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?metrics:bool ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Komodo_spec.Diff.outcome
+(** The differential refinement campaign (`komodo check`). [metrics]
+    collects a per-trial telemetry registry and merges them into
+    [outcome.metrics]. [jobs] defaults to {!default_jobs} (values
+    [<= 0] also mean the default).
+    @raise Pool.Trial_error if a trial raises (e.g. a prelude
+    divergence), naming the lowest raising trial and its seed.
+    @raise Failure if a divergence does not reproduce when its trial
+    is re-run for shrinking (a determinism bug). *)
+
+val fault :
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?bug:Komodo_core.Monitor.bug ->
+  ?jobs:int ->
+  faults:Komodo_fault.Drive.fault_class list ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Komodo_fault.Drive.outcome
+(** The fault-injection campaign (`komodo fault`), same engine and
+    guarantees. *)

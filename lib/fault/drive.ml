@@ -309,6 +309,39 @@ let gen_fops w ~faults ~seed ~n =
 
 (* -- trials ------------------------------------------------------------- *)
 
+type trial = {
+  t_fops_run : int;
+  t_injections : int;
+  t_blackout : int;
+  t_violation : violation option;
+}
+
+let run_trial ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~seed () =
+  let w = Diff.make_world ~npages ~seed () in
+  let campaign = gen_fops w ~faults ~seed ~n:ops_per_trial in
+  match run_fops ?bug w campaign with
+  | Ok st ->
+      {
+        t_fops_run = st.fops_run;
+        t_injections = st.injections;
+        t_blackout = st.worst_blackout;
+        t_violation = None;
+      }
+  | Error v ->
+      (* A violating trial contributes only its pre-violation fop count
+         to the campaign totals — injections and blackout stay out of
+         the report, exactly as the sequential driver always counted. *)
+      { t_fops_run = v.index; t_injections = 0; t_blackout = 0; t_violation = Some v }
+
+let shrink_trial ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~seed () =
+  let w = Diff.make_world ~npages ~seed () in
+  let campaign = gen_fops w ~faults ~seed ~n:ops_per_trial in
+  match run_fops ?bug w campaign with
+  | Ok _ -> None
+  | Error _ ->
+      Some
+        (Diff.shrink_seq ~run:(run_fops ?bug w) ~index:(fun v -> v.index) campaign)
+
 type outcome = {
   trials_run : int;
   total_fops : int;
@@ -316,39 +349,6 @@ type outcome = {
   blackout : int;
   violation : (int * fop list * violation) option;
 }
-
-let run_trials ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~trials ~seed () =
-  let rec go t fops injs blk =
-    if t >= trials then
-      {
-        trials_run = trials;
-        total_fops = fops;
-        total_injections = injs;
-        blackout = blk;
-        violation = None;
-      }
-    else
-      let tseed = seed + (t * 6947) in
-      let w = Diff.make_world ~npages ~seed:tseed () in
-      let campaign = gen_fops w ~faults ~seed:tseed ~n:ops_per_trial in
-      match run_fops ?bug w campaign with
-      | Ok st ->
-          go (t + 1) (fops + st.fops_run) (injs + st.injections)
-            (max blk st.worst_blackout)
-      | Error v ->
-          let shrunk, v' =
-            Diff.shrink_seq ~run:(run_fops ?bug w) ~index:(fun v -> v.index)
-              campaign
-          in
-          {
-            trials_run = t + 1;
-            total_fops = fops + v.index;
-            total_injections = injs;
-            blackout = blk;
-            violation = Some (tseed, shrunk, v');
-          }
-  in
-  go 0 0 0 0
 
 (* -- replay traces ------------------------------------------------------ *)
 

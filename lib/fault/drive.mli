@@ -68,6 +68,42 @@ val gen_fops :
 (** Decorate an adversarial op sequence with faults drawn from the
     enabled classes; deterministic in [seed]. *)
 
+(** {2 Campaign trials}
+
+    One fault trial is a pure function of its seed; the campaign loop
+    lives in [Komodo_campaign.Campaign] (seed-split trial derivation,
+    domain pool, deterministic reduction) — this module supplies the
+    per-trial unit. *)
+
+type trial = {
+  t_fops_run : int;
+      (** fops stepped; on violation, only those before it *)
+  t_injections : int;  (** 0 on a violating trial (report convention) *)
+  t_blackout : int;  (** 0 on a violating trial *)
+  t_violation : violation option;
+}
+
+val run_trial :
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?bug:Monitor.bug ->
+  faults:fault_class list ->
+  seed:int ->
+  unit ->
+  trial
+(** Run one fault-decorated trial, deterministically from [seed]. *)
+
+val shrink_trial :
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?bug:Monitor.bug ->
+  faults:fault_class list ->
+  seed:int ->
+  unit ->
+  (fop list * violation) option
+(** Regenerate trial [seed] and shrink its violation to a 1-minimal
+    campaign; [None] if the trial does not actually violate. *)
+
 type outcome = {
   trials_run : int;
   total_fops : int;
@@ -76,18 +112,8 @@ type outcome = {
   violation : (int * fop list * violation) option;
       (** trial seed, shrunk campaign, violation *)
 }
-
-val run_trials :
-  ?npages:int ->
-  ?ops_per_trial:int ->
-  ?bug:Monitor.bug ->
-  faults:fault_class list ->
-  trials:int ->
-  seed:int ->
-  unit ->
-  outcome
-(** The top-level campaign: fresh world + decorated sequence per trial,
-    stopping (and shrinking) at the first violation. *)
+(** A whole-campaign report, assembled by the campaign engine's
+    reducer with sequential semantics (lowest failing index wins). *)
 
 (* -- replay traces (JSONL) --------------------------------------------- *)
 

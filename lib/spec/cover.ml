@@ -1,4 +1,11 @@
-(* Coverage counters for the differential checker. *)
+(* Coverage counters for the differential checker.
+
+   Every listing this module exposes is canonical: hashtable iteration
+   order (which depends on insertion order, and therefore on merge
+   order when per-worker tables are combined) must never reach a
+   report. Fixed call tables are listed in call-number order and every
+   folded table is sorted before it escapes, so merging per-trial
+   covers in any order yields byte-identical reports. *)
 
 type t = {
   smc : (int * int, int) Hashtbl.t; (* (call, err) -> count *)
@@ -30,17 +37,19 @@ let smc_covered t =
 let svc_covered t =
   List.map (fun c -> (Aspec.svc_name c, call_count t.svc c)) all_svcs
 
+(* All of a hashtable's bindings, sorted by key: the only way table
+   contents may leave this module. *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort compare
+
 let errors_covered t =
   let errs = Hashtbl.create 24 in
   let add (_, e) n = incr errs e n in
   Hashtbl.iter add t.smc;
   Hashtbl.iter add t.svc;
-  Hashtbl.fold (fun e n acc -> (e, n) :: acc) errs []
-  |> List.sort compare
-  |> List.map (fun (e, n) -> (Aspec.err_name e, n))
+  sorted_bindings errs |> List.map (fun (e, n) -> (Aspec.err_name e, n))
 
-let transitions t =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.trans [] |> List.sort compare
+let transitions t = sorted_bindings t.trans
 
 let deficit tbl calls = List.filter (fun c -> call_count tbl c = 0) calls
 let smc_deficit t = deficit t.smc all_smcs
@@ -66,3 +75,8 @@ let merge_into dst src =
   Hashtbl.iter (fun k n -> incr dst.smc k n) src.smc;
   Hashtbl.iter (fun k n -> incr dst.svc k n) src.svc;
   Hashtbl.iter (fun k n -> incr dst.trans k n) src.trans
+
+let equal a b =
+  sorted_bindings a.smc = sorted_bindings b.smc
+  && sorted_bindings a.svc = sorted_bindings b.svc
+  && sorted_bindings a.trans = sorted_bindings b.trans

@@ -30,4 +30,12 @@ val report : t -> string list
 (** Human-readable coverage summary, one line per section. *)
 
 val merge_into : t -> t -> unit
-(** [merge_into dst src] adds [src]'s counts into [dst]. *)
+(** [merge_into dst src] adds [src]'s counts into [dst]. Merging is
+    commutative and associative, and every listing above is sorted
+    before leaving the module, so tables merged in any order (e.g.
+    per-worker covers from a parallel campaign) render byte-identical
+    {!report}s. *)
+
+val equal : t -> t -> bool
+(** Same counts for every (call, error) pair and transition, however
+    the tables were built or merged. *)

@@ -7,6 +7,7 @@ module State = Komodo_machine.State
 module Uprog = Komodo_user.Uprog
 module Progs = Komodo_user.Progs
 module Attacks = Komodo_sec.Attacks
+module Metrics = Komodo_telemetry.Metrics
 
 type op =
   | Smc of { call : int; args : int list; budget : int option }
@@ -269,8 +270,8 @@ let prelude_ops () =
 
 let page_image prog = List.hd (Uprog.to_page_images (Uprog.code_words prog))
 
-let make_world ?mutate ?(npages = 40) ~seed () =
-  let os = Os.boot ~seed ~npages () in
+let make_world ?mutate ?(npages = 40) ?sink ~seed () =
+  let os = Os.boot ~seed ~npages ?sink () in
   let staging = Os.staging_base in
   let stage os off prog =
     Os.write_bytes os (Word.add staging (Word.of_int off)) (page_image prog)
@@ -495,32 +496,36 @@ let shrink_seq ~(run : 'op list -> ('ok, 'bad) result) ~(index : 'bad -> int) op
 
 let shrink w ops = shrink_seq ~run:(run_ops w) ~index:(fun d -> d.index) ops
 
+type trial = {
+  t_ops_run : int;
+  t_cover : Cover.t;
+  t_metrics : Metrics.t option;
+  t_divergence : divergence option;
+}
+
+let run_trial ?mutate ?(npages = 40) ?(ops_per_trial = 40) ?(metrics = false)
+    ~seed () =
+  let reg = if metrics then Some (Metrics.create ()) else None in
+  let sink = Option.map Metrics.sink reg in
+  let w = make_world ?mutate ~npages ?sink ~seed () in
+  let cover = Cover.create () in
+  Cover.merge_into cover (world_cover w);
+  let ops = gen_ops w ~seed ~n:ops_per_trial in
+  match run_ops ~cover w ops with
+  | Ok ran ->
+      { t_ops_run = ran; t_cover = cover; t_metrics = reg; t_divergence = None }
+  | Error d ->
+      { t_ops_run = d.index; t_cover = cover; t_metrics = reg; t_divergence = Some d }
+
+let shrink_trial ?mutate ?(npages = 40) ?(ops_per_trial = 40) ~seed () =
+  let w = make_world ?mutate ~npages ~seed () in
+  let ops = gen_ops w ~seed ~n:ops_per_trial in
+  match run_ops w ops with Ok _ -> None | Error _ -> Some (shrink w ops)
+
 type outcome = {
   trials_run : int;
   ops_run : int;
   divergence : (int * op list * divergence) option;
   cover : Cover.t;
+  metrics : Metrics.t option;
 }
-
-let run_trials ?mutate ?(npages = 40) ?(ops_per_trial = 40) ~trials ~seed () =
-  let cover = Cover.create () in
-  let rec go t ops_total =
-    if t >= trials then
-      { trials_run = trials; ops_run = ops_total; divergence = None; cover }
-    else
-      let tseed = seed + (t * 7919) in
-      let w = make_world ?mutate ~npages ~seed:tseed () in
-      Cover.merge_into cover (world_cover w);
-      let ops = gen_ops w ~seed:tseed ~n:ops_per_trial in
-      match run_ops ~cover w ops with
-      | Ok ran -> go (t + 1) (ops_total + ran)
-      | Error d ->
-          let shrunk, d' = shrink w ops in
-          {
-            trials_run = t + 1;
-            ops_run = ops_total + d.index;
-            divergence = Some (tseed, shrunk, d');
-            cover;
-          }
-  in
-  go 0 0

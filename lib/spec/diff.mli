@@ -47,10 +47,17 @@ type rstate = {
 val initial_rstate : world -> rstate
 
 val make_world :
-  ?mutate:Aspec.mutation -> ?npages:int -> seed:int -> unit -> world
+  ?mutate:Aspec.mutation ->
+  ?npages:int ->
+  ?sink:Komodo_telemetry.Sink.t ->
+  seed:int ->
+  unit ->
+  world
 (** Boot and build the three prelude enclaves through the checked
     lockstep pipeline. The prelude always runs against the unmutated
     spec — a [mutate] flag applies to the generated phase only.
+    [sink] attaches a telemetry sink to the booted monitor (a metrics
+    registry, when the campaign engine is asked to collect one).
     @raise Failure if the prelude itself diverges. *)
 
 val world_cover : world -> Cover.t
@@ -103,21 +110,55 @@ val shrink : world -> op list -> op list * divergence
     any single op makes the divergence disappear.
     @raise Invalid_argument if the ops do not diverge at all. *)
 
+(** {2 Campaign trials}
+
+    One differential trial is a pure function of its seed: build a
+    world, generate an adversarial sequence, step it in lockstep. The
+    campaign loop itself lives in [Komodo_campaign.Campaign], which
+    derives per-trial seeds with a splittable PRNG and runs trials on
+    a domain pool — this module only supplies the per-trial unit. *)
+
+type trial = {
+  t_ops_run : int;
+      (** generated ops that matched (the divergent op excluded) *)
+  t_cover : Cover.t;  (** prelude + generated-phase coverage *)
+  t_metrics : Komodo_telemetry.Metrics.t option;
+      (** per-trial telemetry registry, when requested *)
+  t_divergence : divergence option;
+}
+
+val run_trial :
+  ?mutate:Aspec.mutation ->
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?metrics:bool ->
+  seed:int ->
+  unit ->
+  trial
+(** Run one differential trial, deterministically from [seed]. No
+    shrinking — a campaign shrinks only its lowest failing trial, once,
+    on one domain (see {!shrink_trial}). *)
+
+val shrink_trial :
+  ?mutate:Aspec.mutation ->
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  seed:int ->
+  unit ->
+  (op list * divergence) option
+(** Regenerate trial [seed] and shrink its divergence to a 1-minimal
+    trace; [None] if the trial does not actually diverge. *)
+
 type outcome = {
   trials_run : int;
   ops_run : int;
   divergence : (int * op list * divergence) option;
       (** trial seed, shrunk ops, divergence *)
   cover : Cover.t;
+  metrics : Komodo_telemetry.Metrics.t option;
+      (** merged per-trial registries, when collected *)
 }
-
-val run_trials :
-  ?mutate:Aspec.mutation ->
-  ?npages:int ->
-  ?ops_per_trial:int ->
-  trials:int ->
-  seed:int ->
-  unit ->
-  outcome
-(** The top-level checker: fresh world + generated sequence per trial,
-    stopping (and shrinking) at the first divergence. *)
+(** A whole-campaign report, assembled by the campaign engine's reducer
+    with sequential semantics: counts cover trials [0..k] where [k] is
+    the lowest failing index (or all trials), regardless of how many
+    domains ran the campaign. *)

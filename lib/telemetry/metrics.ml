@@ -67,6 +67,27 @@ let observe t (sev : Event.stamped) =
 
 let sink t = Sink.make (observe t)
 
+let merge_counters dst src =
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst k with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.add dst k (ref !r))
+    src
+
+let merge_into dst src =
+  merge_counters dst.calls src.calls;
+  merge_counters dst.errors src.errors;
+  merge_counters dst.events src.events;
+  Hashtbl.iter
+    (fun k (h : hist) ->
+      match Hashtbl.find_opt dst.cycles k with
+      | Some d ->
+          d.samples <- h.samples @ d.samples;
+          d.n <- d.n + h.n
+      | None -> Hashtbl.add dst.cycles k { samples = h.samples; n = h.n })
+    src.cycles
+
 (* -- Readout ------------------------------------------------------------ *)
 
 let call_count t name =

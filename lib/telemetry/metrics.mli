@@ -18,6 +18,14 @@ val sink : t -> Sink.t
 val add_count : t -> string -> int -> unit
 (** Count an out-of-band occurrence (e.g. retired user instructions). *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s counters into [dst] and unions
+    the cycle histograms (sample multisets concatenate, so {!stats}
+    and {!dump} of the merge are independent of merge order — the
+    campaign reducer relies on this). [src] is not modified, but
+    histograms share sample lists with [dst] afterwards: do not keep
+    feeding [src]. *)
+
 val call_count : t -> string -> int
 (** Completed calls under a key such as ["smc.Enter"] or
     ["svc.MapData"]. *)

@@ -1,0 +1,258 @@
+(* The domain-parallel campaign engine (lib/campaign). The load-bearing
+   property is schedule independence: a campaign at -j 1 and -j 4 is
+   the same mathematical object — identical merged coverage, identical
+   outcome fields, identical shrunk traces — including when an armed
+   bug makes trials fail at racy times. Plus pool stress: a raising
+   trial fails the campaign with its index in the message (no hang, no
+   orphaned domain), and cancellation under a violation storm still
+   reports the lowest failing index. *)
+
+module Cover = Komodo_spec.Cover
+module Diff = Komodo_spec.Diff
+module Drive = Komodo_fault.Drive
+module Monitor = Komodo_core.Monitor
+module Metrics = Komodo_telemetry.Metrics
+module Json = Komodo_telemetry.Json
+module Pool = Komodo_campaign.Pool
+module Campaign = Komodo_campaign.Campaign
+
+(* -- check campaigns: -j 1 vs -j 4 ------------------------------------- *)
+
+let check_divergence_str = function
+  | None -> "none"
+  | Some (tseed, ops, d) ->
+      Printf.sprintf "seed %d: %s / %s" tseed
+        (String.concat "; " (List.map Diff.pp_op ops))
+        (Diff.pp_divergence d)
+
+let same_check_outcome name (a : Diff.outcome) (b : Diff.outcome) =
+  Alcotest.(check int) (name ^ ": trials_run") a.Diff.trials_run b.Diff.trials_run;
+  Alcotest.(check int) (name ^ ": ops_run") a.Diff.ops_run b.Diff.ops_run;
+  Alcotest.(check string)
+    (name ^ ": divergence")
+    (check_divergence_str a.Diff.divergence)
+    (check_divergence_str b.Diff.divergence);
+  Alcotest.(check bool) (name ^ ": cover tables equal") true
+    (Cover.equal a.Diff.cover b.Diff.cover);
+  Alcotest.(check (list string))
+    (name ^ ": cover report byte-identical")
+    (Cover.report a.Diff.cover) (Cover.report b.Diff.cover)
+
+let test_check_deterministic () =
+  List.iter
+    (fun (trials, seed) ->
+      let run jobs = Campaign.check ~jobs ~trials ~seed () in
+      same_check_outcome
+        (Printf.sprintf "trials %d seed %d" trials seed)
+        (run 1) (run 4))
+    [ (12, 7); (12, 42); (7, 123456) ]
+
+let test_check_metrics_deterministic () =
+  let dump jobs =
+    let o = Campaign.check ~metrics:true ~jobs ~trials:10 ~seed:7 () in
+    match o.Diff.metrics with
+    | None -> Alcotest.fail "metrics requested but absent"
+    | Some reg -> Json.to_string (Metrics.dump reg)
+  in
+  Alcotest.(check string) "merged metrics dump byte-identical" (dump 1) (dump 4)
+
+let test_check_mutation_same_shrunk_trace () =
+  (* An armed spec mutation: both worker counts must converge on the
+     same lowest failing trial and shrink it to the same trace. *)
+  let run jobs =
+    Campaign.check ~mutate:Komodo_spec.Aspec.No_alias_check ~jobs ~trials:60
+      ~seed:42 ()
+  in
+  let a = run 1 and b = run 4 in
+  (match a.Diff.divergence with
+  | None -> Alcotest.fail "mutation survived the checker"
+  | Some _ -> ());
+  same_check_outcome "mutation no-alias-check" a b
+
+(* -- fault campaigns: -j 1 vs -j 4 ------------------------------------- *)
+
+let fault_violation_str = function
+  | None -> "none"
+  | Some (tseed, fops, v) ->
+      (* the full reproducibility contract: the shrunk campaign
+         serialises to the same JSONL trace *)
+      String.concat "\n"
+        (Drive.trace_lines ~seed:tseed ~npages:40 ~bug:None fops)
+      ^ "\n" ^ Drive.pp_violation v
+
+let same_fault_outcome name (a : Drive.outcome) (b : Drive.outcome) =
+  Alcotest.(check int) (name ^ ": trials_run") a.Drive.trials_run b.Drive.trials_run;
+  Alcotest.(check int) (name ^ ": total_fops") a.Drive.total_fops b.Drive.total_fops;
+  Alcotest.(check int)
+    (name ^ ": total_injections")
+    a.Drive.total_injections b.Drive.total_injections;
+  Alcotest.(check int) (name ^ ": blackout") a.Drive.blackout b.Drive.blackout;
+  Alcotest.(check string)
+    (name ^ ": violation + shrunk trace")
+    (fault_violation_str a.Drive.violation)
+    (fault_violation_str b.Drive.violation)
+
+let test_fault_deterministic () =
+  let run jobs =
+    Campaign.fault ~jobs ~faults:Drive.all_classes ~trials:6 ~seed:42 ()
+  in
+  same_fault_outcome "clean storm" (run 1) (run 4)
+
+let test_fault_bug_same_shrunk_trace bug () =
+  (* The self-test bugs fire mid-campaign, so at -j 4 several trials
+     race toward violations; the report must still name the lowest
+     trial and carry the identical shrunk trace. *)
+  let run jobs =
+    Campaign.fault ~jobs ~faults:Drive.all_classes ~trials:10 ~seed:42 ~bug ()
+  in
+  let a = run 1 and b = run 4 in
+  (match a.Drive.violation with
+  | None -> Alcotest.failf "bug %s survived the campaign" (Monitor.bug_name bug)
+  | Some _ -> ());
+  same_fault_outcome (Monitor.bug_name bug) a b
+
+(* -- pool stress -------------------------------------------------------- *)
+
+let test_pool_completed () =
+  match
+    Pool.run ~jobs:4 ~trials:50 ~failed:(fun _ -> false) (fun i -> i * i)
+  with
+  | Pool.Stopped _ -> Alcotest.fail "nothing failed, yet the pool stopped"
+  | Pool.Completed a ->
+      Alcotest.(check int) "all trials" 50 (Array.length a);
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+        a
+
+let test_pool_zero_trials () =
+  match Pool.run ~jobs:4 ~trials:0 ~failed:(fun _ -> false) (fun i -> i) with
+  | Pool.Completed [||] -> ()
+  | _ -> Alcotest.fail "empty campaign should complete with no results"
+
+let test_pool_exception_carries_seed () =
+  (* A raising trial must fail the whole campaign — promptly, with the
+     trial's label (which callers build from the derived seed) in the
+     message, and with every domain joined rather than hung. *)
+  let seed_of i = Campaign.trial_seed ~root:99 i in
+  let attempt () =
+    Pool.run
+      ~label:(fun i -> Printf.sprintf "trial %d (seed %d)" i (seed_of i))
+      ~jobs:4 ~trials:40
+      ~failed:(fun _ -> false)
+      (fun i -> if i = 23 then failwith "synthetic trial crash" else i)
+  in
+  match attempt () with
+  | exception Pool.Trial_error { index; msg } ->
+      Alcotest.(check int) "lowest raising index" 23 index;
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the derived seed" true
+        (contains msg (string_of_int (seed_of 23)));
+      Alcotest.(check bool) "message carries the exception" true
+        (contains msg "synthetic trial crash")
+  | _ -> Alcotest.fail "raising trial did not fail the campaign"
+
+let test_pool_lowest_raiser_wins () =
+  (* Two raising indices: after all domains join, the error must name
+     the lowest one regardless of which raised first on the clock. *)
+  match
+    Pool.run ~jobs:4 ~trials:40
+      ~failed:(fun _ -> false)
+      (fun i -> if i = 31 || i = 6 then failwith "boom" else i)
+  with
+  | exception Pool.Trial_error { index; _ } ->
+      Alcotest.(check int) "lowest raising index" 6 index
+  | _ -> Alcotest.fail "raising trials did not fail the campaign"
+
+let test_pool_violation_storm () =
+  (* Every trial fails: cancellation must stop the pool at index 0 with
+     an empty prefix — and leave no domain running (a hang here is the
+     bug this test exists to catch). *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.run ~jobs ~trials:200 ~failed:(fun _ -> true) (fun i -> i)
+      with
+      | Pool.Stopped { prefix = [||]; index = 0; failure = 0 } -> ()
+      | Pool.Stopped { index; _ } ->
+          Alcotest.failf "-j %d stopped at index %d, not 0" jobs index
+      | Pool.Completed _ -> Alcotest.failf "-j %d completed a failing storm" jobs)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_lowest_failure_any_jobs () =
+  (* A synthetic failure pattern: the stop index and surviving prefix
+     must match the sequential run at every worker count. *)
+  let failing i = i mod 7 = 3 in
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs ~trials:64 ~failed:failing (fun i -> i) with
+      | Pool.Completed _ -> Alcotest.failf "-j %d missed the failures" jobs
+      | Pool.Stopped { prefix; index; failure } ->
+          Alcotest.(check int) (Printf.sprintf "-j %d stop index" jobs) 3 index;
+          Alcotest.(check int) (Printf.sprintf "-j %d failure" jobs) 3 failure;
+          Alcotest.(check (list int))
+            (Printf.sprintf "-j %d surviving prefix" jobs)
+            [ 0; 1; 2 ]
+            (Array.to_list prefix))
+    [ 1; 2; 4; 8 ]
+
+(* -- cover merge canonicality ------------------------------------------ *)
+
+let test_cover_merge_order_insensitive () =
+  (* Two covers with different (overlapping) content, merged in both
+     orders: identical tables and byte-identical reports. This is the
+     property that lets per-worker covers merge in completion order. *)
+  let a = (Diff.run_trial ~ops_per_trial:25 ~seed:7 ()).Diff.t_cover in
+  let b = (Diff.run_trial ~ops_per_trial:25 ~seed:42 ()).Diff.t_cover in
+  let ab = Cover.create () and ba = Cover.create () in
+  Cover.merge_into ab a;
+  Cover.merge_into ab b;
+  Cover.merge_into ba b;
+  Cover.merge_into ba a;
+  Alcotest.(check bool) "sources differ (the test is not vacuous)" false
+    (Cover.equal a b);
+  Alcotest.(check bool) "a+b = b+a" true (Cover.equal ab ba);
+  Alcotest.(check (list string)) "reports byte-identical"
+    (Cover.report ab) (Cover.report ba);
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check (list (pair string int))) (name ^ " listing identical")
+        (f ab) (f ba))
+    [
+      ("smc", Cover.smc_covered);
+      ("svc", Cover.svc_covered);
+      ("errors", Cover.errors_covered);
+      ("transitions", Cover.transitions);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "check: -j 1 = -j 4 across seeds" `Quick
+      test_check_deterministic;
+    Alcotest.test_case "check: merged metrics identical at any -j" `Quick
+      test_check_metrics_deterministic;
+    Alcotest.test_case "check: mutation shrunk trace identical at any -j" `Quick
+      test_check_mutation_same_shrunk_trace;
+    Alcotest.test_case "fault: -j 1 = -j 4 on a clean storm" `Quick
+      test_fault_deterministic;
+    Alcotest.test_case "fault: partial MapSecure shrunk trace identical" `Quick
+      (test_fault_bug_same_shrunk_trace Monitor.Bug_partial_map_secure);
+    Alcotest.test_case "fault: partial Remove shrunk trace identical" `Quick
+      (test_fault_bug_same_shrunk_trace Monitor.Bug_partial_remove);
+    Alcotest.test_case "pool: clean campaign completes in order" `Quick
+      test_pool_completed;
+    Alcotest.test_case "pool: zero trials" `Quick test_pool_zero_trials;
+    Alcotest.test_case "pool: raising trial fails with its seed named" `Quick
+      test_pool_exception_carries_seed;
+    Alcotest.test_case "pool: lowest raising index wins" `Quick
+      test_pool_lowest_raiser_wins;
+    Alcotest.test_case "pool: violation storm stops at index 0, no orphans"
+      `Quick test_pool_violation_storm;
+    Alcotest.test_case "pool: stop index schedule-independent" `Quick
+      test_pool_lowest_failure_any_jobs;
+    Alcotest.test_case "cover: merge is order-insensitive" `Quick
+      test_cover_merge_order_insensitive;
+  ]

@@ -13,12 +13,13 @@ module Pagedb = Komodo_core.Pagedb
 module Os = Komodo_os.Os
 module Inject = Komodo_fault.Inject
 module Drive = Komodo_fault.Drive
+module Campaign = Komodo_campaign.Campaign
 
 let test_clean_campaign () =
   (* Every fault class armed, fixed seed: the monitor must absorb all
      of it without a single invariant or atomicity violation. *)
   let o =
-    Drive.run_trials ~faults:Drive.all_classes ~trials:8 ~seed:42 ()
+    Campaign.fault ~jobs:1 ~faults:Drive.all_classes ~trials:8 ~seed:42 ()
   in
   (match o.Drive.violation with
   | None -> ()
@@ -32,7 +33,9 @@ let test_clean_campaign () =
     (o.Drive.total_injections > 10)
 
 let test_campaign_deterministic () =
-  let run () = Drive.run_trials ~faults:Drive.all_classes ~trials:3 ~seed:7 () in
+  let run () =
+    Campaign.fault ~jobs:1 ~faults:Drive.all_classes ~trials:3 ~seed:7 ()
+  in
   let a = run () and b = run () in
   Alcotest.(check int) "same fops" a.Drive.total_fops b.Drive.total_fops;
   Alcotest.(check int) "same injections" a.Drive.total_injections
@@ -41,7 +44,7 @@ let test_campaign_deterministic () =
 
 let catch_bug bug =
   match
-    (Drive.run_trials ~faults:Drive.all_classes ~trials:10 ~seed:42 ~bug ())
+    (Campaign.fault ~jobs:1 ~faults:Drive.all_classes ~trials:10 ~seed:42 ~bug ())
       .Drive.violation
   with
   | None -> Alcotest.failf "bug %s survived the campaign" (Monitor.bug_name bug)

@@ -29,4 +29,6 @@ let () =
       ("spec", Test_spec.suite);
       ("errmatrix", Test_errmatrix.suite);
       ("fault", Test_fault.suite);
+      ("seedsplit", Test_seedsplit.suite);
+      ("campaign", Test_campaign.suite);
     ]

@@ -17,6 +17,7 @@ module Aspec = Komodo_spec.Aspec
 module Abs = Komodo_spec.Abs
 module Cover = Komodo_spec.Cover
 module Diff = Komodo_spec.Diff
+module Campaign = Komodo_campaign.Campaign
 module Trace_check = Komodo_spec.Trace_check
 module Imap = Map.Make (Int)
 
@@ -54,7 +55,7 @@ let test_abs_built_enclave () =
   | p -> Alcotest.failf "page 2 is %s" (Astate.pp_page p)
 
 let test_lockstep () =
-  let o = Diff.run_trials ~trials:30 ~seed:42 () in
+  let o = Campaign.check ~jobs:1 ~trials:30 ~seed:42 () in
   (match o.Diff.divergence with
   | None -> ()
   | Some (tseed, ops, d) ->
@@ -67,7 +68,7 @@ let test_lockstep () =
     (List.length (Cover.errors_covered o.Diff.cover) >= 10)
 
 let test_mutation mutation () =
-  let o = Diff.run_trials ~mutate:mutation ~trials:60 ~seed:42 () in
+  let o = Campaign.check ~mutate:mutation ~jobs:1 ~trials:60 ~seed:42 () in
   match o.Diff.divergence with
   | None ->
       Alcotest.failf "mutation %s survived the checker"
@@ -141,10 +142,10 @@ let prop_lockstep_random_seed =
   QCheck.Test.make ~count:15 ~name:"lockstep holds from arbitrary seeds"
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let o = Diff.run_trials ~trials:1 ~ops_per_trial:30 ~seed () in
-      match o.Diff.divergence with
+      let t = Diff.run_trial ~ops_per_trial:30 ~seed () in
+      match t.Diff.t_divergence with
       | None -> true
-      | Some (_, _, d) -> QCheck.Test.fail_report (Diff.pp_divergence d))
+      | Some d -> QCheck.Test.fail_report (Diff.pp_divergence d))
 
 let suite =
   [
