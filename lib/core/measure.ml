@@ -23,8 +23,16 @@ let initial = In_progress Sha256.init
 
 let record_block words =
   if List.length words > 16 then invalid_arg "Measure.record_block: too long";
-  let padded = words @ List.init (16 - List.length words) (fun _ -> Word.zero) in
-  String.concat "" (List.map Word.to_bytes_be padded)
+  let b = Bytes.make 64 '\000' in
+  List.iteri
+    (fun i w ->
+      let v = Word.to_int w in
+      Bytes.set b (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+      Bytes.set b ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+      Bytes.set b ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+      Bytes.set b ((4 * i) + 3) (Char.chr (v land 0xFF)))
+    words;
+  Bytes.unsafe_to_string b
 
 let absorb_record ctx words = Sha256.absorb_block ctx (record_block words)
 
@@ -48,6 +56,22 @@ let add_data_page t ~mapping ~contents =
         else absorb (Sha256.absorb_block ctx (String.sub contents off 64)) (off + 64)
       in
       In_progress (absorb ctx 0)
+
+(** As {!add_data_page}, but reading the page straight out of [mem] at
+    physical address [pa] via [Memory.absorb_range] — no 4096-byte
+    string, no 64-byte block copies. The record ends block-aligned, so
+    [Sha256.absorb_words] takes its direct-compression path; the digest
+    is bit-identical to {!add_data_page} on [Memory.to_bytes_be]. *)
+let add_data_page_mem t ~mapping ~mem ~pa =
+  match t with
+  | Finalised _ -> invalid_arg "Measure.add_data_page: already finalised"
+  | In_progress ctx ->
+      let ctx = absorb_record ctx [ tag_data; Mapping.encode mapping ] in
+      let ctx =
+        Komodo_machine.Memory.absorb_range mem pa
+          Komodo_machine.Memory.page_words ~init:ctx ~f:Sha256.absorb_words
+      in
+      In_progress ctx
 
 let finalise = function
   | Finalised _ -> invalid_arg "Measure.finalise: already finalised"

@@ -28,6 +28,13 @@ val add_data_page : t -> mapping:Mapping.t -> contents:string -> t
     @raise Invalid_argument if finalised or [contents] is not one
     page. *)
 
+val add_data_page_mem :
+  t -> mapping:Mapping.t -> mem:Komodo_machine.Memory.t -> pa:Word.t -> t
+(** As {!add_data_page}, reading the page directly from memory at
+    physical address [pa] with no intermediate strings. Digest is
+    bit-identical to {!add_data_page} on the serialised page.
+    @raise Invalid_argument if already finalised. *)
+
 val finalise : t -> t
 (** @raise Invalid_argument if already finalised. *)
 

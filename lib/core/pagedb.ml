@@ -254,10 +254,9 @@ let check (plat : Platform.t) (mem : Memory.t) (t : t) : violation list =
           ()
       | { l1pt; _ } when not (valid_pagenr t l1pt) -> err asn "l1pt out of range"
       | { l1pt; _ } ->
-          let l1_base = page_pa l1pt in
+          let l1 = Memory.load_range_array mem (page_pa l1pt) Ptable.l1_entries in
           for i1 = 0 to Ptable.l1_entries - 1 do
-            let l1e = Memory.load mem (Word.add l1_base (Word.of_int (4 * i1))) in
-            begin match Ptable.decode_l1e l1e with
+            begin match Ptable.decode_l1e l1.(i1) with
             | None -> ()
             | Some l2_base -> (
                 match Platform.page_of_pa plat l2_base with
@@ -265,11 +264,11 @@ let check (plat : Platform.t) (mem : Memory.t) (t : t) : violation list =
                 | Some l2n -> (
                     match get t l2n with
                     | L2PTable { addrspace } when addrspace = asn ->
+                        let l2 =
+                          Memory.load_range_array mem l2_base Ptable.l2_entries
+                        in
                         let check_leaf i2 =
-                          let l2e =
-                            Memory.load mem (Word.add l2_base (Word.of_int (4 * i2)))
-                          in
-                          match Ptable.decode_l2e l2e with
+                          match Ptable.decode_l2e l2.(i2) with
                           | None -> ()
                           | Some (pa, ns, _) ->
                               if ns then begin

@@ -214,10 +214,10 @@ let map_secure (t : Monitor.t) =
                     | None ->
                         commit ~call:sm_map_secure t @@ fun t ->
                         let t = fill t in
-                        let contents = Monitor.page_bytes t data_pg in
                         let measurement =
-                          Measure.add_data_page a.Pagedb.measurement ~mapping
-                            ~contents
+                          Measure.add_data_page_mem a.Pagedb.measurement ~mapping
+                            ~mem:t.Monitor.mach.State.mem
+                            ~pa:(Monitor.page_pa t data_pg)
                         in
                         let db =
                           Pagedb.alloc t.Monitor.pagedb data_pg

@@ -39,8 +39,14 @@ type t = {
 (* -- Concrete interpretation ------------------------------------------ *)
 
 let concrete ?(fuel = 2_000_000) ?(native = fun _ -> None) ?probe ?inject () =
+  (* One decoded-program cache per executor (one executor per booted
+     world): probe programs are re-entered for every burst, and the
+     cache revalidates against page chunk identity on each entry. *)
+  let cache = Exec.image_cache () in
   let run mach ~entry_va ~start_pc ~iter:_ =
-    let mach, event = Exec.run ?probe ?inject mach ~entry_va ~start_pc ~fuel ~native in
+    let mach, event =
+      Exec.run ?probe ?inject ~cache mach ~entry_va ~start_pc ~fuel ~native
+    in
     { mach; event }
   in
   { name = "concrete"; run }
@@ -72,20 +78,18 @@ end
 let visible_state_key mach =
   let ctx = Sha256.init in
   let ctx =
-    List.fold_left
-      (fun ctx w -> Sha256.absorb ctx (Word.to_bytes_be w))
-      ctx
-      (Regs.user_visible mach.State.regs)
+    List.fold_left Sha256.absorb_word ctx (Regs.user_visible mach.State.regs)
   in
-  let ctx = Sha256.absorb ctx (Word.to_bytes_be (Komodo_machine.Psr.encode mach.State.cpsr)) in
-  let ctx = Sha256.absorb ctx (Word.to_bytes_be mach.State.upc) in
+  let ctx = Sha256.absorb_word ctx (Komodo_machine.Psr.encode mach.State.cpsr) in
+  let ctx = Sha256.absorb_word ctx mach.State.upc in
   let writable = Ptable.writable_pages mach.State.mem ~ttbr:mach.State.ttbr0_s in
   let ctx =
     List.fold_left
       (fun ctx (va, pa, ns) ->
-        let ctx = Sha256.absorb ctx (Word.to_bytes_be va) in
+        let ctx = Sha256.absorb_word ctx va in
         let ctx = Sha256.absorb ctx (if ns then "ns" else "s!") in
-        Sha256.absorb ctx (Memory.to_bytes_be mach.State.mem pa Ptable.words_per_page))
+        Memory.absorb_range mach.State.mem pa Ptable.words_per_page ~init:ctx
+          ~f:Sha256.absorb_words)
       ctx writable
   in
   Sha256.finalize ctx
@@ -164,13 +168,13 @@ let havoc ?(dynamic = false) ~seed () =
       List.fold_left
         (fun mach (_va, pa, ns) ->
           let stream = if ns then public_stream else secret_stream in
-          let mem = ref mach.State.mem in
+          (* Draw the whole page from the stream (in address order, as
+             the per-word loop did) and store it as one chunk swap. *)
+          let ws = Array.make Ptable.words_per_page Word.zero in
           for i = 0 to Ptable.words_per_page - 1 do
-            !mem
-            |> (fun m -> Memory.store m (Word.add pa (Word.of_int (4 * i))) (Stream.next stream))
-            |> fun m -> mem := m
+            ws.(i) <- Stream.next stream
           done;
-          { mach with State.mem = !mem })
+          { mach with State.mem = Memory.store_range_array mach.State.mem pa ws })
         mach writable
     in
     let mach = { mach with State.upc = Word.of_int (Word.to_int (Stream.next public_stream) land 0xFFFF) } in

@@ -38,17 +38,9 @@ let blocks_absorbed c = c.blocks
 let mask = 0xFFFF_FFFF
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-(* One compression of a 64-byte block, starting at [off] in [msg]. *)
-let compress h msg off =
-  let w = Array.make 64 0 in
-  for i = 0 to 15 do
-    let j = off + (4 * i) in
-    w.(i) <-
-      (Char.code msg.[j] lsl 24)
-      lor (Char.code msg.[j + 1] lsl 16)
-      lor (Char.code msg.[j + 2] lsl 8)
-      lor Char.code msg.[j + 3]
-  done;
+(* Schedule expansion + 64 rounds over [w], whose first 16 entries hold
+   the message block. Shared by the string- and word-sourced absorbers. *)
+let compress_rounds h w =
   for i = 16 to 63 do
     let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
     let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
@@ -84,6 +76,28 @@ let compress h msg off =
     (h.(6) + !g) land mask; (h.(7) + !hh) land mask;
   |]
 
+(* One compression of a 64-byte block, starting at [off] in [msg]. *)
+let compress h msg off =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    let j = off + (4 * i) in
+    w.(i) <-
+      (Char.code msg.[j] lsl 24)
+      lor (Char.code msg.[j + 1] lsl 16)
+      lor (Char.code msg.[j + 2] lsl 8)
+      lor Char.code msg.[j + 3]
+  done;
+  compress_rounds h w
+
+(* One compression of 16 words starting at [off] in [ws] — words are
+   already the big-endian 32-bit lanes, so no byte shuffling at all. *)
+let compress_words h ws off =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    w.(i) <- Word.to_int ws.(off + i)
+  done;
+  compress_rounds h w
+
 let absorb ctx data =
   let input = ctx.buffered ^ data in
   let n = String.length input in
@@ -99,6 +113,52 @@ let absorb ctx data =
     length = ctx.length + String.length data;
     blocks = !blocks;
   }
+
+let bytes_of_words ws pos len =
+  let b = Bytes.create (4 * len) in
+  for i = 0 to len - 1 do
+    let v = Word.to_int ws.(pos + i) in
+    Bytes.unsafe_set b (4 * i) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set b ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set b ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set b ((4 * i) + 3) (Char.unsafe_chr (v land 0xFF))
+  done;
+  Bytes.unsafe_to_string b
+
+let absorb_words ctx ws pos len =
+  if len <= 0 then ctx
+  else if ctx.buffered = "" then begin
+    (* Block-aligned context: compress straight from the word array, 16
+       words per block, identical to absorbing their big-endian bytes. *)
+    let h = ref ctx.h and blocks = ref ctx.blocks in
+    let p = ref pos and left = ref len in
+    while !left >= 16 do
+      h := compress_words !h ws !p;
+      incr blocks;
+      p := !p + 16;
+      left := !left - 16
+    done;
+    let ctx' =
+      { h = !h; buffered = ""; length = ctx.length + (4 * (len - !left)); blocks = !blocks }
+    in
+    if !left = 0 then ctx' else absorb ctx' (bytes_of_words ws !p !left)
+  end
+  else absorb ctx (bytes_of_words ws pos len)
+
+let absorb_word ctx w =
+  let bl = String.length ctx.buffered in
+  if bl + 4 < 64 then begin
+    (* Stays a partial block: extend the buffer in one allocation. *)
+    let v = Word.to_int w in
+    let b = Bytes.create (bl + 4) in
+    Bytes.blit_string ctx.buffered 0 b 0 bl;
+    Bytes.unsafe_set b bl (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set b (bl + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set b (bl + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set b (bl + 3) (Char.unsafe_chr (v land 0xFF));
+    { ctx with buffered = Bytes.unsafe_to_string b; length = ctx.length + 4 }
+  end
+  else absorb ctx (Word.to_bytes_be w)
 
 let absorb_block ctx block =
   if String.length block <> 64 then

@@ -23,6 +23,17 @@ val init : ctx
 val absorb : ctx -> string -> ctx
 (** Absorb arbitrary bytes. *)
 
+val absorb_words : ctx -> Komodo_machine.Word.t array -> int -> int -> ctx
+(** [absorb_words ctx ws pos len] absorbs the big-endian bytes of
+    [ws.(pos .. pos+len-1)], bit-identical to [absorb] of the same
+    bytes. When the context is block-aligned the words are compressed
+    directly, with no intermediate string — the shape produced by
+    [Memory.absorb_range]. *)
+
+val absorb_word : ctx -> Komodo_machine.Word.t -> ctx
+(** Absorb one word's big-endian bytes (single allocation while the
+    running block stays partial). *)
+
 val absorb_block : ctx -> string -> ctx
 (** Absorb exactly one 64-byte block; checks the monitor's block-aligned
     precondition. @raise Invalid_argument if not 64 bytes or the context

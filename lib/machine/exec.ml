@@ -83,39 +83,124 @@ type code_image =
   | Native_ref of int
   | Bad_image  (** unrecognised or undecodable — prefetch abort *)
 
+(* -- Image fetch and the decoded-program cache ------------------------- *)
+
+(* What one page-sized piece of an image fetch depended on: the virtual
+   address we translated, where it landed, and the identity of the
+   memory chunk backing that physical page. Replaying the translation
+   and finding the same frame and the same (never-mutated) chunk proves
+   a cached decode would come out identical. *)
+type image_dep = { fp_va : Word.t; fp_pa : Word.t; fp_page : Memory.page option }
+
+type cache_entry = {
+  ce_entry_va : Word.t;
+  ce_deps : image_dep list;
+  ce_image : code_image;
+}
+
+type image_cache = { mutable entries : cache_entry list (* MRU first *) }
+
+let image_cache () = { entries = [] }
+
+(* Keep a handful of programs: the refinement harness stages a few probe
+   programs per world and re-enters them for every trial burst. *)
+let cache_capacity = 8
+
+exception Fetch_fail
+
+(* Fetch [n] execute-permitted words from word-aligned [va], one
+   translation and one bulk load per virtual page. Equivalent to [n]
+   single-word [Uview.fetch]es: translation and the execute bit are
+   per-page properties, and any per-word failure is a per-page failure. *)
+let fetch_exec_range s va n =
+  let out = Array.make n Word.zero in
+  let deps = ref [] in
+  let cur = ref (Word.to_int va) and pos = ref 0 and left = ref n in
+  while !left > 0 do
+    let off = (!cur lsr 2) land (Ptable.words_per_page - 1) in
+    let span = min (Ptable.words_per_page - off) !left in
+    let va_w = Word.of_int !cur in
+    (match Uview.translate s va_w with
+    | Error _ -> raise Fetch_fail
+    | Ok f ->
+        if not f.Ptable.perms.Ptable.x then raise Fetch_fail;
+        let pa = f.Ptable.pa in
+        let ws = Memory.load_range_array s.State.mem pa span in
+        Array.blit ws 0 out !pos span;
+        deps :=
+          { fp_va = va_w; fp_pa = pa; fp_page = Memory.page_at s.State.mem pa }
+          :: !deps);
+    cur := (!cur + (4 * span)) land 0xFFFF_FFFF;
+    pos := !pos + span;
+    left := !left - span
+  done;
+  (out, List.rev !deps)
+
 (** Read and decode the program at [entry_va] (header: magic, length in
     words, then the body), fetching through the page table. *)
-let fetch_image s ~entry_va =
-  match Uview.fetch s entry_va with
-  | Error _ -> Bad_image
-  | Ok magic ->
-      if Word.equal magic native_magic then
-        match Uview.fetch s (Word.add entry_va (Word.of_int 4)) with
-        | Ok id -> Native_ref (Word.to_int id)
-        | Error _ -> Bad_image
-      else if Word.equal magic code_magic then
-        match Uview.fetch s (Word.add entry_va (Word.of_int 4)) with
-        | Error _ -> Bad_image
-        | Ok n ->
-            let n = Word.to_int n in
-            if n < 0 || n > 4 * Ptable.words_per_page then Bad_image
-            else
-              let rec fetch_words i acc =
-                if i = n then Some (List.rev acc)
-                else
-                  match
-                    Uview.fetch s (Word.add entry_va (Word.of_int (8 + (4 * i))))
-                  with
-                  | Error _ -> None
-                  | Ok w -> fetch_words (i + 1) (w :: acc)
-              in
-              (match fetch_words 0 [] with
-              | None -> Bad_image
-              | Some ws -> (
-                  match Insn.decode_flat ws with
-                  | Some prog -> Bytecode prog
-                  | None -> Bad_image))
-      else Bad_image
+let fetch_image_deps s ~entry_va =
+  if not (Word.is_aligned entry_va) then (Bad_image, [])
+  else
+    match fetch_exec_range s entry_va 2 with
+    | exception Fetch_fail -> (Bad_image, [])
+    | hdr, hdeps ->
+        if Word.equal hdr.(0) native_magic then (Native_ref (Word.to_int hdr.(1)), hdeps)
+        else if Word.equal hdr.(0) code_magic then begin
+          let n = Word.to_int hdr.(1) in
+          if n < 0 || n > 4 * Ptable.words_per_page then (Bad_image, [])
+          else
+            match fetch_exec_range s (Word.add entry_va (Word.of_int 8)) n with
+            | exception Fetch_fail -> (Bad_image, [])
+            | body, bdeps -> (
+                match Insn.decode_flat_array body with
+                | Some prog -> (Bytecode prog, hdeps @ bdeps)
+                | None -> (Bad_image, []))
+        end
+        else (Bad_image, [])
+
+let fetch_image s ~entry_va = fst (fetch_image_deps s ~entry_va)
+
+(* A cached image is reusable iff every page it was read from still
+   translates to the same frame with execute permission and is still
+   backed by the same chunk. Pure validation — chunk identity implies
+   identical contents, hence an identical fetch-and-decode. *)
+let deps_valid s deps =
+  List.for_all
+    (fun d ->
+      match Uview.translate s d.fp_va with
+      | Error _ -> false
+      | Ok f ->
+          f.Ptable.perms.Ptable.x
+          && Word.equal f.Ptable.pa d.fp_pa
+          && Memory.same_page (Memory.page_at s.State.mem d.fp_pa) d.fp_page)
+    deps
+
+let fetch_image_cached cache s ~entry_va =
+  match
+    List.find_opt
+      (fun e -> Word.equal e.ce_entry_va entry_va && deps_valid s e.ce_deps)
+      cache.entries
+  with
+  | Some e ->
+      if not (match cache.entries with e' :: _ -> e' == e | [] -> false) then
+        cache.entries <- e :: List.filter (fun e' -> e' != e) cache.entries;
+      e.ce_image
+  | None ->
+      let image, deps = fetch_image_deps s ~entry_va in
+      (* Only decoded bytecode is worth remembering; header-only images
+         and failures are cheap to refetch. *)
+      (match image with
+      | Bytecode _ ->
+          let keep =
+            List.filteri
+              (fun i e ->
+                i < cache_capacity - 1
+                && not (Word.equal e.ce_entry_va entry_va))
+              cache.entries
+          in
+          cache.entries <- { ce_entry_va = entry_va; ce_deps = deps; ce_image = image } :: keep
+      | Native_ref _ | Bad_image -> ());
+      image
 
 (* -- Bytecode interpretation ------------------------------------------ *)
 
@@ -254,9 +339,17 @@ let run_bytecode ?probe ?inject s (prog : Insn.fop array) ~start_pc ~fuel =
   finish (loop s start_pc fuel)
 
 (** Execute user code at/under [entry_va] starting from flat index
-    [start_pc], dispatching native services through [native]. *)
-let run ?probe ?inject s ~entry_va ~start_pc ~fuel ~(native : int -> native option) =
-  match fetch_image s ~entry_va with
+    [start_pc], dispatching native services through [native]. [cache],
+    if given, memoises decoded bytecode across bursts (validated against
+    the page table and page chunk identity on every entry). *)
+let run ?probe ?inject ?cache s ~entry_va ~start_pc ~fuel
+    ~(native : int -> native option) =
+  let image =
+    match cache with
+    | Some c -> fetch_image_cached c s ~entry_va
+    | None -> fetch_image s ~entry_va
+  in
+  match image with
   | Bad_image -> (s, Ev_fault Prefetch)
   | Native_ref id -> (
       match native id with

@@ -58,7 +58,18 @@ type code_image = Bytecode of Insn.fop array | Native_ref of int | Bad_image
 
 val fetch_image : State.t -> entry_va:Word.t -> code_image
 (** Read and decode the program at [entry_va] (header: magic, length,
-    body), fetching through the page table. *)
+    body), fetching through the page table. One translation and one
+    bulk load per virtual page. *)
+
+type image_cache
+(** A small per-executor memo of decoded bytecode programs, keyed on
+    entry point. A hit requires every page the image was fetched from
+    to still translate to the same executable frame backed by the same
+    (immutable) memory chunk — so a hit is provably identical to
+    refetching, and any store to a code page, remapping, or table edit
+    invalidates by construction. *)
+
+val image_cache : unit -> image_cache
 
 val run_bytecode :
   ?probe:(steps:int -> unit) ->
@@ -83,6 +94,7 @@ val run_bytecode :
 val run :
   ?probe:(steps:int -> unit) ->
   ?inject:(State.t -> State.t * event option) ->
+  ?cache:image_cache ->
   State.t ->
   entry_va:Word.t ->
   start_pc:int ->
@@ -91,4 +103,5 @@ val run :
   State.t * event
 (** Execute user code at [entry_va], dispatching native services through
     [native]. An undecodable image is a prefetch abort. Native bursts
-    report zero retired instructions to [probe]. *)
+    report zero retired instructions to [probe]. [cache] memoises
+    decoded bytecode across bursts (see {!image_cache}). *)

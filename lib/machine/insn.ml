@@ -273,36 +273,41 @@ let encode_flat (prog : fop array) : Word.t list =
 
 let encode_program stmts = encode_flat (flatten stmts)
 
-(** Decode a word list back to a flat program; [None] on any malformed
-    word (unknown opcode, bad register field, truncated immediate). *)
-let decode_flat (ws : Word.t list) : fop array option =
+(** Decode a word array back to a flat program; [None] on any malformed
+    word (unknown opcode, bad register field, truncated immediate).
+    Array-indexed so image fetch can decode straight out of a bulk page
+    read without building a list. *)
+let decode_flat_array (ws : Word.t array) : fop array option =
   let ( let* ) = Option.bind in
-  let rec go acc = function
-    | [] -> Some (Array.of_list (List.rev acc))
-    | w :: rest -> (
-        let tag = Word.to_int (Word.extract w ~hi:31 ~lo:24) in
-        if tag = tag_jmp then
-          go (FJmp (Word.to_int (Word.extract w ~hi:19 ~lo:0)) :: acc) rest
-        else if tag = tag_jcc then
-          let* c = decode_cond (Word.to_int (Word.extract w ~hi:23 ~lo:20)) in
-          go (FJcc (c, Word.to_int (Word.extract w ~hi:19 ~lo:0)) :: acc) rest
-        else if tag = 0x13 then
-          go (FI (Svc (Word.extract w ~hi:23 ~lo:0)) :: acc) rest
-        else if tag = 0x14 then go (FI Nop :: acc) rest
-        else if tag = 0x15 then go (FI Udf :: acc) rest
-        else
-          let rd = Word.to_int (Word.extract w ~hi:23 ~lo:16) in
-          let rn = Word.to_int (Word.extract w ~hi:15 ~lo:8) in
-          let is_imm = Word.bit w 7 in
-          let rm = Word.to_int (Word.extract w ~hi:6 ~lo:0) in
-          let op_and_rest =
-            if is_imm then
-              match rest with [] -> None | imm :: tl -> Some (Imm imm, tl)
-            else
-              let* r = decode_reg rm in
-              Some (Reg r, rest)
-          in
-          let* operand, rest = op_and_rest in
+  let len = Array.length ws in
+  let rec go acc j =
+    if j >= len then Some (Array.of_list (List.rev acc))
+    else
+      let w = ws.(j) in
+      let rest = j + 1 in
+      let tag = Word.to_int (Word.extract w ~hi:31 ~lo:24) in
+      if tag = tag_jmp then
+        go (FJmp (Word.to_int (Word.extract w ~hi:19 ~lo:0)) :: acc) rest
+      else if tag = tag_jcc then
+        let* c = decode_cond (Word.to_int (Word.extract w ~hi:23 ~lo:20)) in
+        go (FJcc (c, Word.to_int (Word.extract w ~hi:19 ~lo:0)) :: acc) rest
+      else if tag = 0x13 then
+        go (FI (Svc (Word.extract w ~hi:23 ~lo:0)) :: acc) rest
+      else if tag = 0x14 then go (FI Nop :: acc) rest
+      else if tag = 0x15 then go (FI Udf :: acc) rest
+      else
+        let rd = Word.to_int (Word.extract w ~hi:23 ~lo:16) in
+        let rn = Word.to_int (Word.extract w ~hi:15 ~lo:8) in
+        let is_imm = Word.bit w 7 in
+        let rm = Word.to_int (Word.extract w ~hi:6 ~lo:0) in
+        let op_and_rest =
+          if is_imm then
+            if rest >= len then None else Some (Imm ws.(rest), rest + 1)
+          else
+            let* r = decode_reg rm in
+            Some (Reg r, rest)
+        in
+        let* operand, rest = op_and_rest in
           let two mk =
             let* rd = decode_reg rd in
             Some (mk rd operand)
@@ -345,9 +350,14 @@ let decode_flat (ws : Word.t list) : fop array option =
             | 0x12 -> three (fun rd rn op -> Str (rd, rn, op))
             | _ -> None
           in
-          go (FI i :: acc) rest)
+        go (FI i :: acc) rest
   in
-  go [] ws
+  go [] 0
+
+(** List-input variant of {!decode_flat_array}, kept for callers that
+    hold encoded programs as lists. *)
+let decode_flat (ws : Word.t list) : fop array option =
+  decode_flat_array (Array.of_list ws)
 
 let insn_cost = function
   | Mul _ -> Cost.mul

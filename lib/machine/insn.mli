@@ -79,10 +79,14 @@ val encode_flat : fop array -> Word.t list
 val encode_program : stmt list -> Word.t list
 (** [flatten] then [encode_flat]. *)
 
-val decode_flat : Word.t list -> fop array option
+val decode_flat_array : Word.t array -> fop array option
 (** [None] on any malformed word (unknown opcode, bad register field,
     truncated immediate): a guessed or corrupted code page never
-    executes as garbage, it refuses to decode. *)
+    executes as garbage, it refuses to decode. Array-indexed so image
+    fetch decodes straight from a bulk page read. *)
+
+val decode_flat : Word.t list -> fop array option
+(** List-input variant of {!decode_flat_array}. *)
 
 val insn_cost : insn -> int
 val fop_cost : fop -> int

@@ -1,55 +1,102 @@
-(** Physical memory: a map from word-aligned addresses to 32-bit values.
+(** Physical memory: page-granular, copy-on-write.
 
     Matches the paper's memory model (§5.1): only aligned word accesses
     exist, so distinct addresses are independent; unmapped addresses
-    read as zero. The map is immutable, making whole-machine snapshots
-    and comparisons (as the noninterference harness performs constantly)
-    cheap. *)
+    read as zero. The representation is an immutable map from page
+    number to immutable 1024-word chunks: [store] copies the affected
+    chunk, whole-page operations swap chunks, and an all-zero chunk is
+    never stored (canonical form), so states that read equal are
+    structurally equal and whole-machine snapshots and comparisons (as
+    the noninterference harness performs constantly) stay cheap. *)
 
 type t
 
 val empty : t
+
+val page_words : int
+(** Words per page (1024 — a 4 kB page of 32-bit words). Mirrors
+    [Ptable.words_per_page]; kept separately because [Ptable] depends
+    on this module. *)
 
 exception Unaligned of Word.t
 (** Raised by any access to a non-word-aligned address. *)
 
 val load : t -> Word.t -> Word.t
 val store : t -> Word.t -> Word.t -> t
-(** Storing zero erases the binding, so states that read equal are
+(** Storing zero erases the word, so states that read equal are
     structurally equal. *)
 
 val load_range : t -> Word.t -> int -> Word.t list
 (** [load_range t a n] reads [n] consecutive words from [a]. *)
 
+val load_range_array : t -> Word.t -> int -> Word.t array
+(** As [load_range], but returning a fresh array — preferred for
+    callers that index or iterate (page-table walks, image decode). *)
+
 val store_range : t -> Word.t -> Word.t list -> t
+val store_range_array : t -> Word.t -> Word.t array -> t
+(** [store_range_array t a ws] stores all of [ws] from [a] with one
+    chunk copy per touched page (page-aligned full pages don't copy the
+    old chunk at all). The caller keeps ownership of [ws]. *)
 
 val zero_range : t -> Word.t -> int -> t
-(** Zero [n] words from the given address — page scrubbing. *)
+(** Zero [n] words from the given address — page scrubbing. Whole-page
+    spans drop the chunk outright. *)
 
 val copy_range : t -> src:Word.t -> dst:Word.t -> int -> t
+(** Word-by-word forward copy semantics; page-aligned whole-page copies
+    share the source chunk physically. *)
 
 val to_bytes_be : t -> Word.t -> int -> string
 (** Big-endian serialisation of [n] words — the form fed to the
-    measurement hash. *)
+    measurement hash. Single pass, one allocation. *)
 
 val of_bytes_be : t -> Word.t -> string -> t
 (** @raise Invalid_argument if the string length is not a multiple
     of 4. *)
 
+val absorb_range :
+  t -> Word.t -> int -> init:'a -> f:('a -> Word.t array -> int -> int -> 'a) -> 'a
+(** [absorb_range t a n ~init ~f] folds [f acc words first count] over
+    the page segments covering [n] words from [a], exposing each page's
+    word array directly (a shared all-zero array for absent pages) so
+    hashing needs no intermediate strings. [f] must not mutate the
+    array or retain it beyond the call. *)
+
 val equal_range : t -> t -> Word.t -> int -> bool
 (** Do two memories agree on the [n] words from the given base?
-    (Page-level observational equivalence.) *)
+    (Page-level observational equivalence.) Physically shared chunks
+    compare in O(1). *)
 
 val equal : t -> t -> bool
 
 val restrict : t -> f:(int -> bool) -> t
 (** Keep only words whose address satisfies [f] — e.g. "insecure memory
-    only" when building the adversary's view. *)
+    only" when building the adversary's view. Pages left intact keep
+    their chunk physically. *)
 
 val fold : (int -> Word.t -> 'a -> 'a) -> t -> 'a -> 'a
-(** Fold over explicitly-stored (nonzero) words. *)
+(** Fold over explicitly-stored (nonzero) words in address order. *)
 
 val cardinal : t -> int
 (** Number of explicitly-stored words (debugging aid). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Page identity}
+
+    Chunk identity for content-keyed caches: if [same_page] holds for
+    the pages backing an address at two points in time, the page's
+    contents are unchanged ([store] never mutates a published chunk).
+    The converse is false — contents may match across distinct chunks —
+    so identity may only be used to {e validate} cached work, never to
+    distinguish states. *)
+
+type page
+
+val page_at : t -> Word.t -> page option
+(** The chunk backing the page containing the given address; [None] for
+    the canonical all-zero page. *)
+
+val same_page : page option -> page option -> bool
+(** Physical identity of chunks ([None] = the zero page). *)

@@ -88,39 +88,33 @@ let translate mem ~ttbr va =
 
 (** Every (virtual page base, physical page base, ns) mapped writable:
     the set the paper's user-mode model havocs when enclave code runs. *)
-let writable_pages mem ~ttbr =
-  let acc = ref [] in
+(* Both table walks read each table page as one bulk array rather than
+   issuing 256×1024 single-word loads. *)
+let walk_tables mem ~ttbr ~f =
+  let l1 = Memory.load_range_array mem ttbr l1_entries in
   for i1 = 0 to l1_entries - 1 do
-    let l1e = Memory.load mem (Word.add ttbr (Word.of_int (4 * i1))) in
-    match decode_l1e l1e with
+    match decode_l1e l1.(i1) with
     | None -> ()
     | Some l2_base ->
+        let l2 = Memory.load_range_array mem l2_base l2_entries in
         for i2 = 0 to l2_entries - 1 do
-          let l2e = Memory.load mem (Word.add l2_base (Word.of_int (4 * i2))) in
-          match decode_l2e l2e with
-          | Some (pa, ns, perms) when perms.w ->
+          match decode_l2e l2.(i2) with
+          | None -> ()
+          | Some (pa, ns, perms) ->
               let va = Word.of_int ((i1 lsl 22) lor (i2 lsl 12)) in
-              acc := (va, pa, ns) :: !acc
-          | _ -> ()
+              f ~va ~pa ~ns ~perms
         done
-  done;
+  done
+
+let writable_pages mem ~ttbr =
+  let acc = ref [] in
+  walk_tables mem ~ttbr ~f:(fun ~va ~pa ~ns ~perms ->
+      if perms.w then acc := (va, pa, ns) :: !acc);
   List.rev !acc
 
 (** All present leaf mappings (used by PageDB well-formedness checks). *)
 let all_mappings mem ~ttbr =
   let acc = ref [] in
-  for i1 = 0 to l1_entries - 1 do
-    let l1e = Memory.load mem (Word.add ttbr (Word.of_int (4 * i1))) in
-    match decode_l1e l1e with
-    | None -> ()
-    | Some l2_base ->
-        for i2 = 0 to l2_entries - 1 do
-          let l2e = Memory.load mem (Word.add l2_base (Word.of_int (4 * i2))) in
-          match decode_l2e l2e with
-          | Some (pa, ns, perms) ->
-              let va = Word.of_int ((i1 lsl 22) lor (i2 lsl 12)) in
-              acc := (va, pa, ns, perms) :: !acc
-          | None -> ()
-        done
-  done;
+  walk_tables mem ~ttbr ~f:(fun ~va ~pa ~ns ~perms ->
+      acc := (va, pa, ns, perms) :: !acc);
   List.rev !acc

@@ -33,44 +33,78 @@ let abs_perms (p : Ptable.perms) = { w = p.Ptable.w; x = p.Ptable.x }
    -1, surfacing the breakage as a divergence instead of crashing. *)
 let abs_l1 (m : Monitor.t) pg =
   let npages = m.Monitor.plat.Platform.npages in
-  let rec go i slots =
-    if i >= Ptable.l1_entries then slots
-    else
-      let slots =
-        match Ptable.decode_l1e (Monitor.load_page_word m pg i) with
-        | None -> slots
-        | Some base -> (
-            match Layout.page_of_pa ~npages base with
-            | Some l2pg -> Imap.add i l2pg slots
-            | None -> Imap.add i (-1) slots)
-      in
-      go (i + 1) slots
-  in
-  go 0 Imap.empty
+  let ws = Monitor.load_page_words m pg in
+  let slots = ref Imap.empty in
+  for i = 0 to Ptable.l1_entries - 1 do
+    match Ptable.decode_l1e ws.(i) with
+    | None -> ()
+    | Some base -> (
+        match Layout.page_of_pa ~npages base with
+        | Some l2pg -> slots := Imap.add i l2pg !slots
+        | None -> slots := Imap.add i (-1) !slots)
+  done;
+  !slots
 
 let abs_l2 (m : Monitor.t) pg =
   let npages = m.Monitor.plat.Platform.npages in
-  let rec go i slots =
-    if i >= Ptable.l2_entries then slots
-    else
-      let slots =
-        match Ptable.decode_l2e (Monitor.load_page_word m pg i) with
-        | None -> slots
-        | Some (pa, ns, perms) ->
-            let pte =
-              if ns then Pins (Word.to_int pa, abs_perms perms)
-              else
-                match Layout.page_of_pa ~npages pa with
-                | Some data -> Psec (data, abs_perms perms)
-                | None -> Psec (-1, abs_perms perms)
-            in
-            Imap.add i pte slots
-      in
-      go (i + 1) slots
-  in
-  go 0 Imap.empty
+  let ws = Monitor.load_page_words m pg in
+  let slots = ref Imap.empty in
+  for i = 0 to Ptable.l2_entries - 1 do
+    match Ptable.decode_l2e ws.(i) with
+    | None -> ()
+    | Some (pa, ns, perms) ->
+        let pte =
+          if ns then Pins (Word.to_int pa, abs_perms perms)
+          else
+            match Layout.page_of_pa ~npages pa with
+            | Some data -> Psec (data, abs_perms perms)
+            | None -> Psec (-1, abs_perms perms)
+        in
+        slots := Imap.add i pte !slots
+  done;
+  !slots
 
-let abs_page (m : Monitor.t) n = function
+(* Decoding live page tables is the expensive part of the abstraction
+   function, and the differential checker re-runs [abs] after every
+   operation. The cache keys a table page's decoded slots on the
+   identity of the memory chunk backing it: chunks are never mutated,
+   so identity implies identical contents, and any store to the page
+   replaces its chunk and misses naturally. *)
+type centry = { c_page : Komodo_machine.Memory.page option; c_slots : l1l2 }
+and l1l2 = Cl1 of int Imap.t | Cl2 of apte Imap.t
+
+type cache = (int, centry) Hashtbl.t
+
+let cache () : cache = Hashtbl.create 64
+
+let page_chunk (m : Monitor.t) n =
+  Komodo_machine.Memory.page_at m.Monitor.mach.Komodo_machine.State.mem
+    (Monitor.page_pa m n)
+
+let cached_slots cache m n decode wrap =
+  match cache with
+  | None -> wrap (decode m n)
+  | Some tbl -> (
+      let chunk = page_chunk m n in
+      match Hashtbl.find_opt tbl n with
+      | Some e when Komodo_machine.Memory.same_page e.c_page chunk ->
+          e.c_slots
+      | _ ->
+          let slots = wrap (decode m n) in
+          Hashtbl.replace tbl n { c_page = chunk; c_slots = slots };
+          slots)
+
+let abs_l1_cached cache m n =
+  match cached_slots cache m n abs_l1 (fun s -> Cl1 s) with
+  | Cl1 s -> s
+  | Cl2 _ -> abs_l1 m n
+
+let abs_l2_cached cache m n =
+  match cached_slots cache m n abs_l2 (fun s -> Cl2 s) with
+  | Cl2 s -> s
+  | Cl1 _ -> abs_l2 m n
+
+let abs_page ?cache:c (m : Monitor.t) n = function
   | Pagedb.Free -> Afree
   | Pagedb.Addrspace a ->
       Aaddrspace
@@ -94,15 +128,19 @@ let abs_page (m : Monitor.t) n = function
           dispatcher = Option.map Word.to_int th.Pagedb.dispatcher;
           has_fault_ctx = th.Pagedb.fault_ctx <> None;
         }
-  | Pagedb.L1PTable { addrspace } -> Al1 { asp = addrspace; slots = abs_l1 m n }
-  | Pagedb.L2PTable { addrspace } -> Al2 { asp = addrspace; slots = abs_l2 m n }
+  | Pagedb.L1PTable { addrspace } ->
+      Al1 { asp = addrspace; slots = abs_l1_cached c m n }
+  | Pagedb.L2PTable { addrspace } ->
+      Al2 { asp = addrspace; slots = abs_l2_cached c m n }
   | Pagedb.DataPage { addrspace } -> Adata { asp = addrspace }
   | Pagedb.SparePage { addrspace } -> Aspare { asp = addrspace }
 
-let abs (m : Monitor.t) =
+let abs ?cache (m : Monitor.t) =
   let plat = plat_of m in
   let rec go i pages =
     if i >= plat.npages then pages
-    else go (i + 1) (Imap.add i (abs_page m i (Pagedb.get m.Monitor.pagedb i)) pages)
+    else
+      go (i + 1)
+        (Imap.add i (abs_page ?cache m i (Pagedb.get m.Monitor.pagedb i)) pages)
   in
   { plat; pages = go 0 Imap.empty }

@@ -16,4 +16,13 @@ val plat : npages:int -> Astate.plat
     (Figure 4), usable without a booted monitor (trace replay). *)
 
 val plat_of : Monitor.t -> Astate.plat
-val abs : Monitor.t -> Astate.t
+
+type cache
+(** Memo of decoded page-table slots keyed by page number, validated
+    against the identity of the memory chunk backing each table page
+    (chunks are immutable, so identity implies identical decode). One
+    cache per replayed world; sharing across worlds is safe but
+    pointless. *)
+
+val cache : unit -> cache
+val abs : ?cache:cache -> Monitor.t -> Astate.t

@@ -40,9 +40,17 @@ type world = {
 let world_cover w = w.w_cover
 let probe_thread _ = probe_th_page
 
-type rstate = { os : Os.t; spec : Astate.t; probe_ok : bool }
+type rstate = {
+  os : Os.t;
+  spec : Astate.t;
+  probe_ok : bool;
+  abs_cache : Abs.cache;
+      (** Decoded page-table memo for the post-op abstraction; validated
+          by chunk identity, so replays and shrinks can share it. *)
+}
 
-let initial_rstate w = { os = w.w_os; spec = w.w_spec; probe_ok = true }
+let initial_rstate w =
+  { os = w.w_os; spec = w.w_spec; probe_ok = true; abs_cache = Abs.cache () }
 
 (* -- plumbing ------------------------------------------------------------ *)
 
@@ -182,7 +190,13 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
           record_transitions cover os.Os.mon os'.Os.mon;
           (match cover with Some c -> Cover.record_smc c ~call ~err:ew | None -> ());
           let finish spec_final =
-            Ok { os = os'; spec = spec_final; probe_ok = rs.probe_ok && probe_shape spec_final }
+            Ok
+              {
+                rs with
+                os = os';
+                spec = spec_final;
+                probe_ok = rs.probe_ok && probe_shape spec_final;
+              }
           in
           match
             Aspec.step_smc ?mutate ~rng_exhausted rs.spec ~probe ~contents ~call
@@ -207,7 +221,7 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
                         Cover.record_svc c ~call:sv ~err:svc_err
                     | _ -> ())
                 | _ -> ());
-                let impl_abs = Abs.abs os'.Os.mon in
+                let impl_abs = Abs.abs ~cache:rs.abs_cache os'.Os.mon in
                 match Astate.diff spec' impl_abs with
                 | [] -> finish spec'
                 | diffs -> diverge (page_diff_reason "state divergence" diffs)
@@ -221,7 +235,7 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
                        (Aspec.smc_name call) (Aspec.err_name ew) ew)
               | Some outcome -> (
                   let spec' = Aspec.resolve rs.spec p ~outcome in
-                  let impl_abs = Abs.abs os'.Os.mon in
+                  let impl_abs = Abs.abs ~cache:rs.abs_cache os'.Os.mon in
                   match reconcile spec' impl_abs p with
                   | Error reason -> diverge reason
                   | Ok spec_final -> (
@@ -281,7 +295,9 @@ let make_world ?mutate ?(npages = 40) ?sink ~seed () =
   let os = stage os 0x2000 Progs.fault_unmapped in
   let os = stage os 0x3000 Progs.spin_forever in
   let cover = Cover.create () in
-  let rs0 = { os; spec = Abs.abs os.Os.mon; probe_ok = true } in
+  let rs0 =
+    { os; spec = Abs.abs os.Os.mon; probe_ok = true; abs_cache = Abs.cache () }
+  in
   let rs =
     List.fold_left
       (fun (rs, i) op ->

@@ -39,6 +39,9 @@ type rstate = {
   probe_ok : bool;
       (** latches false permanently once the probe enclave's shape is
           broken; later runs treat the probe as opaque *)
+  abs_cache : Abs.cache;
+      (** decoded page-table memo for the post-op abstraction; validated
+          by memory-chunk identity, so any stepping order may share it *)
 }
 (** One side-by-side lockstep state, exposed so external drivers (the
     fault injector) can step ops with {!apply_op} and interleave their

@@ -1,0 +1,97 @@
+(** Reference memory model: the seed per-word map implementation, kept
+    verbatim as the oracle for the qcheck model-equivalence suite in
+    [Test_memory_model]. Do not optimise this file. *)
+
+
+module Word = Komodo_machine.Word
+
+module Addr_map = Map.Make (Int)
+
+type t = Word.t Addr_map.t
+
+let empty : t = Addr_map.empty
+
+exception Unaligned of Word.t
+
+let check_aligned a = if not (Word.is_aligned a) then raise (Unaligned a)
+
+let load t a =
+  check_aligned a;
+  match Addr_map.find_opt (Word.to_int a) t with
+  | Some w -> w
+  | None -> Word.zero
+
+let store t a v =
+  check_aligned a;
+  if Word.equal v Word.zero then Addr_map.remove (Word.to_int a) t
+  else Addr_map.add (Word.to_int a) v t
+
+(** [load_range t a n] reads [n] consecutive words starting at [a]. *)
+let load_range t a n = List.init n (fun i -> load t (Word.add a (Word.of_int (4 * i))))
+
+let store_range t a ws =
+  List.fold_left
+    (fun (m, a) w -> (store m a w, Word.add a (Word.of_int 4)))
+    (t, a) ws
+  |> fst
+
+(** Zero [n] words from [a] — e.g. scrubbing a page before handing it to
+    an enclave ([MapData] zero-fills, §4). *)
+let zero_range t a n =
+  let rec go t a i =
+    if i = n then t else go (store t a Word.zero) (Word.add a (Word.of_int 4)) (i + 1)
+  in
+  go t a 0
+
+let copy_range t ~src ~dst n =
+  let rec go t src dst i =
+    if i = n then t
+    else
+      go (store t dst (load t src))
+        (Word.add src (Word.of_int 4))
+        (Word.add dst (Word.of_int 4))
+        (i + 1)
+  in
+  go t src dst 0
+
+(** Big-endian byte serialisation of [n] words from [a]; used to feed
+    page contents into the measurement hash. *)
+let to_bytes_be t a n =
+  let buf = Buffer.create (4 * n) in
+  List.iter (fun w -> Buffer.add_string buf (Word.to_bytes_be w)) (load_range t a n);
+  Buffer.contents buf
+
+let of_bytes_be t a s =
+  if String.length s mod 4 <> 0 then invalid_arg "Memory.of_bytes_be: ragged length";
+  let n = String.length s / 4 in
+  let ws = List.init n (fun i -> Word.of_bytes_be s (4 * i)) in
+  store_range t a ws
+
+(** [equal_range a b base n]: do [a] and [b] agree on the [n] words from
+    [base]? Used by page-level observational equivalence. *)
+let equal_range a b base n =
+  let rec go addr i =
+    i = n
+    || Word.equal (load a addr) (load b addr)
+       && go (Word.add addr (Word.of_int 4)) (i + 1)
+  in
+  go base 0
+
+let equal = Addr_map.equal Word.equal
+
+(** Keep only the words whose address satisfies [f] (e.g. "insecure
+    memory only" when comparing adversary-visible state). Unmapped
+    words read as zero, so explicit zero stores never survive a store
+    round-trip and restriction is well-defined on the quotient. *)
+let restrict t ~f = Addr_map.filter (fun a _ -> f a) t
+
+(** Fold over explicitly-stored words. *)
+let fold f t acc = Addr_map.fold f t acc
+
+(** Number of explicitly-stored (nonzero) words; a debugging aid. *)
+let cardinal = Addr_map.cardinal
+
+let pp fmt t =
+  Addr_map.iter
+    (fun a w -> Format.fprintf fmt "[%a]=%a@ " Word.pp (Word.of_int a) Word.pp w)
+    t

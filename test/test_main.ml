@@ -5,6 +5,7 @@ let () =
     [
       ("word", Test_word.suite);
       ("machine", Test_machine.suite);
+      ("memory-model", Test_memory_model.suite);
       ("ptable", Test_ptable.suite);
       ("insn", Test_insn.suite);
       ("exec", Test_exec.suite);

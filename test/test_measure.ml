@@ -82,6 +82,40 @@ let test_measure_equal () =
   Alcotest.(check bool) "in-progress vs finalised" false
     (Measure.equal a (Measure.finalise b))
 
+let test_mem_sourced_extension () =
+  (* [add_data_page_mem] reads straight out of physical memory via
+     [Memory.absorb_range]; its digest must be bit-identical to the
+     string-sourced path for any contents, including the canonical
+     all-zero page (absent from the page map). *)
+  let module Memory = Komodo_machine.Memory in
+  let pa = Word.of_int 0x8000 in
+  let check_contents what contents =
+    let mem = Memory.of_bytes_be Memory.empty pa contents in
+    let a =
+      digest_of
+        (Measure.add_data_page Measure.initial ~mapping:(mapping 0x1000) ~contents)
+    in
+    let b =
+      digest_of
+        (Measure.add_data_page_mem Measure.initial ~mapping:(mapping 0x1000) ~mem
+           ~pa)
+    in
+    Alcotest.(check string) what (Sha256.to_hex a) (Sha256.to_hex b)
+  in
+  check_contents "uniform page" (page 'x');
+  check_contents "all-zero page" (page '\000');
+  check_contents "patterned page"
+    (String.init 4096 (fun i -> Char.chr (i * 31 land 0xFF)));
+  (* Freeze one vector so any representation change that altered the
+     transcript bytes is caught even if both paths drift together. *)
+  let mem = Memory.of_bytes_be Memory.empty pa (page 'x') in
+  Alcotest.(check string) "golden measurement vector"
+    "69344351f42d96f4c97892158c224278a0e9f9a6757a12c7421de5717cad3d01"
+    (Sha256.to_hex
+       (digest_of
+          (Measure.add_data_page_mem Measure.initial ~mapping:(mapping 0x1000)
+             ~mem ~pa)))
+
 (* -- Attestation over measurements -------------------------------------- *)
 
 let key = String.make 32 'K'
@@ -142,6 +176,8 @@ let suite =
     Alcotest.test_case "digest gated on finalise" `Quick test_digest_only_when_final;
     Alcotest.test_case "page size validated" `Quick test_bad_page_size;
     Alcotest.test_case "measure equality" `Quick test_measure_equal;
+    Alcotest.test_case "mem-sourced extension matches string path" `Quick
+      test_mem_sourced_extension;
     Alcotest.test_case "attest roundtrip" `Quick test_attest_roundtrip;
     Alcotest.test_case "attest binds measurement" `Quick test_attest_binds_measurement;
     Alcotest.test_case "attest binds data" `Quick test_attest_binds_data;

@@ -107,17 +107,22 @@ let prop_low_bits_vary =
      regularities; consecutive derived seeds must not share a low-bit
      pattern (a classic failure of additive derivations like
      [seed + i*prime], which this module replaced). *)
-  QCheck.Test.make ~count:200 ~name:"consecutive seeds differ in their low byte"
+  QCheck.Test.make ~count:50 ~name:"consecutive seeds differ in their low byte"
     QCheck.(pair (int_bound 1_000_000) (int_bound 100_000))
-    (fun (root, i) ->
-      let a = Seedsplit.derive ~root i land 0xff
-      and b = Seedsplit.derive ~root (i + 1) land 0xff
-      and c = Seedsplit.derive ~root (i + 2) land 0xff in
-      (* three consecutive low bytes are not an arithmetic progression
-         modulo 256 more often than not; allow equality only if the
-         mix genuinely produced it twice in a row, which the fixed
-         qcheck seed shows it does not for these counts *)
-      not (b - a = c - b && b <> a))
+    (fun (root, i0) ->
+      (* A single triple of consecutive low bytes forms an arithmetic
+         progression by chance about once in 256, so demand rarity over
+         a window rather than absence at one point: an additive
+         derivation makes nearly every triple a progression, an
+         acceptable mix makes ~0.25 of these 64. *)
+      let progressions = ref 0 in
+      for i = i0 to i0 + 63 do
+        let a = Seedsplit.derive ~root i land 0xff
+        and b = Seedsplit.derive ~root (i + 1) land 0xff
+        and c = Seedsplit.derive ~root (i + 2) land 0xff in
+        if b - a = c - b && b <> a then incr progressions
+      done;
+      !progressions < 8)
 
 let suite =
   [
