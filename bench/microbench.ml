@@ -229,6 +229,27 @@ let run () =
   assert (Errors.is_success e);
   let _os, e = Os.teardown os ~addrspace:h.Loader.addrspace in
   assert (Errors.is_success e);
+  (* Per-call cycle quantiles out of the registry's log-bucketed
+     histograms — the table mirrors the "cycles" section of
+     BENCH_metrics.json. *)
+  let module Metrics = Komodo_telemetry.Metrics in
+  Report.print_header "Per-call cycle quantiles (telemetry registry)";
+  Report.print_table
+    ~columns:[ "Call"; "count"; "p50"; "p90"; "p99"; "max" ]
+    (List.filter_map
+       (fun name ->
+         Option.map
+           (fun s ->
+             [
+               name;
+               string_of_int s.Metrics.count;
+               string_of_int s.Metrics.p50;
+               string_of_int s.Metrics.p90;
+               string_of_int s.Metrics.p99;
+               string_of_int s.Metrics.max;
+             ])
+           (Metrics.stats reg name))
+       (Metrics.call_names reg));
   Report.emit_json ~name:"metrics" (Komodo_telemetry.Metrics.dump reg)
 
 let run_ablation () =

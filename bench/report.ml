@@ -18,9 +18,22 @@ let print_header title =
 let json_dir () =
   match Sys.getenv_opt "KOMODO_BENCH_JSON_DIR" with Some d -> d | None -> "."
 
+(* Every emitted file carries a schema/version tag so downstream
+   tooling (`komodo bench --compare`) can reject mirrors produced by an
+   incompatible bench harness instead of mis-diffing them. *)
+let bench_schema = "komodo-bench/1"
+
 (** Write [BENCH_<name>.json] with any JSON payload (e.g. a telemetry
-    metrics dump). *)
+    metrics dump). A [schema] field is added at top level (non-object
+    payloads are wrapped as [{"schema":..,"data":..}]). *)
 let emit_json ~name json =
+  let json =
+    match json with
+    | Json.Obj kvs when not (List.mem_assoc "schema" kvs) ->
+        Json.Obj (("schema", Json.Str bench_schema) :: kvs)
+    | Json.Obj _ -> json
+    | other -> Json.Obj [ ("schema", Json.Str bench_schema); ("data", other) ]
+  in
   let path = Filename.concat (json_dir ()) ("BENCH_" ^ name ^ ".json") in
   match
     let oc = open_out path in

@@ -8,6 +8,8 @@
      inspect   boot, load, and dump the PageDB and memory layout
      notary    drive the notary enclave over a document file
      verify    check the noninterference harness at a chosen scale
+     profile   span-profile a fixed-seed campaign (tree, quantiles, folded)
+     bench     compare fresh BENCH_*.json against a committed baseline
 
    Examples:
      komodo run --program sum --arg 100
@@ -34,6 +36,11 @@ module Sink = Komodo_telemetry.Sink
 module Metrics = Komodo_telemetry.Metrics
 module Audit = Komodo_telemetry.Audit
 module Json = Komodo_telemetry.Json
+module Span = Komodo_telemetry.Span
+module Hist = Komodo_telemetry.Hist
+module Campaign = Komodo_campaign.Campaign
+module Progress = Komodo_campaign.Progress
+module Drive = Komodo_fault.Drive
 open Cmdliner
 
 let programs =
@@ -448,6 +455,107 @@ let asm_cmd =
        ~doc:"Assemble a .kasm program, report its size and expected measurement")
     Term.(const run $ file)
 
+(* -- campaign observability ---------------------------------------------
+
+   --progress / --progress-out / --profile-out on `check` and `fault`.
+   Progress renders to stderr and/or mirrors JSONL snapshots; profiles
+   aggregate per-trial span trees into a komodo-profile/1 JSON file.
+   Both are pure observers: stdout (and the campaign report) stays
+   byte-identical whether they are on or off. *)
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Stream live campaign progress to stderr: trials done, trials/sec,            coverage growth, fault-class hit counts. Never touches stdout.")
+
+let progress_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-out" ] ~docv:"FILE"
+        ~doc:
+          "Mirror progress snapshots to $(docv), one komodo-progress/1 JSON            object per line.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Record per-trial span trees (monitor call -> validate/commit ->            hash/ptwalk/exec) and write the aggregated profile to $(docv) as            komodo-profile/1 JSON.")
+
+let progress_setup ~progress ~progress_out ~label ~total =
+  if (not progress) && progress_out = None then (None, fun () -> ())
+  else
+    let jsonl =
+      match progress_out with
+      | None -> None
+      | Some path -> (
+          try Some (open_out path)
+          with Sys_error e ->
+            Printf.eprintf "komodo: cannot open progress file: %s\n" e;
+            exit 2)
+    in
+    let p =
+      Progress.create ?jsonl ~live:progress ~now:Unix.gettimeofday ~label ~total ()
+    in
+    (Some p, fun () -> Option.iter close_out jsonl)
+
+let rec agg_to_json (a : Span.agg) =
+  Json.Obj
+    [
+      ("name", Json.Str a.Span.a_name);
+      ("count", Json.Int a.Span.a_count);
+      ("cycles", Json.Int a.Span.a_cycles);
+      ("wall_ns", Json.Int a.Span.a_wall_ns);
+      ("children", Json.List (List.map agg_to_json a.Span.a_children));
+    ]
+
+let quantiles_json spans =
+  Json.Obj
+    (List.map
+       (fun (name, h) ->
+         ( name,
+           Json.Obj
+             [
+               ("count", Json.Int (Hist.count h));
+               ("p50", Json.Int (Hist.p50 h));
+               ("p90", Json.Int (Hist.p90 h));
+               ("p99", Json.Int (Hist.p99 h));
+               ("p999", Json.Int (Hist.p999 h));
+               ("max", Json.Int (Hist.max_value h));
+             ] ))
+       (Span.durations spans))
+
+let profile_json ~label ~seed ~trials spans =
+  Json.Obj
+    [
+      ("schema", Json.Str "komodo-profile/1");
+      ("label", Json.Str label);
+      ("seed", Json.Int seed);
+      ("trials", Json.Int trials);
+      ("total_spans", Json.Int (Span.total_spans spans));
+      ("tree", Json.List (List.map agg_to_json (Span.aggregate spans)));
+      ("quantiles", quantiles_json spans);
+    ]
+
+let write_json_file path j =
+  match
+    let oc = open_out path in
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    close_out oc
+  with
+  | () -> Printf.eprintf "[wrote %s]\n%!" path
+  | exception Sys_error e ->
+      Printf.eprintf "komodo: cannot write %s: %s\n" path e;
+      exit 2
+
+let write_profile ~path ~label ~seed ~trials spans =
+  write_json_file path (profile_json ~label ~seed ~trials spans)
+
 (* -- check -------------------------------------------------------------- *)
 
 (* -j/--jobs for the two campaign subcommands: 0 (the default) means
@@ -495,7 +603,8 @@ let check_cmd =
             "Run against a deliberately broken spec variant (self-test; expects a divergence). \
              One of: no-alias-check, no-monitor-image-check, drop-refcount.")
   in
-  let run level trials ops seed pages replay mutate jobs metrics =
+  let run level trials ops seed pages replay mutate jobs metrics progress
+      progress_out profile_out =
     setup_logs level;
     match replay with
     | Some path -> (
@@ -524,10 +633,21 @@ let check_cmd =
                   Printf.eprintf "komodo check: unknown mutation %S\n" name;
                   exit 2)
         in
+        let prog, prog_close =
+          progress_setup ~progress ~progress_out ~label:"check" ~total:trials
+        in
         let o =
           Komodo_campaign.Campaign.check ?mutate ~npages:pages ~ops_per_trial:ops
-            ~metrics ~jobs ~trials ~seed ()
+            ~metrics
+            ~profile:(profile_out <> None)
+            ?progress:prog ~jobs ~trials ~seed ()
         in
+        prog_close ();
+        (match profile_out with
+        | Some path ->
+            write_profile ~path ~label:"check" ~seed ~trials
+              o.Komodo_spec.Diff.spans
+        | None -> ());
         Printf.printf "%d trials, %d lockstep ops checked\n"
           o.Komodo_spec.Diff.trials_run o.Komodo_spec.Diff.ops_run;
         List.iter print_endline (Komodo_spec.Cover.report o.Komodo_spec.Diff.cover);
@@ -562,7 +682,7 @@ let check_cmd =
           worker count.")
     Term.(
       const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate
-      $ jobs_arg $ metrics_arg)
+      $ jobs_arg $ metrics_arg $ progress_arg $ progress_out_arg $ profile_out_arg)
 
 (* -- fault -------------------------------------------------------------- *)
 
@@ -608,7 +728,8 @@ let fault_cmd =
       & info [ "save-trace" ] ~docv:"FILE"
           ~doc:"On violation, save the shrunk campaign as a replayable JSONL trace.")
   in
-  let run level trials ops seed pages faults bug replay save jobs =
+  let run level trials ops seed pages faults bug replay save jobs progress
+      progress_out profile_out =
     setup_logs level;
     match replay with
     | Some path -> (
@@ -654,10 +775,19 @@ let fault_cmd =
                   Printf.eprintf "komodo fault: unknown bug %S\n" name;
                   exit 2)
         in
-        let o =
-          Komodo_campaign.Campaign.fault ~npages:pages ~ops_per_trial:ops ?bug ~jobs
-            ~faults ~trials ~seed ()
+        let prog, prog_close =
+          progress_setup ~progress ~progress_out ~label:"fault" ~total:trials
         in
+        let o =
+          Komodo_campaign.Campaign.fault ~npages:pages ~ops_per_trial:ops
+            ~profile:(profile_out <> None)
+            ?progress:prog ?bug ~jobs ~faults ~trials ~seed ()
+        in
+        prog_close ();
+        (match profile_out with
+        | Some path ->
+            write_profile ~path ~label:"fault" ~seed ~trials o.Drive.spans
+        | None -> ());
         Printf.printf "%d trials, %d fault-decorated ops, %d faults fired\n"
           o.Drive.trials_run o.Drive.total_fops o.Drive.total_injections;
         Printf.printf "worst interrupt blackout: %d cycles (%.3f ms at 900 MHz)\n"
@@ -700,7 +830,7 @@ let fault_cmd =
           count. Exits 0 on a clean campaign, 4 on an atomicity/invariant violation.")
     Term.(
       const run $ verbosity $ trials $ ops $ fseed $ fpages $ faults $ bug $ replay $ save
-      $ jobs_arg)
+      $ jobs_arg $ progress_arg $ progress_out_arg $ profile_out_arg)
 
 (* -- verify ------------------------------------------------------------- *)
 
@@ -737,6 +867,365 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run the noninterference harness and attack library")
     Term.(const run $ verbosity $ seeds $ ops)
 
+
+(* -- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let trials =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials in the profiled workload.")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Adversarial ops per trial.")
+  in
+  let pseed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed (the whole profile is a function of it).")
+  in
+  let ppages =
+    Arg.(value & opt int 40 & info [ "pages" ] ~docv:"N" ~doc:"Secure pages per trial world.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("check", `Check); ("fault", `Fault) ]) `Check
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Workload to profile: the differential $(b,check) campaign or the $(b,fault) campaign.")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt string "komodo-profile.folded"
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded stacks (one 'path;to;span cycles' line each) to \
+             $(docv) — feed to flamegraph.pl or speedscope.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the komodo-profile/1 JSON profile to $(docv).")
+  in
+  let wall =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "Attach a wallclock to the recorder. Wallclock attribution appears \
+             only in the --json output; stdout stays cycles-only and \
+             deterministic.")
+  in
+  let run level trials ops seed pages mode folded json_out wall jobs =
+    setup_logs level;
+    let clock = if wall then Some Unix.gettimeofday else None in
+    let label, spans =
+      match mode with
+      | `Check ->
+          let o =
+            Campaign.check ~npages:pages ~ops_per_trial:ops ~profile:true ?clock
+              ~jobs ~trials ~seed ()
+          in
+          ("check", o.Komodo_spec.Diff.spans)
+      | `Fault ->
+          let o =
+            Campaign.fault ~npages:pages ~ops_per_trial:ops ~profile:true ?clock
+              ~jobs ~faults:Drive.all_classes ~trials ~seed ()
+          in
+          ("fault", o.Drive.spans)
+    in
+    let agg = Span.aggregate spans in
+    let total_cycles =
+      List.fold_left (fun a n -> a + n.Span.sp_cycles) 0 spans
+    in
+    Printf.printf "profile: %s campaign, seed %d, %d trials, %d spans, %d modelled cycles\n\n"
+      label seed trials (Span.total_spans spans) total_cycles;
+    print_string (Span.render_tree agg);
+    print_newline ();
+    Printf.printf "%-28s %8s %10s %10s %10s %10s\n" "span" "count" "p50" "p90"
+      "p99" "max";
+    List.iter
+      (fun (name, h) ->
+        Printf.printf "%-28s %8d %10d %10d %10d %10d\n" name (Hist.count h)
+          (Hist.p50 h) (Hist.p90 h) (Hist.p99 h) (Hist.max_value h))
+      (Span.durations spans);
+    (match
+       let oc = open_out folded in
+       output_string oc (Span.to_folded spans);
+       close_out oc
+     with
+    | () -> Printf.eprintf "[wrote %s]\n%!" folded
+    | exception Sys_error e ->
+        Printf.eprintf "komodo profile: cannot write %s: %s\n" folded e;
+        exit 2);
+    (match json_out with
+    | Some path ->
+        write_json_file path (profile_json ~label ~seed ~trials spans)
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a fixed-seed campaign with the hierarchical span recorder: \
+          print the aggregated span tree (modelled cycles, deterministic at \
+          any -j) and per-span quantiles, and write flamegraph folded stacks. \
+          Wallclock attribution is opt-in (--wall) and confined to the JSON \
+          output.")
+    Term.(
+      const run $ verbosity $ trials $ ops $ pseed $ ppages $ mode $ folded
+      $ json_out $ wall $ jobs_arg)
+
+(* -- bench --compare ------------------------------------------------------
+
+   Regression detector over the BENCH_*.json mirrors the bench
+   executable emits. Wallclock-derived metrics (seconds, rates,
+   speedups, calibrated floors) vary run to run and are skipped; every
+   other metric is modelled-cycle deterministic and must match the
+   baseline exactly (or within --tolerance). Exit 0 clean, 1 on
+   regression, 2 on schema/shape/IO problems. *)
+
+let bench_schema = "komodo-bench/1"
+
+let wallclock_patterns =
+  [
+    "second"; "speedup"; "floor"; "(s)"; "/sec"; "/s"; "cores"; "jobs measured";
+    "elapsed"; "calib"; "wall";
+  ]
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let is_wallclock_label s =
+  List.exists (fun pat -> contains_ci s pat) wallclock_patterns
+
+(* "181.6", "1.00x", "24.5%" -> numbers; "12/12" -> None (string compare). *)
+let cell_number s =
+  let s = String.trim s in
+  let n = String.length s in
+  let s = if n > 0 && (s.[n - 1] = 'x' || s.[n - 1] = '%') then String.sub s 0 (n - 1) else s in
+  float_of_string_opt s
+
+let within_tolerance ~tolerance b f =
+  Float.abs (f -. b) <= (tolerance *. Float.abs b) +. 1e-9
+
+let strings_of_json j =
+  Option.map (List.filter_map Json.to_string_opt) (Json.to_list_opt j)
+
+let table_of_json j =
+  match
+    ( Option.bind (Json.member "columns" j) strings_of_json,
+      Option.bind (Json.member "rows" j) Json.to_list_opt )
+  with
+  | Some cols, Some rows ->
+      let rows = List.filter_map strings_of_json rows in
+      Some (cols, rows)
+  | _ -> None
+
+let compare_tables ~tolerance ~file (bcols, brows) (fcols, frows) =
+  if bcols <> fcols then
+    ([ Printf.sprintf "%s: column set changed" file ], [])
+  else begin
+    let regs = ref [] in
+    let reg fmt = Printf.ksprintf (fun m -> regs := m :: !regs) fmt in
+    let label = function [] -> "" | l :: _ -> l in
+    List.iter
+      (fun brow ->
+        let lbl = label brow in
+        match List.find_opt (fun fr -> label fr = lbl) frows with
+        | None -> reg "%s: row %S missing from fresh results" file lbl
+        | Some frow ->
+            List.iteri
+              (fun i col ->
+                if i > 0 && not (is_wallclock_label col)
+                   && not (is_wallclock_label lbl)
+                then begin
+                  let b = try List.nth brow i with _ -> "" in
+                  let f = try List.nth frow i with _ -> "" in
+                  if b <> f then
+                    match (cell_number b, cell_number f) with
+                    | Some bn, Some fn when within_tolerance ~tolerance bn fn -> ()
+                    | _ -> reg "%s: %s / %s: %S -> %S" file lbl col b f
+                end)
+              bcols)
+      brows;
+    ([], List.rev !regs)
+  end
+
+let rec flatten_json prefix j acc =
+  match j with
+  | Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          flatten_json (if prefix = "" then k else prefix ^ "." ^ k) v acc)
+        acc kvs
+  | Json.List l ->
+      snd
+        (List.fold_left
+           (fun (i, acc) v ->
+             (i + 1, flatten_json (Printf.sprintf "%s[%d]" prefix i) v acc))
+           (0, acc) l)
+  | scalar -> (prefix, scalar) :: acc
+
+let compare_generic ~tolerance ~file base fresh =
+  let bkv = List.rev (flatten_json "" base []) in
+  let fkv = List.rev (flatten_json "" fresh []) in
+  let regs = ref [] in
+  let reg fmt = Printf.ksprintf (fun m -> regs := m :: !regs) fmt in
+  let scalar_str = function
+    | Json.Int n -> string_of_int n
+    | Json.Float f -> Printf.sprintf "%g" f
+    | Json.Str s -> Printf.sprintf "%S" s
+    | Json.Bool b -> string_of_bool b
+    | _ -> "null"
+  in
+  List.iter
+    (fun (path, bv) ->
+      if path <> "schema" && not (is_wallclock_label path) then
+        match List.assoc_opt path fkv with
+        | None -> reg "%s: %s missing from fresh results" file path
+        | Some fv ->
+            if not (Json.equal bv fv) then begin
+              let num = function
+                | Json.Int n -> Some (float_of_int n)
+                | Json.Float f -> Some f
+                | _ -> None
+              in
+              match (num bv, num fv) with
+              | Some bn, Some fn when within_tolerance ~tolerance bn fn -> ()
+              | _ ->
+                  reg "%s: %s: %s -> %s" file path (scalar_str bv)
+                    (scalar_str fv)
+            end)
+    bkv;
+  ([], List.rev !regs)
+
+let load_bench_json path =
+  match
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | s -> (
+      match Json.parse s with
+      | Error e -> Error e
+      | Ok j -> (
+          match Json.member "schema" j with
+          | Some (Json.Str v) when v = bench_schema -> Ok j
+          | Some (Json.Str v) ->
+              Error (Printf.sprintf "schema %S, expected %S" v bench_schema)
+          | _ -> Error (Printf.sprintf "missing schema field (expected %S)" bench_schema)))
+
+let compare_file ~tolerance ~fresh_dir ~baseline_dir name =
+  match load_bench_json (Filename.concat baseline_dir name) with
+  | Error e -> ([ Printf.sprintf "%s: baseline: %s" name e ], [])
+  | Ok base -> (
+      match load_bench_json (Filename.concat fresh_dir name) with
+      | Error e -> ([ Printf.sprintf "%s: fresh: %s" name e ], [])
+      | Ok fresh -> (
+          match (table_of_json base, table_of_json fresh) with
+          | Some bt, Some ft -> compare_tables ~tolerance ~file:name bt ft
+          | None, None -> compare_generic ~tolerance ~file:name base fresh
+          | _ -> ([ name ^ ": table/non-table shape changed" ], [])))
+
+let bench_cmd =
+  let compare_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "compare" ] ~docv:"DIR"
+          ~doc:"Baseline directory of committed BENCH_*.json files (e.g. bench/baseline).")
+  in
+  let fresh_dir =
+    Arg.(
+      value & opt dir "."
+      & info [ "fresh" ] ~docv:"DIR"
+          ~doc:"Directory holding freshly generated BENCH_*.json files (default: the working directory).")
+  in
+  let files =
+    Arg.(
+      value & opt_all string []
+      & info [ "file" ] ~docv:"NAME"
+          ~doc:"Compare only this file (repeatable); 'throughput' expands to BENCH_throughput.json.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Relative tolerance for numeric metrics (default 0: exact). \
+             Wallclock-derived metrics are always skipped.")
+  in
+  let run level compare_dir fresh_dir files tolerance =
+    setup_logs level;
+    match compare_dir with
+    | None ->
+        Printf.eprintf
+          "komodo bench: nothing to do — pass --compare DIR (the benchmarks \
+           themselves run via the bench executable: dune exec bench/main.exe)\n";
+        2
+    | Some baseline_dir ->
+        let names =
+          match files with
+          | [] ->
+              Sys.readdir baseline_dir |> Array.to_list
+              |> List.filter (fun f ->
+                     String.length f > 6
+                     && String.sub f 0 6 = "BENCH_"
+                     && Filename.check_suffix f ".json")
+              |> List.sort compare
+          | fs ->
+              List.map
+                (fun f ->
+                  if String.length f > 6 && String.sub f 0 6 = "BENCH_" then f
+                  else "BENCH_" ^ f ^ ".json")
+                fs
+        in
+        if names = [] then begin
+          Printf.eprintf "komodo bench: no BENCH_*.json files in %s\n" baseline_dir;
+          2
+        end
+        else begin
+          let errors = ref [] and regressions = ref [] in
+          List.iter
+            (fun name ->
+              let errs, regs =
+                compare_file ~tolerance ~fresh_dir ~baseline_dir name
+              in
+              errors := !errors @ errs;
+              regressions := !regressions @ regs;
+              if errs = [] && regs = [] then Printf.printf "%-36s ok\n" name)
+            names;
+          List.iter (fun m -> Printf.printf "ERROR: %s\n" m) !errors;
+          List.iter (fun m -> Printf.printf "REGRESSION: %s\n" m) !regressions;
+          if !errors <> [] then begin
+            Printf.printf "bench compare: %d file error(s)\n" (List.length !errors);
+            2
+          end
+          else if !regressions <> [] then begin
+            Printf.printf "bench compare: %d regression(s) against %s\n"
+              (List.length !regressions) baseline_dir;
+            1
+          end
+          else begin
+            Printf.printf "bench compare: %d file(s) match %s\n"
+              (List.length names) baseline_dir;
+            0
+          end
+        end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Compare freshly generated BENCH_*.json benchmark mirrors against a \
+          committed baseline directory, skipping wallclock-derived metrics. \
+          Exits 0 when clean, 1 on a metric regression, 2 on schema or IO \
+          problems.")
+    Term.(const run $ verbosity $ compare_dir $ fresh_dir $ files $ tolerance)
+
 let () =
   let info =
     Cmd.info "komodo" ~version:"1.0.0"
@@ -745,4 +1234,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; fault_cmd; inspect_cmd; notary_cmd; verify_cmd ]))
+          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; fault_cmd;
+            profile_cmd; bench_cmd; inspect_cmd; notary_cmd; verify_cmd ]))

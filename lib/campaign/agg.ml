@@ -46,6 +46,7 @@ let check ~(prefix : Diff.trial array) ~(failure : check_failure option) :
   let cover = covers (List.map (fun t -> t.Diff.t_cover) all) in
   let metrics = opt_metrics (List.map (fun t -> t.Diff.t_metrics) all) in
   let ops_run = List.fold_left (fun a t -> a + t.Diff.t_ops_run) 0 all in
+  let spans = List.concat_map (fun t -> t.Diff.t_spans) all in
   match failure with
   | None ->
       {
@@ -54,6 +55,7 @@ let check ~(prefix : Diff.trial array) ~(failure : check_failure option) :
         divergence = None;
         cover;
         metrics;
+        spans;
       }
   | Some f ->
       let shrunk, d = f.cf_shrunk in
@@ -63,6 +65,7 @@ let check ~(prefix : Diff.trial array) ~(failure : check_failure option) :
         divergence = Some (f.cf_seed, shrunk, d);
         cover;
         metrics;
+        spans;
       }
 
 (* -- fault campaigns ----------------------------------------------------- *)
@@ -84,6 +87,7 @@ let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
   let total_fops = sum (fun t -> t.Drive.t_fops_run) in
   let total_injections = sum (fun t -> t.Drive.t_injections) in
   let blackout = List.fold_left (fun a t -> max a t.Drive.t_blackout) 0 all in
+  let spans = List.concat_map (fun t -> t.Drive.t_spans) all in
   match failure with
   | None ->
       {
@@ -92,6 +96,7 @@ let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
         total_injections;
         blackout;
         violation = None;
+        spans;
       }
   | Some f ->
       let shrunk, v = f.ff_shrunk in
@@ -101,4 +106,5 @@ let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
         total_injections;
         blackout;
         violation = Some (f.ff_seed, shrunk, v);
+        spans;
       }

@@ -18,15 +18,20 @@ let resolve_jobs = function Some j when j > 0 -> j | _ -> default_jobs ()
 
 let label what tseed i = Printf.sprintf "%s trial %d (seed %d)" what i (tseed i)
 
-let check ?mutate ?npages ?ops_per_trial ?(metrics = false) ?jobs ~trials ~seed
-    () =
+let check ?mutate ?npages ?ops_per_trial ?(metrics = false) ?(profile = false)
+    ?clock ?progress ?jobs ~trials ~seed () =
   let jobs = resolve_jobs jobs in
   let tseed = trial_seed ~root:seed in
   let run i =
-    Diff.run_trial ?mutate ?npages ?ops_per_trial ~metrics ~seed:(tseed i) ()
+    Diff.run_trial ?mutate ?npages ?ops_per_trial ~metrics ~profile ?clock
+      ~seed:(tseed i) ()
   in
+  let on_trial = Option.map (fun p i t -> Progress.check_trial p i t) progress in
+  let finish r = Option.iter Progress.finish progress; r in
+  finish
+  @@
   match
-    Pool.run ~label:(label "check" tseed) ~jobs ~trials
+    Pool.run ~label:(label "check" tseed) ?on_trial ~jobs ~trials
       ~failed:(fun t -> t.Diff.t_divergence <> None)
       run
   with
@@ -47,14 +52,20 @@ let check ?mutate ?npages ?ops_per_trial ?(metrics = false) ?jobs ~trials ~seed
       Agg.check ~prefix
         ~failure:(Some { Agg.cf_index = index; cf_seed; cf_trial = failure; cf_shrunk })
 
-let fault ?npages ?ops_per_trial ?bug ?jobs ~faults ~trials ~seed () =
+let fault ?npages ?ops_per_trial ?(profile = false) ?clock ?progress ?bug ?jobs
+    ~faults ~trials ~seed () =
   let jobs = resolve_jobs jobs in
   let tseed = trial_seed ~root:seed in
   let run i =
-    Drive.run_trial ?npages ?ops_per_trial ?bug ~faults ~seed:(tseed i) ()
+    Drive.run_trial ?npages ?ops_per_trial ~profile ?clock ?bug ~faults
+      ~seed:(tseed i) ()
   in
+  let on_trial = Option.map (fun p i t -> Progress.fault_trial p i t) progress in
+  let finish r = Option.iter Progress.finish progress; r in
+  finish
+  @@
   match
-    Pool.run ~label:(label "fault" tseed) ~jobs ~trials
+    Pool.run ~label:(label "fault" tseed) ?on_trial ~jobs ~trials
       ~failed:(fun t -> t.Drive.t_violation <> None)
       run
   with

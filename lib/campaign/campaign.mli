@@ -25,6 +25,9 @@ val check :
   ?npages:int ->
   ?ops_per_trial:int ->
   ?metrics:bool ->
+  ?profile:bool ->
+  ?clock:Komodo_telemetry.Span.clock ->
+  ?progress:Progress.t ->
   ?jobs:int ->
   trials:int ->
   seed:int ->
@@ -32,7 +35,11 @@ val check :
   Komodo_spec.Diff.outcome
 (** The differential refinement campaign (`komodo check`). [metrics]
     collects a per-trial telemetry registry and merges them into
-    [outcome.metrics]. [jobs] defaults to {!default_jobs} (values
+    [outcome.metrics]. [profile] records per-trial span trees,
+    concatenated in index order into [outcome.spans] (clock-free unless
+    [clock] is given, hence identical at any [-j]). [progress] streams
+    per-trial observations to a reporter; it only observes, so reports
+    are unchanged. [jobs] defaults to {!default_jobs} (values
     [<= 0] also mean the default).
     @raise Pool.Trial_error if a trial raises (e.g. a prelude
     divergence), naming the lowest raising trial and its seed.
@@ -42,6 +49,9 @@ val check :
 val fault :
   ?npages:int ->
   ?ops_per_trial:int ->
+  ?profile:bool ->
+  ?clock:Komodo_telemetry.Span.clock ->
+  ?progress:Progress.t ->
   ?bug:Komodo_core.Monitor.bug ->
   ?jobs:int ->
   faults:Komodo_fault.Drive.fault_class list ->

@@ -43,7 +43,7 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
    (rendered in the worker — exception values need not cross domains). *)
 type 'a slot = Value of 'a | Raised of string
 
-let run ?label ~jobs ~trials ~failed run_trial =
+let run ?label ?on_trial ~jobs ~trials ~failed run_trial =
   let label =
     match label with Some f -> f | None -> Printf.sprintf "trial %d"
   in
@@ -53,6 +53,15 @@ let run ?label ~jobs ~trials ~failed run_trial =
     let results : 'a slot option array = Array.make trials None in
     let jobs = max 1 (min jobs trials) in
     let attempt i = try Value (run_trial i) with e -> Raised (Printexc.to_string e) in
+    (* Observation hook: fired after a trial's result is published, on
+       the domain that ran it. Must be thread-safe; must not affect
+       trial content (the report stays schedule-independent because
+       the hook only observes). *)
+    let observe i r =
+      match (on_trial, r) with
+      | Some f, Value a -> ( try f i a with _ -> ())
+      | _ -> ()
+    in
     let is_failure = function
       | Raised _ -> true
       | Value a -> failed a
@@ -64,6 +73,7 @@ let run ?label ~jobs ~trials ~failed run_trial =
         if i < trials then begin
           let r = attempt i in
           results.(i) <- Some r;
+          observe i r;
           if not (is_failure r) then go (i + 1)
         end
       in
@@ -81,6 +91,7 @@ let run ?label ~jobs ~trials ~failed run_trial =
         if i < trials && i <= Atomic.get bound then begin
           let r = attempt i in
           results.(i) <- Some r;
+          observe i r;
           if is_failure r then lower i;
           worker ()
         end

@@ -29,6 +29,7 @@ val default_jobs : unit -> int
 
 val run :
   ?label:(int -> string) ->
+  ?on_trial:(int -> 'a -> unit) ->
   jobs:int ->
   trials:int ->
   failed:('a -> bool) ->
@@ -38,6 +39,9 @@ val run :
     on [min jobs trials] domains ([jobs <= 1] runs in-process with
     identical semantics) and stops early once a failing index bounds
     the remaining work. [label] renders a trial for error messages
-    (callers include the derived seed).
+    (callers include the derived seed). [on_trial i r] is fired after
+    trial [i]'s result is published, on whichever domain ran it — it
+    must be thread-safe, it only observes (exceptions it raises are
+    swallowed), and it must not influence trial content.
     @raise Trial_error if a trial raises (lowest index wins).
     @raise Invalid_argument on a negative trial count. *)

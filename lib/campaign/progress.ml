@@ -1,0 +1,200 @@
+(* Streaming campaign observability: a mutex-protected reporter fed
+   from Pool's [on_trial] hook (any domain), emitting periodic
+   snapshots to a live stderr line and/or a JSONL mirror.
+
+   Strictly an observer: it never touches trial content or the campaign
+   report, so enabling it cannot perturb the byte-identical `-j 1` /
+   `-j N` contract. The clock is injected — the library takes no unix
+   dependency, and tests drive it with a fake clock for deterministic
+   snapshot streams. All wallclock-derived fields (elapsed, trials/s)
+   live only in the snapshots, never in campaign output. *)
+
+module Cover = Komodo_spec.Cover
+module Metrics = Komodo_telemetry.Metrics
+module Json = Komodo_telemetry.Json
+module Diff = Komodo_spec.Diff
+module Drive = Komodo_fault.Drive
+
+let schema = "komodo-progress/1"
+
+type t = {
+  now : unit -> float;
+  interval : float;
+  live : bool;
+  jsonl : out_channel option;
+  label : string;
+  total : int;
+  mu : Mutex.t;
+  started : float;
+  mutable trials_done : int;
+  mutable ops : int;
+  mutable failures : int;  (** divergences or violations seen *)
+  mutable injections : int;
+  mutable blackout : int;
+  mutable classes : (string * int) list;  (** fault-class armed counts *)
+  cover : Cover.t;
+  metrics : Metrics.t;  (** merged per-trial registries, when collected *)
+  mutable have_metrics : bool;
+  mutable last_emit : float;
+  mutable emitted : int;
+}
+
+let create ?(interval = 0.5) ?(live = false) ?jsonl ~now ~label ~total () =
+  {
+    now;
+    interval;
+    live;
+    jsonl;
+    label;
+    total;
+    mu = Mutex.create ();
+    started = now ();
+    trials_done = 0;
+    ops = 0;
+    failures = 0;
+    injections = 0;
+    blackout = 0;
+    classes = [];
+    cover = Cover.create ();
+    metrics = Metrics.create ();
+    have_metrics = false;
+    last_emit = neg_infinity;
+    emitted = 0;
+  }
+
+let covered l = List.length (List.filter (fun (_, n) -> n > 0) l)
+
+let merge_classes t cs =
+  if t.classes = [] then t.classes <- cs
+  else
+    t.classes <-
+      List.map
+        (fun (k, n) ->
+          (k, n + (try List.assoc k cs with Not_found -> 0)))
+        t.classes
+
+let snapshot_json t elapsed =
+  let tps = if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0. in
+  let base =
+    [
+      ("schema", Json.Str schema);
+      ("label", Json.Str t.label);
+      ("done", Json.Int t.trials_done);
+      ("total", Json.Int t.total);
+      ("elapsed_s", Json.Float elapsed);
+      ("trials_per_s", Json.Float tps);
+      ("ops", Json.Int t.ops);
+      ("failures", Json.Int t.failures);
+      ( "cover",
+        Json.Obj
+          [
+            ("smc_calls", Json.Int (covered (Cover.smc_covered t.cover)));
+            ("svc_calls", Json.Int (covered (Cover.svc_covered t.cover)));
+            ("errors", Json.Int (List.length (Cover.errors_covered t.cover)));
+            ("transitions", Json.Int (List.length (Cover.transitions t.cover)));
+          ] );
+    ]
+  in
+  let fault =
+    if t.classes = [] && t.injections = 0 && t.blackout = 0 then []
+    else
+      [
+        ("injections", Json.Int t.injections);
+        ("blackout", Json.Int t.blackout);
+        ( "fault_classes",
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.classes) );
+      ]
+  in
+  let cycles =
+    if not t.have_metrics then []
+    else
+      [
+        ( "cycles",
+          Json.Obj
+            (List.filter_map
+               (fun name ->
+                 match Metrics.stats t.metrics name with
+                 | None -> None
+                 | Some s ->
+                     Some
+                       ( name,
+                         Json.Obj
+                           [
+                             ("count", Json.Int s.Metrics.count);
+                             ("p50", Json.Int s.Metrics.p50);
+                             ("p90", Json.Int s.Metrics.p90);
+                             ("p99", Json.Int s.Metrics.p99);
+                             ("max", Json.Int s.Metrics.max);
+                           ] ))
+               (Metrics.call_names t.metrics)) );
+      ]
+  in
+  Json.Obj (base @ fault @ cycles)
+
+let live_line t elapsed =
+  let tps = if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0. in
+  let cover =
+    Printf.sprintf "cover smc %d svc %d"
+      (covered (Cover.smc_covered t.cover))
+      (covered (Cover.svc_covered t.cover))
+  in
+  let tail =
+    if t.injections > 0 || t.classes <> [] then
+      Printf.sprintf ", %d injections, blackout %d" t.injections t.blackout
+    else Printf.sprintf ", %d ops" t.ops
+  in
+  Printf.sprintf "\rkomodo %s: %d/%d trials, %.1f trials/s, %s%s" t.label
+    t.trials_done t.total tps cover tail
+
+(* Caller holds the mutex. *)
+let emit t ~final =
+  let now = t.now () in
+  if final || now -. t.last_emit >= t.interval || t.trials_done >= t.total
+  then begin
+    t.last_emit <- now;
+    t.emitted <- t.emitted + 1;
+    let elapsed = now -. t.started in
+    if t.live then begin
+      output_string stderr (live_line t elapsed);
+      if final then output_string stderr "\n";
+      flush stderr
+    end;
+    match t.jsonl with
+    | None -> ()
+    | Some oc ->
+        output_string oc (Json.to_string (snapshot_json t elapsed));
+        output_char oc '\n';
+        if final then flush oc
+  end
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let check_trial t _index (tr : Diff.trial) =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.ops <- t.ops + tr.Diff.t_ops_run;
+      if tr.Diff.t_divergence <> None then t.failures <- t.failures + 1;
+      Cover.merge_into t.cover tr.Diff.t_cover;
+      (match tr.Diff.t_metrics with
+      | None -> ()
+      | Some m ->
+          t.have_metrics <- true;
+          Metrics.merge_into t.metrics m);
+      emit t ~final:false)
+
+let fault_trial t _index (tr : Drive.trial) =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.ops <- t.ops + tr.Drive.t_fops_run;
+      t.injections <- t.injections + tr.Drive.t_injections;
+      t.blackout <- max t.blackout tr.Drive.t_blackout;
+      merge_classes t tr.Drive.t_classes;
+      if tr.Drive.t_violation <> None then t.failures <- t.failures + 1;
+      emit t ~final:false)
+
+let finish t =
+  locked t (fun () -> emit t ~final:true)
+
+let snapshots t = locked t (fun () -> t.emitted)

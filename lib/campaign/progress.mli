@@ -1,0 +1,45 @@
+(** Streaming campaign observability.
+
+    A reporter fed from {!Pool}'s [on_trial] hook: each completed trial
+    updates shared counters (trials/sec, coverage growth, fault-class
+    hit counts, merged per-call cycle histograms when the campaign
+    collects metrics) under a mutex, and periodic snapshots go to a
+    live [\r]-rewritten stderr line and/or a JSONL mirror, one
+    ["komodo-progress/1"] object per line.
+
+    The reporter only observes: it never influences trial content or
+    the campaign report, so `-j 1` / `-j N` stdout stays byte-identical
+    with progress on. The clock is injected (no unix dependency here);
+    wallclock-derived fields exist only inside snapshots. *)
+
+val schema : string
+(** The snapshot schema tag, ["komodo-progress/1"]. *)
+
+type t
+
+val create :
+  ?interval:float ->
+  ?live:bool ->
+  ?jsonl:out_channel ->
+  now:(unit -> float) ->
+  label:string ->
+  total:int ->
+  unit ->
+  t
+(** [interval] is the minimum seconds between emitted snapshots
+    (default 0.5; 0 emits one per trial); [live] renders the stderr
+    line; [jsonl] mirrors snapshots to a channel (flushed on
+    {!finish}). [now] supplies wallclock seconds. *)
+
+val check_trial : t -> int -> Komodo_spec.Diff.trial -> unit
+(** Fold one finished differential trial in; thread-safe, made to be
+    passed as [Pool.run ~on_trial]. *)
+
+val fault_trial : t -> int -> Komodo_fault.Drive.trial -> unit
+
+val finish : t -> unit
+(** Emit a final snapshot unconditionally, terminate the live line,
+    flush the JSONL channel. *)
+
+val snapshots : t -> int
+(** Snapshots emitted so far (tests). *)

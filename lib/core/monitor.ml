@@ -64,6 +64,10 @@ type t = {
           instrumentation site a single branch: no events are built,
           no cycles charged, and the verified-path semantics are
           unchanged. *)
+  spans : Komodo_telemetry.Span.recorder;
+      (** Span recorder for the hierarchical profiler; shared, mutable,
+          and {!Komodo_telemetry.Span.null} by default — profiling off
+          is one branch per site, like the sink. *)
   inject : (phase -> t -> t) option;
       (** Fault-injection hook, fired at every {!phase} boundary. The
           injector may only do what the threat model allows the
@@ -76,7 +80,7 @@ type t = {
 }
 
 let of_boot ?(optimised = false) ?(sink = Komodo_telemetry.Sink.null)
-    (b : Komodo_tz.Boot.t) =
+    ?(spans = Komodo_telemetry.Span.null) (b : Komodo_tz.Boot.t) =
   {
     mach = b.Komodo_tz.Boot.state;
     pagedb = Pagedb.make ~npages:b.Komodo_tz.Boot.plat.Platform.npages;
@@ -85,6 +89,7 @@ let of_boot ?(optimised = false) ?(sink = Komodo_telemetry.Sink.null)
     rng = b.Komodo_tz.Boot.rng;
     optimised;
     sink;
+    spans;
     inject = None;
     bug = None;
   }
@@ -106,6 +111,31 @@ let telemetry_on t = not (Komodo_telemetry.Sink.is_null t.sink)
     a side effect of the shared sink and charges no modelled cycles. *)
 let emit t ev =
   Komodo_telemetry.Sink.emit t.sink { Komodo_telemetry.Event.at = cycles t; ev }
+
+(* -- Spans -------------------------------------------------------------- *)
+
+module Span = Komodo_telemetry.Span
+
+(** Guard for span sites: when false (the null recorder), every helper
+    below is one branch — no frames, no allocation, no cycles. *)
+let spans_on t = not (Span.is_null t.spans)
+
+let span_enter t name =
+  if spans_on t then Span.enter t.spans ~name ~cycles:(cycles t)
+
+let span_exit t = if spans_on t then Span.exit_ t.spans ~cycles:(cycles t)
+
+(** Close the open span and start a sibling — a handler's
+    validate-to-commit transition. *)
+let span_mark t name =
+  if spans_on t then Span.mark t.spans ~name ~cycles:(cycles t)
+
+let span_depth t = Span.depth t.spans
+
+(** Unwind to a depth snapshot taken at handler entry; robust across
+    error-path early returns that skipped interior exits. *)
+let span_exit_to t d =
+  if spans_on t then Span.exit_to t.spans ~depth:d ~cycles:(cycles t)
 
 (* -- Secure-page access ------------------------------------------------ *)
 
@@ -172,10 +202,15 @@ let install_l1e t ~l1pt ~l2pt ~i1 =
 
 (** Read the second-level table page for [va] out of [l1pt], if present. *)
 let l2pt_for t ~l1pt va =
+  span_enter t "ptwalk";
   let l1e = load_page_word t l1pt (Ptable.l1_index va) in
-  match Ptable.decode_l1e l1e with
-  | None -> None
-  | Some l2_base -> Platform.page_of_pa t.plat l2_base
+  let r =
+    match Ptable.decode_l1e l1e with
+    | None -> None
+    | Some l2_base -> Platform.page_of_pa t.plat l2_base
+  in
+  span_exit t;
+  r
 
 let read_l2e t ~l2pt va = load_page_word t l2pt (Ptable.l2_index va)
 

@@ -42,6 +42,9 @@ type t = {
       (** Telemetry sink for the instrumented hot paths; the default
           null sink makes instrumentation a single branch with no
           allocation and no modelled-cycle cost. *)
+  spans : Komodo_telemetry.Span.recorder;
+      (** Shared mutable span recorder for the hierarchical profiler;
+          the default null recorder costs one branch per site. *)
   inject : (phase -> t -> t) option;
       (** Fault-injection hook fired at every phase boundary; [None]
           (the default) is fault-free execution. The injector is bound
@@ -50,7 +53,12 @@ type t = {
   bug : bug option;  (** re-enabled partial-mutation bug; [None] = correct *)
 }
 
-val of_boot : ?optimised:bool -> ?sink:Komodo_telemetry.Sink.t -> Komodo_tz.Boot.t -> t
+val of_boot :
+  ?optimised:bool ->
+  ?sink:Komodo_telemetry.Sink.t ->
+  ?spans:Komodo_telemetry.Span.recorder ->
+  Komodo_tz.Boot.t ->
+  t
 
 val phase : t -> phase -> t
 (** Fire the fault-injection hook at a phase boundary (identity when no
@@ -67,6 +75,22 @@ val telemetry_on : t -> bool
 val emit : t -> Komodo_telemetry.Event.t -> unit
 (** Emit one event stamped with the current cycle counter. Side effect
     of the shared sink; charges no modelled cycles. *)
+
+(* Spans: hierarchical profiling hooks. All are single-branch no-ops
+   when the recorder is null; none charges modelled cycles. *)
+
+val spans_on : t -> bool
+val span_enter : t -> string -> unit
+val span_exit : t -> unit
+
+val span_mark : t -> string -> unit
+(** Close the open span and start a same-depth sibling (the
+    validate-to-commit transition inside a handler). *)
+
+val span_depth : t -> int
+val span_exit_to : t -> int -> unit
+(** Unwind to a depth snapshot taken at handler entry — robust across
+    error-path early returns. *)
 
 (* Secure-page access *)
 

@@ -55,8 +55,12 @@ let fail err t = (t, err, Word.zero)
    state the environment cannot touch, so they survive the hook. *)
 
 (** Fire the commit-point injection hook, then run the commit [k] — the
-    handler's single atomic mutation. *)
-let commit ~call t k = k (Monitor.phase t (Monitor.Ph_commit { smc = true; call }))
+    handler's single atomic mutation. The profiler's validate span ends
+    here and the commit span opens. *)
+let commit ~call t k =
+  let t = Monitor.phase t (Monitor.Ph_commit { smc = true; call }) in
+  Monitor.span_mark t "commit";
+  k t
 
 (* -- Construction calls ------------------------------------------------- *)
 
@@ -112,7 +116,10 @@ let init_thread (t : Monitor.t) =
                    fault_ctx = None;
                  })
           in
+          Monitor.span_enter t "hash";
           let measurement = Measure.add_thread a.Pagedb.measurement ~entry_point:entry in
+          let t = Monitor.charge (Measure.extend_cycles ~content_bytes:0) t in
+          Monitor.span_exit t;
           let db =
             Pagedb.set db as_pg
               (Pagedb.Addrspace
@@ -122,7 +129,7 @@ let init_thread (t : Monitor.t) =
                    refcount = a.Pagedb.refcount + 1;
                  })
           in
-          let t = Monitor.charge (Measure.extend_cycles ~content_bytes:0 + 20) t in
+          let t = Monitor.charge 20 t in
           ok Word.zero { t with Monitor.pagedb = db })
 
 let init_l2ptable (t : Monitor.t) =
@@ -214,11 +221,21 @@ let map_secure (t : Monitor.t) =
                     | None ->
                         commit ~call:sm_map_secure t @@ fun t ->
                         let t = fill t in
+                        (* The measurement hash and its cycle charge sit
+                           together inside one span so the profiler
+                           attributes the extend cost to "hash". *)
+                        Monitor.span_enter t "hash";
                         let measurement =
                           Measure.add_data_page_mem a.Pagedb.measurement ~mapping
                             ~mem:t.Monitor.mach.State.mem
                             ~pa:(Monitor.page_pa t data_pg)
                         in
+                        let t =
+                          Monitor.charge
+                            (Measure.extend_cycles ~content_bytes:Ptable.page_size)
+                            t
+                        in
+                        Monitor.span_exit t;
                         let db =
                           Pagedb.alloc t.Monitor.pagedb data_pg
                             (Pagedb.DataPage { addrspace = as_pg })
@@ -238,11 +255,6 @@ let map_secure (t : Monitor.t) =
                             mapping.Mapping.perms
                         in
                         let t = Monitor.write_l2e t ~l2pt mapping.Mapping.va pte in
-                        let t =
-                          Monitor.charge
-                            (Measure.extend_cycles ~content_bytes:Ptable.page_size)
-                            t
-                        in
                         ok Word.zero t))))
 
 let map_insecure (t : Monitor.t) =
@@ -283,13 +295,15 @@ let finalise (t : Monitor.t) =
   | Error e -> fail e t
   | Ok (as_pg, a) ->
       commit ~call:sm_finalise t @@ fun t ->
+      Monitor.span_enter t "hash";
       let measurement = Measure.finalise a.Pagedb.measurement in
+      let t = Monitor.charge Measure.finalise_cycles t in
+      Monitor.span_exit t;
       let db =
         Pagedb.set t.Monitor.pagedb as_pg
           (Pagedb.Addrspace { a with Pagedb.state = Pagedb.Final; measurement })
       in
-      let t = Monitor.charge Measure.finalise_cycles { t with Monitor.pagedb = db } in
-      ok Word.zero t
+      ok Word.zero { t with Monitor.pagedb = db }
 
 let stop (t : Monitor.t) =
   let as_w = Monitor.arg t 1 in
@@ -457,10 +471,12 @@ let rec execution_loop ~(exec : Uexec.t) (t : Monitor.t) ~th_pg ~th ~entry_va ~s
                    v = t.Monitor.mach.State.cpsr.Psr.v } in
   let mach = { t.Monitor.mach with State.cpsr = user_psr } in
   let t = { t with Monitor.mach = mach } in
+  Monitor.span_enter t "exec";
   let { Uexec.mach; event } = exec.Uexec.run t.Monitor.mach ~entry_va ~start_pc ~iter in
   (* The exception traps back to privileged mode, banking the user PC. *)
   let mach = State.take_exception mach (exec_event_to_exn event) ~return_pc:mach.State.upc in
   let t = { t with Monitor.mach = mach } in
+  Monitor.span_exit t;
   let traced = Monitor.telemetry_on t in
   if traced then
     Monitor.emit t (Komodo_telemetry.Event.Exception { kind = exec_event_kind event });
@@ -706,6 +722,12 @@ let handle ?(exec = Uexec.concrete ()) (t : Monitor.t) =
     Monitor.emit t
       (Komodo_telemetry.Event.Smc_entry
          { call; name = call_name call; args = List.map Word.to_int args });
+  (* Profiling: the whole handler is one span; validation runs until
+     the handler's [commit] marks the transition. Depth is snapshotted
+     so error returns that skip the commit still unwind cleanly. *)
+  let sdepth = Monitor.span_depth t in
+  Monitor.span_enter t ("smc." ^ call_name call);
+  Monitor.span_enter t "validate";
   let t, err, retval = dispatch ~exec t in
   Log.debug (fun m ->
       m "%s(%s) -> %s, %a" (call_name call)
@@ -725,6 +747,7 @@ let handle ?(exec = Uexec.concrete ()) (t : Monitor.t) =
   let t = { t with Monitor.mach = { t.Monitor.mach with State.scr_ns = true } } in
   let mach, _pc = State.exception_return t.Monitor.mach in
   let t = { t with Monitor.mach = mach } in
+  Monitor.span_exit_to t sdepth;
   if traced then begin
     (* Page retypings at SMC granularity; inside Enter/Resume the SVC
        handler has already reported its own, so skip the outer diff. *)

@@ -72,8 +72,12 @@ let set_results t err values =
    of the return discipline, not enclave state, so setting them on an
    error path does not break atomicity. *)
 
-(** Fire the commit-point injection hook, then run the commit [k]. *)
-let commit ~call t k = k (Monitor.phase t (Monitor.Ph_commit { smc = false; call }))
+(** Fire the commit-point injection hook, then run the commit [k]. The
+    profiler's validate span ends here and the commit span opens. *)
+let commit ~call t k =
+  let t = Monitor.phase t (Monitor.Ph_commit { smc = false; call }) in
+  Monitor.span_mark t "commit";
+  k t
 
 let get_random (t : Monitor.t) =
   (* A drained entropy source is a defined error, not a trap: the
@@ -98,11 +102,13 @@ let attest (t : Monitor.t) ~cur_asp =
       | None -> (set_results t Errors.Not_final [], Errors.Not_final)
       | Some measurement ->
           commit ~call:sv_attest t @@ fun t ->
+          Monitor.span_enter t "hash";
           let data =
             Sha256.digest_of_words (List.init 8 (fun i -> ureg t (i + 1)))
           in
           let mac = Attest.create ~key:t.Monitor.attest_key ~measurement ~data in
           let t = Monitor.charge Attest.mac_cycles t in
+          Monitor.span_exit t;
           ( set_results t Errors.Success (Sha256.digest_words_of mac),
             Errors.Success ))
   | _ -> (set_results t Errors.Invalid_addrspace [], Errors.Invalid_addrspace)
@@ -131,8 +137,10 @@ let verify (t : Monitor.t) =
       let data = Sha256.digest_of_words (take 8 ws) in
       let measurement = Sha256.digest_of_words (take 8 (drop 8 ws)) in
       let mac = Sha256.digest_of_words (drop 16 ws) in
+      Monitor.span_enter t "hash";
       let ok = Attest.verify ~key:t.Monitor.attest_key ~measurement ~data ~mac in
       let t = Monitor.charge (Attest.verify_cycles + (24 * Cost.mem_access)) t in
+      Monitor.span_exit t;
       ( set_results t Errors.Success [ (if ok then Word.one else Word.zero) ],
         Errors.Success )
 
@@ -284,6 +292,9 @@ let handle (t : Monitor.t) ~cur_asp ~cur_thread =
   let entry_cycles = Monitor.cycles t and db0 = t.Monitor.pagedb in
   if traced then
     Monitor.emit t (Komodo_telemetry.Event.Svc_entry { call; name = call_name call });
+  let sdepth = Monitor.span_depth t in
+  Monitor.span_enter t ("svc." ^ call_name call);
+  Monitor.span_enter t "validate";
   let t, err =
     if call = sv_get_random then get_random t
     else if call = sv_attest then attest t ~cur_asp
@@ -295,6 +306,7 @@ let handle (t : Monitor.t) ~cur_asp ~cur_thread =
     else (set_results t Errors.Invalid_arg [], Errors.Invalid_arg)
   in
   let t = Monitor.charge Cost.exception_return t in
+  Monitor.span_exit_to t sdepth;
   if traced then begin
     List.iter
       (fun (page, from_type, to_type) ->

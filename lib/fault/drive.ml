@@ -26,6 +26,7 @@ module Os = Komodo_os.Os
 module Aspec = Komodo_spec.Aspec
 module Diff = Komodo_spec.Diff
 module Json = Komodo_telemetry.Json
+module Span = Komodo_telemetry.Span
 
 type fault_class = F_irq | F_mem | F_rng | F_storm | F_crash
 
@@ -313,25 +314,66 @@ type trial = {
   t_fops_run : int;
   t_injections : int;
   t_blackout : int;
+  t_classes : (string * int) list;
+  t_spans : Span.node list;
   t_violation : violation option;
 }
 
-let run_trial ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~seed () =
-  let w = Diff.make_world ~npages ~seed () in
+(* Armed-plan attribution for the progress reporter: which fault class
+   produced each plan item. Storms are malformed *ops*, not injections,
+   so they never appear here. *)
+let class_of_action = function
+  | Inject.Irq | Inject.Fiq -> F_irq
+  | Inject.Mem_write _ -> F_mem
+  | Inject.Rng_reseed _ | Inject.Rng_exhaust -> F_rng
+
+let class_counts fops =
+  let counts = Array.make (List.length all_classes) 0 in
+  let bump c =
+    let i = ref 0 in
+    List.iteri (fun k c' -> if c' = c then i := k) all_classes;
+    counts.(!i) <- counts.(!i) + 1
+  in
+  List.iter
+    (function
+      | Crash _ -> bump F_crash
+      | Op { inj; _ } ->
+          List.iter (fun it -> bump (class_of_action it.Inject.action)) inj)
+    fops;
+  List.mapi (fun i c -> (class_name c, counts.(i))) all_classes
+
+let no_classes = List.map (fun c -> (class_name c, 0)) all_classes
+
+let run_trial ?(npages = 40) ?(ops_per_trial = 40) ?(profile = false) ?clock
+    ?bug ~faults ~seed () =
+  let recorder = if profile then Span.create ?clock () else Span.null in
+  let spans = if profile then Some recorder else None in
+  let w = Diff.make_world ~npages ?spans ~seed () in
   let campaign = gen_fops w ~faults ~seed ~n:ops_per_trial in
-  match run_fops ?bug w campaign with
+  let r = run_fops ?bug w campaign in
+  let t_spans = Span.roots recorder in
+  match r with
   | Ok st ->
       {
         t_fops_run = st.fops_run;
         t_injections = st.injections;
         t_blackout = st.worst_blackout;
+        t_classes = class_counts campaign;
+        t_spans;
         t_violation = None;
       }
   | Error v ->
       (* A violating trial contributes only its pre-violation fop count
          to the campaign totals — injections and blackout stay out of
          the report, exactly as the sequential driver always counted. *)
-      { t_fops_run = v.index; t_injections = 0; t_blackout = 0; t_violation = Some v }
+      {
+        t_fops_run = v.index;
+        t_injections = 0;
+        t_blackout = 0;
+        t_classes = no_classes;
+        t_spans;
+        t_violation = Some v;
+      }
 
 let shrink_trial ?(npages = 40) ?(ops_per_trial = 40) ?bug ~faults ~seed () =
   let w = Diff.make_world ~npages ~seed () in
@@ -348,6 +390,8 @@ type outcome = {
   total_injections : int;
   blackout : int;
   violation : (int * fop list * violation) option;
+  spans : Span.node list;
+      (** per-trial span trees concatenated in trial-index order *)
 }
 
 (* -- replay traces ------------------------------------------------------ *)

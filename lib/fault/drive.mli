@@ -24,6 +24,7 @@
 
 module Monitor = Komodo_core.Monitor
 module Diff = Komodo_spec.Diff
+module Span = Komodo_telemetry.Span
 
 (** The five fault classes of the campaign generator. *)
 type fault_class =
@@ -80,18 +81,28 @@ type trial = {
       (** fops stepped; on violation, only those before it *)
   t_injections : int;  (** 0 on a violating trial (report convention) *)
   t_blackout : int;  (** 0 on a violating trial *)
+  t_classes : (string * int) list;
+      (** armed plan items per fault class (crash fops under ["crash"];
+          storms are malformed ops, not injections, so ["storm"] stays
+          0); all-zero on a violating trial *)
+  t_spans : Span.node list;
+      (** per-trial profile spans ([[]] unless profiling) *)
   t_violation : violation option;
 }
 
 val run_trial :
   ?npages:int ->
   ?ops_per_trial:int ->
+  ?profile:bool ->
+  ?clock:Span.clock ->
   ?bug:Monitor.bug ->
   faults:fault_class list ->
   seed:int ->
   unit ->
   trial
-(** Run one fault-decorated trial, deterministically from [seed]. *)
+(** Run one fault-decorated trial, deterministically from [seed].
+    [profile] records a span tree into [t_spans]; without [clock] the
+    tree is a pure function of the seed. *)
 
 val shrink_trial :
   ?npages:int ->
@@ -111,6 +122,8 @@ type outcome = {
   blackout : int;  (** worst over all trials, cycles *)
   violation : (int * fop list * violation) option;
       (** trial seed, shrunk campaign, violation *)
+  spans : Span.node list;
+      (** per-trial span trees concatenated in trial-index order *)
 }
 (** A whole-campaign report, assembled by the campaign engine's
     reducer with sequential semantics (lowest failing index wins). *)

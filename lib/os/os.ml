@@ -29,14 +29,15 @@ let staging_base = Word.of_int 0x1000_0000 (* MapSecure initial contents *)
 let document_base = Word.of_int 0x0200_0000 (* large input buffers *)
 let shared_base = Word.of_int 0x0300_0000 (* enclave <-> OS shared pages *)
 
-let boot ?seed ?npages ?optimised ?sink ?(exec = Komodo_user.Verifier.executor ()) () =
+let boot ?seed ?npages ?optimised ?sink ?spans
+    ?(exec = Komodo_user.Verifier.executor ()) () =
   let plat =
     match npages with
     | None -> Platform.default
     | Some npages -> Platform.make ~npages ()
   in
   let b = Boot.boot ?seed ~plat () in
-  let mon = Monitor.of_boot ?optimised ?sink b in
+  let mon = Monitor.of_boot ?optimised ?sink ?spans b in
   { mon; alloc = Alloc.make ~npages:plat.Platform.npages; exec }
 
 (** Raised when normal-world software touches TrustZone-protected
@@ -208,4 +209,7 @@ let teardown t ~addrspace =
   in
   let t, e = remove t ~page:addrspace in
   note e;
+  (* Teardown is a quiesce point: drain any buffered trace backend so
+     the lifecycle tail is on disk even if the process exits next. *)
+  Komodo_telemetry.Sink.flush t.mon.Monitor.sink;
   (t, !worst)

@@ -31,12 +31,14 @@ val boot :
   ?npages:int ->
   ?optimised:bool ->
   ?sink:Komodo_telemetry.Sink.t ->
+  ?spans:Komodo_telemetry.Span.recorder ->
   ?exec:Uexec.t ->
   unit ->
   t
 (** Boot the platform (bootloader then normal world). The default
     executor has both native services (notary, verifier) registered;
-    [sink] attaches a telemetry sink to the monitor (default: null). *)
+    [sink] attaches a telemetry sink and [spans] a span recorder to
+    the monitor (defaults: null — zero-cost). *)
 
 exception Protected of Word.t
 (** Normal-world software touched TrustZone-protected memory. *)
@@ -85,4 +87,5 @@ val crash_reboot : ?seed:int -> t -> t
 val teardown : t -> addrspace:int -> t * Errors.t
 (** Stop the enclave, Remove every owned page, then Remove the
     address-space page itself; returns the first non-success error.
-    The tail of the lifecycle the telemetry audit log checks. *)
+    The tail of the lifecycle the telemetry audit log checks. Flushes
+    the monitor's telemetry sink (trace files are complete on disk). *)

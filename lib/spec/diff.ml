@@ -8,6 +8,7 @@ module Uprog = Komodo_user.Uprog
 module Progs = Komodo_user.Progs
 module Attacks = Komodo_sec.Attacks
 module Metrics = Komodo_telemetry.Metrics
+module Span = Komodo_telemetry.Span
 
 type op =
   | Smc of { call : int; args : int list; budget : int option }
@@ -152,8 +153,19 @@ let reconcile spec' impl_abs (p : Aspec.pending) =
 
 (* -- one lockstep op ----------------------------------------------------- *)
 
-let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
-    ?rng_exhausted rs index op : (rstate, divergence) result =
+(* The abstraction function under an "abs" profiling span. It charges
+   no modelled cycles (it is checker machinery, not monitor work), so
+   the span's payload is its wallclock attribution and call count. *)
+let abs_span rs (os' : Os.t) =
+  let mon = os'.Os.mon in
+  Monitor.span_enter mon "abs";
+  let a = Abs.abs ~cache:rs.abs_cache mon in
+  Monitor.span_exit mon;
+  a
+
+let apply_op_checked ?mutate ?cover ?(opaque_contents = false)
+    ?(opaque_probe = false) ?rng_exhausted rs index op :
+    (rstate, divergence) result =
   let diverge reason = Error { index; op; reason } in
   match op with
   | Write_ins { addr; value } -> (
@@ -221,7 +233,7 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
                         Cover.record_svc c ~call:sv ~err:svc_err
                     | _ -> ())
                 | _ -> ());
-                let impl_abs = Abs.abs ~cache:rs.abs_cache os'.Os.mon in
+                let impl_abs = abs_span rs os' in
                 match Astate.diff spec' impl_abs with
                 | [] -> finish spec'
                 | diffs -> diverge (page_diff_reason "state divergence" diffs)
@@ -235,7 +247,7 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
                        (Aspec.smc_name call) (Aspec.err_name ew) ew)
               | Some outcome -> (
                   let spec' = Aspec.resolve rs.spec p ~outcome in
-                  let impl_abs = Abs.abs ~cache:rs.abs_cache os'.Os.mon in
+                  let impl_abs = abs_span rs os' in
                   match reconcile spec' impl_abs p with
                   | Error reason -> diverge reason
                   | Ok spec_final -> (
@@ -243,6 +255,34 @@ let apply_op ?mutate ?cover ?(opaque_contents = false) ?(opaque_probe = false)
                       | [] -> finish spec_final
                       | diffs ->
                           diverge (page_diff_reason "post-reconcile divergence" diffs))))))
+
+(** One lockstep op, wrapped in an op-level profiling span when the
+    world's monitor carries a live recorder (single branch otherwise).
+    Depth is snapshotted so a diverging op unwinds cleanly. *)
+let apply_op ?mutate ?cover ?opaque_contents ?opaque_probe ?rng_exhausted rs
+    index op =
+  let mon = rs.os.Os.mon in
+  if not (Monitor.spans_on mon) then
+    apply_op_checked ?mutate ?cover ?opaque_contents ?opaque_probe
+      ?rng_exhausted rs index op
+  else begin
+    let sdepth = Monitor.span_depth mon in
+    let name =
+      match op with
+      | Smc { call; _ } -> "op." ^ Aspec.smc_name call
+      | Write_ins _ -> "op.write_ins"
+    in
+    Monitor.span_enter mon name;
+    let r =
+      apply_op_checked ?mutate ?cover ?opaque_contents ?opaque_probe
+        ?rng_exhausted rs index op
+    in
+    (* The shared recorder is reachable through any monitor copy; use
+       the post-op one for the closing cycle stamp when the op landed. *)
+    let mon' = match r with Ok rs' -> rs'.os.Os.mon | Error _ -> mon in
+    Monitor.span_exit_to mon' sdepth;
+    r
+  end
 
 (* -- the prelude --------------------------------------------------------- *)
 
@@ -284,8 +324,8 @@ let prelude_ops () =
 
 let page_image prog = List.hd (Uprog.to_page_images (Uprog.code_words prog))
 
-let make_world ?mutate ?(npages = 40) ?sink ~seed () =
-  let os = Os.boot ~seed ~npages ?sink () in
+let make_world ?mutate ?(npages = 40) ?sink ?spans ~seed () =
+  let os = Os.boot ~seed ~npages ?sink ?spans () in
   let staging = Os.staging_base in
   let stage os off prog =
     Os.write_bytes os (Word.add staging (Word.of_int off)) (page_image prog)
@@ -516,22 +556,35 @@ type trial = {
   t_ops_run : int;
   t_cover : Cover.t;
   t_metrics : Metrics.t option;
+  t_spans : Span.node list;
   t_divergence : divergence option;
 }
 
 let run_trial ?mutate ?(npages = 40) ?(ops_per_trial = 40) ?(metrics = false)
-    ~seed () =
+    ?(profile = false) ?clock ~seed () =
   let reg = if metrics then Some (Metrics.create ()) else None in
   let sink = Option.map Metrics.sink reg in
-  let w = make_world ?mutate ~npages ?sink ~seed () in
+  (* Clock-free by default: without [clock] the recorded tree is a pure
+     function of the seed (wallclock fields are 0), which is what makes
+     profile output deterministic across -j levels. *)
+  let spans = if profile then Some (Span.create ?clock ()) else None in
+  let w = make_world ?mutate ~npages ?sink ?spans ~seed () in
   let cover = Cover.create () in
   Cover.merge_into cover (world_cover w);
   let ops = gen_ops w ~seed ~n:ops_per_trial in
-  match run_ops ~cover w ops with
+  let result = run_ops ~cover w ops in
+  let t_spans = match spans with None -> [] | Some r -> Span.roots r in
+  match result with
   | Ok ran ->
-      { t_ops_run = ran; t_cover = cover; t_metrics = reg; t_divergence = None }
+      { t_ops_run = ran; t_cover = cover; t_metrics = reg; t_spans; t_divergence = None }
   | Error d ->
-      { t_ops_run = d.index; t_cover = cover; t_metrics = reg; t_divergence = Some d }
+      {
+        t_ops_run = d.index;
+        t_cover = cover;
+        t_metrics = reg;
+        t_spans;
+        t_divergence = Some d;
+      }
 
 let shrink_trial ?mutate ?(npages = 40) ?(ops_per_trial = 40) ~seed () =
   let w = make_world ?mutate ~npages ~seed () in
@@ -544,4 +597,5 @@ type outcome = {
   divergence : (int * op list * divergence) option;
   cover : Cover.t;
   metrics : Metrics.t option;
+  spans : Span.node list;
 }

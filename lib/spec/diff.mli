@@ -53,6 +53,7 @@ val make_world :
   ?mutate:Aspec.mutation ->
   ?npages:int ->
   ?sink:Komodo_telemetry.Sink.t ->
+  ?spans:Komodo_telemetry.Span.recorder ->
   seed:int ->
   unit ->
   world
@@ -60,7 +61,9 @@ val make_world :
     lockstep pipeline. The prelude always runs against the unmutated
     spec — a [mutate] flag applies to the generated phase only.
     [sink] attaches a telemetry sink to the booted monitor (a metrics
-    registry, when the campaign engine is asked to collect one).
+    registry, when the campaign engine is asked to collect one);
+    [spans] attaches a span recorder, profiling the prelude and every
+    subsequent op through this world.
     @raise Failure if the prelude itself diverges. *)
 
 val world_cover : world -> Cover.t
@@ -127,6 +130,8 @@ type trial = {
   t_cover : Cover.t;  (** prelude + generated-phase coverage *)
   t_metrics : Komodo_telemetry.Metrics.t option;
       (** per-trial telemetry registry, when requested *)
+  t_spans : Komodo_telemetry.Span.node list;
+      (** per-trial profile spans ([[]] unless profiling) *)
   t_divergence : divergence option;
 }
 
@@ -135,12 +140,17 @@ val run_trial :
   ?npages:int ->
   ?ops_per_trial:int ->
   ?metrics:bool ->
+  ?profile:bool ->
+  ?clock:Komodo_telemetry.Span.clock ->
   seed:int ->
   unit ->
   trial
 (** Run one differential trial, deterministically from [seed]. No
     shrinking — a campaign shrinks only its lowest failing trial, once,
-    on one domain (see {!shrink_trial}). *)
+    on one domain (see {!shrink_trial}). [profile] records a span tree
+    into [t_spans]; without [clock] it is a pure function of the seed
+    (wallclock fields 0), so profiles diff identically across [-j]
+    levels. *)
 
 val shrink_trial :
   ?mutate:Aspec.mutation ->
@@ -160,6 +170,9 @@ type outcome = {
   cover : Cover.t;
   metrics : Komodo_telemetry.Metrics.t option;
       (** merged per-trial registries, when collected *)
+  spans : Komodo_telemetry.Span.node list;
+      (** per-trial span trees concatenated in trial-index order ([[]]
+          unless profiling) *)
 }
 (** A whole-campaign report, assembled by the campaign engine's reducer
     with sequential semantics: counts cover trials [0..k] where [k] is

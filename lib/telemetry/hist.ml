@@ -1,0 +1,175 @@
+(** Log-bucketed cycle histograms (HDR-style).
+
+    Cycle costs span five orders of magnitude (a Stop is ~70 cycles, a
+    MapSecure with measurement is ~160k), so the registry cannot keep
+    raw samples for 10^5-trial campaigns. Instead each sample lands in
+    a bucket whose width grows with magnitude: values below
+    [2 * sub_count] are recorded exactly, and every power-of-two range
+    above that is split into [sub_count] sub-buckets, bounding the
+    relative quantile error at [1 / sub_count] (~3% at 32) while the
+    whole histogram stays a small int array.
+
+    Everything is deterministic and order-insensitive: {!merge_into}
+    is an elementwise sum, so per-worker histograms from a parallel
+    campaign reduce to the same object in any order — the property the
+    campaign reducer ({!Campaign.Agg}) relies on for byte-identical
+    `-j 1` / `-j N` reports. Count, sum, min and max are tracked
+    exactly, so {!mean} and {!max_value} carry no bucketing error. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* sub-buckets per power of two *)
+let linear_limit = 2 * sub_count (* values below this are exact *)
+
+type t = {
+  mutable counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int; (* max_int when empty *)
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make linear_limit 0; count = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+(* Position of the highest set bit (v >= 1). *)
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < linear_limit then v
+  else
+    let k = msb v in
+    ((k - sub_bits) * sub_count) + (v lsr (k - sub_bits))
+
+(** Inclusive upper bound of bucket [i] — what quantile readout
+    reports, so quantiles never understate a latency. *)
+let bucket_value i =
+  if i < linear_limit then i
+  else
+    let q = (i lsr sub_bits) - 1 in
+    let m = i - (q * sub_count) in
+    ((m + 1) lsl q) - 1
+
+let ensure t i =
+  let len = Array.length t.counts in
+  if i >= len then begin
+    let counts = Array.make (max (i + 1) (2 * len)) 0 in
+    Array.blit t.counts 0 counts 0 len;
+    t.counts <- counts
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let merge_into dst src =
+  let len = Array.length src.counts in
+  if len > 0 then ensure dst (len - 1);
+  for i = 0 to len - 1 do
+    if src.counts.(i) <> 0 then dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+
+let copy t =
+  let fresh = create () in
+  merge_into fresh t;
+  fresh
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    let acc = ref 0 and result = ref t.max_v and found = ref false in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           result := min (bucket_value i) t.max_v;
+           found := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !found then !result else t.max_v
+  end
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p95 t = quantile t 0.95
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  &&
+  let la = Array.length a.counts and lb = Array.length b.counts in
+  let ok = ref true in
+  for i = 0 to max la lb - 1 do
+    let ca = if i < la then a.counts.(i) else 0 in
+    let cb = if i < lb then b.counts.(i) else 0 in
+    if ca <> cb then ok := false
+  done;
+  !ok
+
+(* -- JSON --------------------------------------------------------------- *)
+
+let to_json t =
+  let buckets =
+    let acc = ref [] in
+    for i = Array.length t.counts - 1 downto 0 do
+      if t.counts.(i) <> 0 then
+        acc := Json.List [ Json.Int i; Json.Int t.counts.(i) ] :: !acc
+    done;
+    !acc
+  in
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int t.max_v);
+      ("buckets", Json.List buckets);
+    ]
+
+let of_json j =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "malformed histogram" in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let* count = int "count" in
+  let* sum = int "sum" in
+  let* mn = int "min" in
+  let* mx = int "max" in
+  let* buckets = Option.bind (Json.member "buckets" j) Json.to_list_opt in
+  let t = create () in
+  t.count <- count;
+  t.sum <- sum;
+  t.min_v <- (if count = 0 then max_int else mn);
+  t.max_v <- mx;
+  let ok =
+    List.for_all
+      (function
+        | Json.List [ Json.Int i; Json.Int c ] when i >= 0 && c > 0 ->
+            ensure t i;
+            t.counts.(i) <- t.counts.(i) + c;
+            true
+        | _ -> false)
+      buckets
+  in
+  if ok then Ok t else Error "malformed histogram bucket"

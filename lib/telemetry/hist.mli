@@ -1,0 +1,64 @@
+(** Log-bucketed HDR-style histograms for cycle costs.
+
+    Values below [2 * 32] are recorded exactly; each power-of-two range
+    above is split into 32 sub-buckets, so quantiles carry at most ~3%
+    relative error while the histogram is a small int array however
+    large the samples. Count, sum, min and max are exact.
+
+    {!merge_into} is an elementwise sum — commutative and associative
+    — so per-worker histograms from a domain-parallel campaign reduce
+    identically in any order (the `-j 1` / `-j N` byte-identity
+    contract of {!Campaign.Agg}). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample (negative values clamp to 0). *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** Exact (not bucketed). *)
+
+val mean : t -> float
+(** Exact ([sum/count]); 0.0 when empty. *)
+
+val quantile : t -> float -> int
+(** Nearest-rank quantile, reported as the containing bucket's upper
+    bound (capped at the exact maximum): never understates. 0 when
+    empty. *)
+
+val p50 : t -> int
+val p90 : t -> int
+val p95 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s buckets into [dst]; [src] is
+    unchanged and shares no state with [dst] afterwards. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same bucket counts and exact stats, regardless of how either
+    histogram was built or merged. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in (exposed for tests). *)
+
+val bucket_value : int -> int
+(** Inclusive upper bound of a bucket (exposed for tests); monotone in
+    the index and exact below 64. *)
+
+val to_json : t -> Json.t
+(** [{"count":..,"sum":..,"min":..,"max":..,"buckets":[[i,c],..]}] with
+    buckets sparse and index-sorted. *)
+
+val of_json : Json.t -> (t, string) result

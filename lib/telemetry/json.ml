@@ -39,7 +39,10 @@ let escape_to buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          (* Control characters must be escaped; bytes >= 0x7f are
+             escaped too so the output is pure ASCII and arbitrary
+             byte strings round-trip exactly (\u00XX = that byte). *)
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
@@ -134,10 +137,18 @@ let parse_exn s =
                    if !pos + 4 > n then fail "truncated \\u escape";
                    let code = int_of_string ("0x" ^ String.sub s !pos 4) in
                    pos := !pos + 4;
-                   (* Only the Latin-1 range is emitted by {!write}. *)
-                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                   else begin
+                   (* {!write} only emits \u00XX (single bytes), which
+                      must decode back to that byte for round-tripping;
+                      higher code points (foreign input) decode as
+                      UTF-8. *)
+                   if code <= 0xFF then Buffer.add_char buf (Char.chr code)
+                   else if code <= 0x7FF then begin
                      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
                    end
                | c -> fail (Printf.sprintf "bad escape '\\%c'" c));

@@ -4,16 +4,16 @@
     Attach {!sink} to a monitor (alone or fanned out with a trace
     writer) and every [Smc_exit] / [Svc_exit] event updates a counter
     keyed ["smc.<Name>"] / ["svc.<Name>"] plus that key's cycle
-    histogram; error names count separately. {!dump} renders the whole
-    registry as JSON — the machine-readable face of the paper's
+    histogram; error names count separately. Histograms are
+    log-bucketed ({!Hist}), so a registry stays small over arbitrarily
+    long campaigns and merges order-insensitively. {!dump} renders the
+    whole registry as JSON — the machine-readable face of the paper's
     Table 3 / Figure 5 measurements. *)
-
-type hist = { mutable samples : int list; mutable n : int }
 
 type t = {
   calls : (string, int ref) Hashtbl.t;
   errors : (string, int ref) Hashtbl.t;
-  cycles : (string, hist) Hashtbl.t;
+  cycles : (string, Hist.t) Hashtbl.t;
   events : (string, int ref) Hashtbl.t;  (** every event, by kind *)
 }
 
@@ -30,17 +30,15 @@ let incr_tbl tbl key =
   | Some r -> incr r
   | None -> Hashtbl.add tbl key (ref 1)
 
-let add_sample t key v =
-  let h =
-    match Hashtbl.find_opt t.cycles key with
-    | Some h -> h
-    | None ->
-        let h = { samples = []; n = 0 } in
-        Hashtbl.add t.cycles key h;
-        h
-  in
-  h.samples <- v :: h.samples;
-  h.n <- h.n + 1
+let hist_for t key =
+  match Hashtbl.find_opt t.cycles key with
+  | Some h -> h
+  | None ->
+      let h = Hist.create () in
+      Hashtbl.add t.cycles key h;
+      h
+
+let add_sample t key v = Hist.record (hist_for t key) v
 
 (** Count an out-of-band occurrence (e.g. retired user instructions)
     under [key] in the event table. *)
@@ -79,14 +77,7 @@ let merge_into dst src =
   merge_counters dst.calls src.calls;
   merge_counters dst.errors src.errors;
   merge_counters dst.events src.events;
-  Hashtbl.iter
-    (fun k (h : hist) ->
-      match Hashtbl.find_opt dst.cycles k with
-      | Some d ->
-          d.samples <- h.samples @ d.samples;
-          d.n <- d.n + h.n
-      | None -> Hashtbl.add dst.cycles k { samples = h.samples; n = h.n })
-    src.cycles
+  Hashtbl.iter (fun k h -> Hist.merge_into (hist_for dst k) h) src.cycles
 
 (* -- Readout ------------------------------------------------------------ *)
 
@@ -99,28 +90,30 @@ let error_count t err_name =
 let event_count t kind =
   match Hashtbl.find_opt t.events kind with Some r -> !r | None -> 0
 
-type stats = { count : int; p50 : int; p95 : int; max : int; mean : float }
-
-let percentile sorted n q =
-  (* Nearest-rank on the sorted sample array. *)
-  let rank = int_of_float (ceil (q *. float_of_int n)) in
-  sorted.(max 0 (min (n - 1) (rank - 1)))
+type stats = {
+  count : int;
+  p50 : int;
+  p90 : int;
+  p95 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
 
 let stats t name =
   match Hashtbl.find_opt t.cycles name with
-  | None -> None
-  | Some { samples; n } when n > 0 ->
-      let sorted = Array.of_list samples in
-      Array.sort compare sorted;
+  | Some h when Hist.count h > 0 ->
       Some
         {
-          count = n;
-          p50 = percentile sorted n 0.50;
-          p95 = percentile sorted n 0.95;
-          max = sorted.(n - 1);
-          mean = float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int n;
+          count = Hist.count h;
+          p50 = Hist.p50 h;
+          p90 = Hist.p90 h;
+          p95 = Hist.p95 h;
+          p99 = Hist.p99 h;
+          max = Hist.max_value h;
+          mean = Hist.mean h;
         }
-  | Some _ -> None
+  | _ -> None
 
 let call_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.calls [] |> List.sort compare
@@ -147,7 +140,9 @@ let dump t =
                      [
                        ("count", Json.Int s.count);
                        ("p50", Json.Int s.p50);
+                       ("p90", Json.Int s.p90);
                        ("p95", Json.Int s.p95);
+                       ("p99", Json.Int s.p99);
                        ("max", Json.Int s.max);
                        ("mean", Json.Float s.mean);
                      ] ))

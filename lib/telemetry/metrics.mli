@@ -19,12 +19,11 @@ val add_count : t -> string -> int -> unit
 (** Count an out-of-band occurrence (e.g. retired user instructions). *)
 
 val merge_into : t -> t -> unit
-(** [merge_into dst src] adds [src]'s counters into [dst] and unions
-    the cycle histograms (sample multisets concatenate, so {!stats}
-    and {!dump} of the merge are independent of merge order — the
-    campaign reducer relies on this). [src] is not modified, but
-    histograms share sample lists with [dst] afterwards: do not keep
-    feeding [src]. *)
+(** [merge_into dst src] adds [src]'s counters into [dst] and sums the
+    cycle histograms bucketwise ({!Hist.merge_into}) — commutative and
+    associative, so {!stats} and {!dump} of the merge are independent
+    of merge order (the campaign reducer relies on this). [src] is
+    untouched and shares no state with [dst] afterwards. *)
 
 val call_count : t -> string -> int
 (** Completed calls under a key such as ["smc.Enter"] or
@@ -36,14 +35,25 @@ val error_count : t -> string -> int
 val event_count : t -> string -> int
 (** Events of a kind (["smc_exit"], ["exception.irq"], ...). *)
 
-type stats = { count : int; p50 : int; p95 : int; max : int; mean : float }
+type stats = {
+  count : int;
+  p50 : int;
+  p90 : int;
+  p95 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
 
 val stats : t -> string -> stats option
-(** Cycle-cost histogram summary for one call key. *)
+(** Cycle-cost histogram summary for one call key. Quantiles are
+    nearest-rank over the log-bucketed histogram (bucket upper bounds,
+    <= ~3% relative error); [count], [max] and [mean] are exact. *)
 
 val call_names : t -> string list
 (** All call keys seen, sorted. *)
 
 val dump : t -> Json.t
 (** The whole registry: [{"calls": {...}, "errors": {...},
-    "cycles": {key: {count,p50,p95,max,mean}}, "events": {...}}]. *)
+    "cycles": {key: {count,p50,p90,p95,p99,max,mean}}, "events":
+    {...}}]. *)

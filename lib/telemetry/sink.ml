@@ -9,34 +9,43 @@
 
     Sinks are mutable objects shared by every copy of the (otherwise
     purely functional) monitor state; emission is the one side effect
-    of the telemetry layer and charges no modelled cycles. *)
+    of the telemetry layer and charges no modelled cycles.
+
+    A sink also carries a [flush] action so buffered backends (JSONL
+    channels) can be drained at quiesce points — {!Os.teardown} and
+    campaign completion call {!flush}, guaranteeing trace files are
+    complete even if the process is about to exit. *)
 
 let log_src = Logs.Src.create "komodo.telemetry" ~doc:"Komodo telemetry event stream"
 
 module Log = (val Logs.src_log log_src)
 
-type t = Null | Emit of (Event.stamped -> unit)
+type t = Null | Emit of { emit : Event.stamped -> unit; flush : unit -> unit }
 
 let null = Null
 let is_null = function Null -> true | Emit _ -> false
-let emit t ev = match t with Null -> () | Emit f -> f ev
-let make f = Emit f
+let emit t ev = match t with Null -> () | Emit { emit; _ } -> emit ev
+let flush = function Null -> () | Emit { flush; _ } -> flush ()
+let make ?(flush = fun () -> ()) f = Emit { emit = f; flush }
 
-(** Fan one event stream out to several sinks ([Null]s are dropped). *)
+(** Fan one event stream out to several sinks ([Null]s are dropped);
+    flushing the fanout flushes every live member. *)
 let fanout sinks =
   match List.filter (fun s -> not (is_null s)) sinks with
   | [] -> Null
   | [ s ] -> s
   | live ->
       Emit
-        (fun ev ->
-          List.iter (function Null -> () | Emit f -> f ev) live)
+        {
+          emit = (fun ev -> List.iter (fun s -> emit s ev) live);
+          flush = (fun () -> List.iter flush live);
+        }
 
 (** Accumulate every event in order; the second component returns the
     events seen so far. *)
 let collect () =
   let events = ref [] in
-  (Emit (fun ev -> events := ev :: !events), fun () -> List.rev !events)
+  (make (fun ev -> events := ev :: !events), fun () -> List.rev !events)
 
 (** Keep only the last [capacity] events (a flight recorder). *)
 let ring ~capacity =
@@ -45,8 +54,7 @@ let ring ~capacity =
   let next = ref 0 in
   let total = ref 0 in
   let sink =
-    Emit
-      (fun ev ->
+    make (fun ev ->
         buf.(!next) <- Some ev;
         next := (!next + 1) mod capacity;
         incr total)
@@ -61,16 +69,21 @@ let ring ~capacity =
   in
   (sink, contents)
 
-(** Stream events to [oc] as JSONL, one event per line. *)
+(** Stream events to [oc] as JSONL, one event per line; {!flush}
+    drains the channel (the caller still closes it). *)
 let jsonl oc =
-  Emit
+  make
+    ~flush:(fun () -> Stdlib.flush oc)
     (fun ev ->
       output_string oc (Event.to_jsonl_line ev);
       output_char oc '\n')
 
 (** Human-readable event lines on [ppf]. *)
-let console ppf = Emit (fun ev -> Format.fprintf ppf "%a@." Event.pp_stamped ev)
+let console ppf =
+  make
+    ~flush:(fun () -> Format.pp_print_flush ppf ())
+    (fun ev -> Format.fprintf ppf "%a@." Event.pp_stamped ev)
 
 (** Events as [Logs] debug messages on {!log_src}, interleaving with
     the monitor-call log under the CLI's [-v] control. *)
-let logs () = Emit (fun ev -> Log.debug (fun m -> m "%a" Event.pp_stamped ev))
+let logs () = make (fun ev -> Log.debug (fun m -> m "%a" Event.pp_stamped ev))

@@ -7,16 +7,23 @@ val log_src : Logs.src
 (** Telemetry log source ("komodo.telemetry"); the {!logs} sink and
     internal diagnostics report through it. *)
 
-type t = Null | Emit of (Event.stamped -> unit)
+type t = Null | Emit of { emit : Event.stamped -> unit; flush : unit -> unit }
 
 val null : t
 val is_null : t -> bool
 val emit : t -> Event.stamped -> unit
-val make : (Event.stamped -> unit) -> t
+
+val flush : t -> unit
+(** Drain any buffering behind the sink (a no-op for unbuffered
+    backends). Called at quiesce points — [Os.teardown], campaign
+    completion — so JSONL traces are complete on disk. *)
+
+val make : ?flush:(unit -> unit) -> (Event.stamped -> unit) -> t
 
 val fanout : t list -> t
 (** Send every event to each sink; [Null]s are dropped, and an
-    all-[Null] list collapses back to [Null]. *)
+    all-[Null] list collapses back to [Null]. Flushing the fanout
+    flushes every member. *)
 
 val collect : unit -> t * (unit -> Event.stamped list)
 (** Accumulate every event; the closure returns them in order. *)
@@ -26,7 +33,8 @@ val ring : capacity:int -> t * (unit -> Event.stamped list)
     @raise Invalid_argument on a non-positive capacity. *)
 
 val jsonl : out_channel -> t
-(** Stream events as JSONL, one event per line (caller closes). *)
+(** Stream events as JSONL, one event per line; {!flush} drains the
+    channel (caller closes). *)
 
 val console : Format.formatter -> t
 (** Human-readable event lines. *)

@@ -15,6 +15,9 @@ module Metrics = Komodo_telemetry.Metrics
 module Json = Komodo_telemetry.Json
 module Pool = Komodo_campaign.Pool
 module Campaign = Komodo_campaign.Campaign
+module Progress = Komodo_campaign.Progress
+module Span = Komodo_telemetry.Span
+module Hist = Komodo_telemetry.Hist
 
 (* -- check campaigns: -j 1 vs -j 4 ------------------------------------- *)
 
@@ -228,6 +231,122 @@ let test_cover_merge_order_insensitive () =
       ("transitions", Cover.transitions);
     ]
 
+(* -- span profiling under parallelism ---------------------------------- *)
+
+let test_check_profile_spans_deterministic () =
+  let run jobs = Campaign.check ~profile:true ~jobs ~trials:24 ~seed:77 () in
+  let a = run 1 and b = run 4 in
+  same_check_outcome "profiled check" a b;
+  Alcotest.(check bool) "spans recorded" true (a.Diff.spans <> []);
+  Alcotest.(check string) "aggregated span tree byte-identical"
+    (Span.render_tree (Span.aggregate a.Diff.spans))
+    (Span.render_tree (Span.aggregate b.Diff.spans));
+  Alcotest.(check string) "folded stacks byte-identical"
+    (Span.to_folded a.Diff.spans)
+    (Span.to_folded b.Diff.spans);
+  let da = Span.durations a.Diff.spans and db = Span.durations b.Diff.spans in
+  Alcotest.(check (list string)) "duration keys identical"
+    (List.map fst da) (List.map fst db);
+  List.iter2
+    (fun (n, ha) (_, hb) ->
+      Alcotest.(check bool) (n ^ ": duration histograms equal") true
+        (Hist.equal ha hb))
+    da db;
+  (* Clock-free spans never carry wallclock. *)
+  let rec no_wall n =
+    n.Span.sp_wall_ns = 0 && List.for_all no_wall n.Span.sp_children
+  in
+  Alcotest.(check bool) "no wallclock without a clock" true
+    (List.for_all no_wall a.Diff.spans)
+
+let test_fault_profile_spans_deterministic () =
+  let run jobs =
+    Campaign.fault ~profile:true ~jobs ~faults:Drive.all_classes ~trials:12
+      ~seed:42 ()
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check bool) "spans recorded" true (a.Drive.spans <> []);
+  Alcotest.(check string) "aggregated span tree byte-identical"
+    (Span.render_tree (Span.aggregate a.Drive.spans))
+    (Span.render_tree (Span.aggregate b.Drive.spans))
+
+(* -- progress reporting ------------------------------------------------- *)
+
+(* A fake stepping clock: deterministic snapshots, no unix. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 0.25;
+    !t
+
+let progress_to_buffer ~label ~total =
+  let path = Filename.temp_file "komodo_progress" ".jsonl" in
+  let oc = open_out path in
+  let p =
+    Progress.create ~interval:0.0 ~live:false ~jsonl:oc ~now:(fake_clock ())
+      ~label ~total ()
+  in
+  let read () =
+    close_out oc;
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  (p, read)
+
+let snapshot_field line name =
+  match Json.parse line with
+  | Error e -> Alcotest.failf "snapshot line does not parse: %s" e
+  | Ok j -> Json.member name j
+
+let test_progress_reports_campaign () =
+  let trials = 16 in
+  let p, read = progress_to_buffer ~label:"check" ~total:trials in
+  let with_progress = Campaign.check ~progress:p ~jobs:2 ~trials ~seed:9 () in
+  let without = Campaign.check ~jobs:1 ~trials ~seed:9 () in
+  (* Observer only: the campaign outcome is untouched. *)
+  same_check_outcome "progress does not perturb" with_progress without;
+  let lines = read () in
+  (* interval 0 emits one snapshot per trial plus the final one. *)
+  Alcotest.(check int) "one snapshot per trial + final"
+    (trials + 1) (List.length lines);
+  Alcotest.(check int) "snapshots counter agrees" (trials + 1)
+    (Progress.snapshots p);
+  let last = List.nth lines (List.length lines - 1) in
+  (match snapshot_field last "schema" with
+  | Some (Json.Str s) -> Alcotest.(check string) "schema tag" Progress.schema s
+  | _ -> Alcotest.fail "snapshot lacks a schema field");
+  (match snapshot_field last "done" with
+  | Some (Json.Int n) -> Alcotest.(check int) "all trials folded in" trials n
+  | _ -> Alcotest.fail "snapshot lacks done");
+  match snapshot_field last "ops" with
+  | Some (Json.Int n) ->
+      Alcotest.(check int) "ops total matches the outcome" without.Diff.ops_run n
+  | _ -> Alcotest.fail "snapshot lacks ops"
+
+let test_progress_totals_schedule_independent () =
+  let trials = 12 in
+  let final jobs =
+    let p, read = progress_to_buffer ~label:"fault" ~total:trials in
+    let _ =
+      Campaign.fault ~progress:p ~jobs ~faults:Drive.all_classes ~trials
+        ~seed:13 ()
+    in
+    let lines = read () in
+    List.nth lines (List.length lines - 1)
+  in
+  let a = final 1 and b = final 4 in
+  (* Totals in the final snapshot are merge results of per-trial data,
+     so they cannot depend on the schedule; wallclock fields use the
+     fake clock and match too. *)
+  Alcotest.(check string) "final snapshot byte-identical at -j 1 / -j 4" a b;
+  match snapshot_field a "injections" with
+  | Some (Json.Int n) ->
+      Alcotest.(check bool) "storm injected something" true (n > 0)
+  | _ -> Alcotest.fail "fault snapshot lacks injections"
+
 let suite =
   [
     Alcotest.test_case "check: -j 1 = -j 4 across seeds" `Quick
@@ -255,4 +374,12 @@ let suite =
       test_pool_lowest_failure_any_jobs;
     Alcotest.test_case "cover: merge is order-insensitive" `Quick
       test_cover_merge_order_insensitive;
+    Alcotest.test_case "check: profiled span tree identical at any -j" `Quick
+      test_check_profile_spans_deterministic;
+    Alcotest.test_case "fault: profiled span tree identical at any -j" `Quick
+      test_fault_profile_spans_deterministic;
+    Alcotest.test_case "progress: observes without perturbing" `Quick
+      test_progress_reports_campaign;
+    Alcotest.test_case "progress: totals schedule-independent" `Quick
+      test_progress_totals_schedule_independent;
   ]

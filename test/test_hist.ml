@@ -1,0 +1,157 @@
+(* Log-bucketed histograms: bucket geometry, quantile error bounds,
+   order-insensitive merging and the JSON round-trip that carries them
+   through BENCH_*.json and progress snapshots. *)
+
+open Testlib
+module Hist = Komodo_telemetry.Hist
+module Json = Komodo_telemetry.Json
+
+let of_samples l =
+  let h = Hist.create () in
+  List.iter (Hist.record h) l;
+  h
+
+(* -- Bucket geometry ---------------------------------------------------- *)
+
+let test_buckets_exact_below_64 () =
+  for v = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "value %d maps to an exact bucket" v)
+      v
+      (Hist.bucket_value (Hist.bucket_of v))
+  done
+
+let test_bucket_bounds_monotone () =
+  let last = ref (-1) in
+  for i = 0 to Hist.bucket_of max_int do
+    let b = Hist.bucket_value i in
+    Alcotest.(check bool)
+      (Printf.sprintf "bucket %d upper bound grows" i)
+      true (b > !last);
+    last := b
+  done;
+  (* bucket_of is monotone too: spot-check across several decades. *)
+  let vs = [ 0; 1; 63; 64; 65; 100; 1000; 12345; 1_000_000; max_int ] in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket_of %d <= bucket_of %d" a b)
+        true
+        (Hist.bucket_of a <= Hist.bucket_of b))
+    (List.filteri (fun i _ -> i < List.length vs - 1) vs)
+    (List.tl vs)
+
+let test_bucket_relative_error () =
+  (* The containing bucket's upper bound never understates the value
+     and overshoots by at most ~1/32 (one sub-bucket width). *)
+  let v = ref 1 in
+  while !v > 0 && !v < 1 lsl 50 do
+    let b = Hist.bucket_value (Hist.bucket_of !v) in
+    Alcotest.(check bool)
+      (Printf.sprintf "bound %d >= value %d" b !v)
+      true (b >= !v);
+    Alcotest.(check bool)
+      (Printf.sprintf "bound %d within 3.2%% of %d" b !v)
+      true
+      (float_of_int b <= float_of_int !v *. 1.032 +. 1.0);
+    v := (!v * 17 / 16) + 1
+  done
+
+(* -- Quantiles ---------------------------------------------------------- *)
+
+let test_known_quantiles () =
+  let h = of_samples (List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check int) "count" 100 (Hist.count h);
+  Alcotest.(check int) "sum" 5050 (Hist.sum h);
+  Alcotest.(check int) "min" 1 (Hist.min_value h);
+  Alcotest.(check int) "max" 100 (Hist.max_value h);
+  (* Values 1..63 are exact; above that the bucket bound may overshoot
+     by at most 3.2%. Nearest-rank of p50 over 1..100 is 50. *)
+  Alcotest.(check int) "p50 exact below 64" 50 (Hist.p50 h);
+  let within name q lo =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s in [%d, %.1f]" name lo (float_of_int lo *. 1.032))
+      true
+      (q >= lo && float_of_int q <= (float_of_int lo *. 1.032) +. 1.0)
+  in
+  within "p90" (Hist.p90 h) 90;
+  within "p99" (Hist.p99 h) 99;
+  (* p999 caps at the exact maximum. *)
+  Alcotest.(check int) "p999 caps at max" 100 (Hist.p999 h);
+  Alcotest.(check int) "empty histogram quantile" 0 (Hist.p99 (Hist.create ()))
+
+let samples_arb =
+  QCheck.(list_of_size Gen.(1 -- 200) (int_bound 2_000_000))
+
+let prop_quantile_never_understates =
+  QCheck.Test.make ~count:200 ~name:"quantile never understates nearest-rank"
+    QCheck.(pair samples_arb (float_range 0.0 1.0))
+    (fun (l, q) ->
+      QCheck.assume (l <> []);
+      let h = of_samples l in
+      let sorted = List.sort compare l in
+      let n = List.length sorted in
+      let rank =
+        max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+      in
+      Hist.quantile h q >= List.nth sorted rank)
+
+(* -- Merge -------------------------------------------------------------- *)
+
+let prop_merge_order_insensitive =
+  QCheck.Test.make ~count:200 ~name:"merge is order-insensitive"
+    QCheck.(list_of_size Gen.(0 -- 8) samples_arb)
+    (fun parts ->
+      let merge order =
+        let dst = Hist.create () in
+        List.iter (fun l -> Hist.merge_into dst (of_samples l)) order;
+        dst
+      in
+      let fwd = merge parts and rev = merge (List.rev parts) in
+      (* And against the flat single-histogram build. *)
+      Hist.equal fwd rev && Hist.equal fwd (of_samples (List.concat parts)))
+
+let test_merge_leaves_source_intact () =
+  let src = of_samples [ 1; 2; 3 ] in
+  let dst = of_samples [ 10 ] in
+  Hist.merge_into dst src;
+  Alcotest.(check int) "src count unchanged" 3 (Hist.count src);
+  Alcotest.(check int) "dst absorbed" 4 (Hist.count dst);
+  (* No sharing: further records into dst don't leak back. *)
+  Hist.record dst 99;
+  Alcotest.(check int) "src still 3" 3 (Hist.count src)
+
+(* -- JSON round-trip ---------------------------------------------------- *)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"histogram JSON round-trips"
+    samples_arb
+    (fun l ->
+      let h = of_samples l in
+      match Json.parse (Json.to_string (Hist.to_json h)) with
+      | Error _ -> false
+      | Ok j -> (
+          match Hist.of_json j with
+          | Error _ -> false
+          | Ok h' -> Hist.equal h h'))
+
+let test_of_json_rejects_garbage () =
+  (match Hist.of_json (Json.Str "nope") with
+  | Ok _ -> Alcotest.fail "accepted a string"
+  | Error _ -> ());
+  match Hist.of_json (Json.Obj [ ("count", Json.Str "x") ]) with
+  | Ok _ -> Alcotest.fail "accepted a malformed object"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "exact buckets below 64" `Quick test_buckets_exact_below_64;
+    Alcotest.test_case "bucket bounds monotone" `Quick test_bucket_bounds_monotone;
+    Alcotest.test_case "bucket relative error <= 3.2%" `Quick test_bucket_relative_error;
+    Alcotest.test_case "known-sample quantiles" `Quick test_known_quantiles;
+    qcheck prop_quantile_never_understates;
+    qcheck prop_merge_order_insensitive;
+    Alcotest.test_case "merge leaves source intact" `Quick test_merge_leaves_source_intact;
+    qcheck prop_json_roundtrip;
+    Alcotest.test_case "of_json rejects garbage" `Quick test_of_json_rejects_garbage;
+  ]

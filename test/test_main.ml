@@ -27,6 +27,7 @@ let () =
       ("sgx", Test_sgx.suite);
       ("security", Test_sec.suite);
       ("telemetry", Test_telemetry.suite);
+      ("hist", Test_hist.suite);
       ("spec", Test_spec.suite);
       ("errmatrix", Test_errmatrix.suite);
       ("fault", Test_fault.suite);

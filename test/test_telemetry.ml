@@ -8,6 +8,7 @@ module Sink = Komodo_telemetry.Sink
 module Metrics = Komodo_telemetry.Metrics
 module Audit = Komodo_telemetry.Audit
 module Json = Komodo_telemetry.Json
+module Span = Komodo_telemetry.Span
 
 let stamp at ev = { Event.at; ev }
 let lc at addrspace stage = stamp at (Event.Enclave_lifecycle { addrspace; stage })
@@ -113,6 +114,134 @@ let test_json_values () =
   | Ok _ -> Alcotest.fail "malformed JSON accepted"
   | Error _ -> ()
 
+(* Every byte value — control characters, DEL, non-ASCII — must
+   survive the \u00XX escaping used by the JSONL sinks. *)
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"JSON string escaping round-trips any bytes"
+    QCheck.string
+    (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> String.equal s s'
+      | _ -> false)
+
+let test_metrics_dump_has_quantiles () =
+  let reg = Metrics.create () in
+  let _ = full_lifecycle ~sink:(Metrics.sink reg) () in
+  match Json.member "cycles" (Metrics.dump reg) with
+  | Some (Json.Obj calls) ->
+      Alcotest.(check bool) "some calls recorded" true (calls <> []);
+      List.iter
+        (fun (name, obj) ->
+          List.iter
+            (fun q ->
+              match Json.member q obj with
+              | Some (Json.Int _) -> ()
+              | _ -> Alcotest.failf "%s: missing %s quantile" name q)
+            [ "p50"; "p90"; "p99" ])
+        calls
+  | _ -> Alcotest.fail "dump has no cycles object"
+
+(* -- Span recorder ------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let r = Span.create () in
+  Alcotest.(check bool) "live recorder" false (Span.is_null r);
+  Span.enter r ~name:"smc.Enter" ~cycles:0;
+  Span.enter r ~name:"validate" ~cycles:10;
+  Span.mark r ~name:"commit" ~cycles:40;
+  Span.enter r ~name:"hash" ~cycles:50;
+  Span.exit_ r ~cycles:120;
+  Span.exit_ r ~cycles:200;
+  Span.exit_ r ~cycles:220;
+  Span.exit_ r ~cycles:999 (* empty stack: no-op *);
+  match Span.roots r with
+  | [ root ] -> (
+      Alcotest.(check string) "root name" "smc.Enter" root.Span.sp_name;
+      Alcotest.(check int) "root cycles" 220 root.Span.sp_cycles;
+      Alcotest.(check int) "no wallclock without a clock" 0 root.Span.sp_wall_ns;
+      match root.Span.sp_children with
+      | [ v; c ] -> (
+          Alcotest.(check string) "first phase" "validate" v.Span.sp_name;
+          Alcotest.(check int) "validate cycles" 30 v.Span.sp_cycles;
+          Alcotest.(check string) "mark opens sibling" "commit" c.Span.sp_name;
+          Alcotest.(check int) "commit cycles" 160 c.Span.sp_cycles;
+          match c.Span.sp_children with
+          | [ h ] ->
+              Alcotest.(check string) "nested child" "hash" h.Span.sp_name;
+              Alcotest.(check int) "hash cycles" 70 h.Span.sp_cycles;
+              Alcotest.(check int) "commit self cycles" 90 (Span.self_cycles c)
+          | l -> Alcotest.failf "commit has %d children" (List.length l))
+      | l -> Alcotest.failf "root has %d children" (List.length l))
+  | l -> Alcotest.failf "%d roots" (List.length l)
+
+let test_span_exit_to_unwinds () =
+  let r = Span.create () in
+  Span.enter r ~name:"call" ~cycles:0;
+  let d = Span.depth r in
+  Span.enter r ~name:"a" ~cycles:1;
+  Span.enter r ~name:"b" ~cycles:2;
+  Span.enter r ~name:"c" ~cycles:3;
+  (* An error path unwinds straight back to the handler's depth. *)
+  Span.exit_to r ~depth:d ~cycles:10;
+  Alcotest.(check int) "depth restored" d (Span.depth r);
+  Span.exit_ r ~cycles:20;
+  match Span.roots r with
+  | [ call ] -> (
+      Alcotest.(check int) "call cycles" 20 call.Span.sp_cycles;
+      match call.Span.sp_children with
+      | [ a ] ->
+          Alcotest.(check string) "a kept" "a" a.Span.sp_name;
+          Alcotest.(check int) "a closed at the unwind" 9 a.Span.sp_cycles
+      | l -> Alcotest.failf "call has %d children" (List.length l))
+  | l -> Alcotest.failf "%d roots" (List.length l)
+
+let test_span_null_records_nothing () =
+  Alcotest.(check bool) "null is null" true (Span.is_null Span.null);
+  Span.enter Span.null ~name:"x" ~cycles:0;
+  Span.mark Span.null ~name:"y" ~cycles:1;
+  Span.exit_ Span.null ~cycles:2;
+  Span.exit_to Span.null ~depth:0 ~cycles:3;
+  Alcotest.(check int) "no roots" 0 (List.length (Span.roots Span.null));
+  Alcotest.(check int) "no depth" 0 (Span.depth Span.null)
+
+let test_span_readout_is_deterministic () =
+  let record () =
+    let r = Span.create () in
+    List.iter
+      (fun (start, stop) ->
+        Span.enter r ~name:"op" ~cycles:start;
+        Span.enter r ~name:"hash" ~cycles:(start + 1);
+        Span.exit_ r ~cycles:(stop - 1);
+        Span.exit_ r ~cycles:stop)
+      [ (0, 10); (10, 30); (30, 100) ];
+    Span.roots r
+  in
+  let roots = record () in
+  Alcotest.(check int) "total spans" 6 (Span.total_spans roots);
+  (match Span.aggregate roots with
+  | [ agg ] ->
+      Alcotest.(check string) "merged name" "op" agg.Span.a_name;
+      Alcotest.(check int) "merged count" 3 agg.Span.a_count;
+      Alcotest.(check int) "merged cycles" 100 agg.Span.a_cycles
+  | l -> Alcotest.failf "%d aggregated roots" (List.length l));
+  Alcotest.(check string)
+    "identical run renders identically"
+    (Span.render_tree (Span.aggregate roots))
+    (Span.render_tree (Span.aggregate (record ())));
+  let folded = Span.to_folded roots in
+  Alcotest.(check bool) "folded mentions the nested path" true
+    (let sub = "op;hash " in
+     let n = String.length sub in
+     let rec go i =
+       i + n <= String.length folded && (String.sub folded i n = sub || go (i + 1))
+     in
+     go 0);
+  match Span.durations roots with
+  | [ ("hash", hh); ("op", oh) ] ->
+      Alcotest.(check int) "hash occurrences" 3 (Komodo_telemetry.Hist.count hh);
+      Alcotest.(check int) "op occurrences" 3 (Komodo_telemetry.Hist.count oh)
+  | l -> Alcotest.failf "%d duration entries" (List.length l)
+
 (* -- Trace file + audit (the CLI's `komodo trace` contract) ------------- *)
 
 let test_trace_file_is_orderly () =
@@ -142,6 +271,30 @@ let test_trace_file_is_orderly () =
         "full lifecycle arc"
         [ "init"; "finalise"; "enter"; "stop"; "remove" ]
         stages
+
+let test_teardown_flushes_sink () =
+  let path = Filename.temp_file "komodo_flush" ".jsonl" in
+  let oc = open_out path in
+  let _ = full_lifecycle ~sink:(Sink.jsonl oc) () in
+  (* Deliberately no [close_out]: Os.teardown must have flushed, so
+     the file already holds the complete trace. *)
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Event.parse_trace text with
+  | Error e -> Alcotest.failf "unflushed trace: %s" e
+  | Ok events ->
+      Alcotest.(check bool) "events on disk before close" true (events <> []);
+      let last = List.nth events (List.length events - 1) in
+      (match last.Event.ev with
+      | Event.Enclave_lifecycle { stage; _ } ->
+          Alcotest.(check string)
+            "trace is complete through teardown" "remove"
+            (Event.stage_name stage)
+      | _ -> ());
+      ());
+  close_out oc;
+  Sys.remove path
 
 let test_ring_keeps_tail () =
   let sink, contents = Sink.ring ~capacity:3 in
@@ -209,7 +362,18 @@ let suite =
     Alcotest.test_case "null sink: identical cycles" `Quick test_null_sink_same_cycles;
     Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "JSON values round-trip" `Quick test_json_values;
+    qcheck prop_json_string_roundtrip;
+    Alcotest.test_case "metrics dump carries p50/p90/p99" `Quick
+      test_metrics_dump_has_quantiles;
+    Alcotest.test_case "span nesting and phase marks" `Quick test_span_nesting;
+    Alcotest.test_case "span exit_to unwinds error paths" `Quick
+      test_span_exit_to_unwinds;
+    Alcotest.test_case "null span recorder records nothing" `Quick
+      test_span_null_records_nothing;
+    Alcotest.test_case "span readout is deterministic" `Quick
+      test_span_readout_is_deterministic;
     Alcotest.test_case "trace file parses and audits clean" `Quick test_trace_file_is_orderly;
+    Alcotest.test_case "teardown flushes the sink" `Quick test_teardown_flushes_sink;
     Alcotest.test_case "ring buffer keeps the tail" `Quick test_ring_keeps_tail;
     Alcotest.test_case "audit rejects out-of-order traces" `Quick test_audit_rejects_disorder;
   ]
