@@ -8,6 +8,7 @@
      inspect   boot, load, and dump the PageDB and memory layout
      notary    drive the notary enclave over a document file
      verify    check the noninterference harness at a chosen scale
+     serve     attestation-as-a-service over recycled enclave pools
      profile   span-profile a fixed-seed campaign (tree, quantiles, folded)
      bench     compare fresh BENCH_*.json against a committed baseline
 
@@ -832,6 +833,178 @@ let fault_cmd =
       const run $ verbosity $ trials $ ops $ fseed $ fpages $ faults $ bug $ replay $ save
       $ jobs_arg $ progress_arg $ progress_out_arg $ profile_out_arg)
 
+(* -- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Serve = Komodo_serve.Serve in
+  let module Workload = Komodo_serve.Workload in
+  let module Backpressure = Komodo_serve.Backpressure in
+  let module Report = Komodo_serve.Report in
+  let d = Serve.defaults in
+  let sessions =
+    Arg.(
+      value & opt int d.Serve.sessions
+      & info [ "sessions" ] ~docv:"N" ~doc:"Total client sessions to simulate.")
+  in
+  let sseed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let pool =
+    Arg.(
+      value & opt int d.Serve.slots
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Enclave pool slots per shard (clamped to the shard world's secure-page \
+             budget; the clamp is reported).")
+  in
+  let recycle =
+    Arg.(
+      value & opt int d.Serve.recycle
+      & info [ "recycle" ] ~docv:"N"
+          ~doc:
+            "Tear down and rebuild a slot's enclave every N sessions (the full \
+             Create..Remove lifecycle, charged in model cycles); 0 never recycles.")
+  in
+  let queue =
+    Arg.(
+      value & opt int d.Serve.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue capacity per shard; a full queue sheds arrivals.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:
+            "Shed queued sessions that waited more than $(docv) model cycles \
+             (measured at dispatch); 0 disables the deadline.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", Workload.Poisson); ("uniform", Workload.Uniform);
+                    ("burst", Workload.Burst) ]) Workload.Poisson
+      & info [ "arrival" ] ~docv:"DIST"
+          ~doc:"Open-loop arrival process: $(b,poisson), $(b,uniform) or $(b,burst).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("open", `Open); ("closed", `Closed) ]) `Open
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,open): arrivals ignore completions (open loop at --gap). \
+             $(b,closed): --clients callers each reissue --think cycles after \
+             their previous session completes.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop client count.")
+  in
+  let think =
+    Arg.(
+      value & opt int 50_000
+      & info [ "think" ] ~docv:"CYCLES" ~doc:"Closed-loop mean think time, model cycles.")
+  in
+  let gap =
+    Arg.(
+      value & opt int d.Serve.gap
+      & info [ "gap" ] ~docv:"CYCLES"
+          ~doc:"Open-loop mean inter-arrival gap in model cycles (the offered load).")
+  in
+  let shard_sessions =
+    Arg.(
+      value & opt int d.Serve.shard_sessions
+      & info [ "shard-sessions" ] ~docv:"N"
+          ~doc:
+            "Sessions per shard. The shard count is a pure function of \
+             --sessions and this value — never of -j — so reports are \
+             byte-identical at any worker count.")
+  in
+  let everify =
+    Arg.(
+      value & opt int d.Serve.everify
+      & info [ "enclave-verify" ] ~docv:"N"
+          ~doc:
+            "Route every Nth session's MAC through the in-enclave verifier \
+             (Verify SVC) as well; 0 keeps verification host-side only.")
+  in
+  let spages =
+    Arg.(
+      value & opt int d.Serve.npages
+      & info [ "pages" ] ~docv:"N" ~doc:"Secure pages per shard world.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as komodo-serve/1 JSON to $(docv).")
+  in
+  let run level sessions seed pool recycle queue deadline arrival mode clients
+      think gap shard_sessions everify spages jobs progress progress_out json_out =
+    setup_logs level;
+    if sessions <= 0 || shard_sessions <= 0 || pool <= 0 || queue < 0
+       || recycle < 0 || deadline < 0 || gap <= 0 || everify < 0
+    then begin
+      Printf.eprintf "komodo serve: counts must be positive (capacities non-negative)\n";
+      exit 2
+    end;
+    if mode = `Closed && (clients <= 0 || think <= 0) then begin
+      Printf.eprintf "komodo serve: closed loop needs positive --clients and --think\n";
+      exit 2
+    end;
+    let cfg =
+      {
+        Serve.sessions;
+        shard_sessions;
+        slots = pool;
+        recycle;
+        queue;
+        policy =
+          (if deadline > 0 then Backpressure.Deadline deadline else Backpressure.Drop);
+        mode =
+          (match mode with
+          | `Open -> Workload.Open arrival
+          | `Closed -> Workload.Closed { clients; think });
+        gap;
+        everify;
+        npages = spages;
+      }
+    in
+    let nshards = Serve.shards ~sessions ~shard_sessions in
+    let prog, prog_close =
+      progress_setup ~progress ~progress_out ~label:"serve" ~total:nshards
+    in
+    let r =
+      try Serve.run ?progress:prog ~jobs ~cfg ~seed ()
+      with Failure m | Komodo_serve.Engine.Violation m ->
+        prog_close ();
+        Printf.eprintf "komodo serve: %s\n" m;
+        exit 2
+    in
+    prog_close ();
+    print_string (Komodo_serve.Report.render r);
+    (match json_out with
+    | Some path -> write_json_file path (Komodo_serve.Report.to_json r)
+    | None -> ());
+    if r.Report.verify_failures > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve attestation-as-a-service: multiplex up to millions of simulated \
+          client sessions over recycled pools of notary/verifier enclaves, with \
+          bounded admission queues and latency accounting in model cycles. \
+          Sessions are sharded deterministically; the report is byte-identical \
+          at any -j. Exits 0 on a clean run, 1 if any session's attestation \
+          failed verification, 2 on setup errors.")
+    Term.(
+      const run $ verbosity $ sessions $ sseed $ pool $ recycle $ queue $ deadline
+      $ arrival $ mode $ clients $ think $ gap $ shard_sessions $ everify $ spages
+      $ jobs_arg $ progress_arg $ progress_out_arg $ json_out)
+
 (* -- verify ------------------------------------------------------------- *)
 
 let verify_cmd =
@@ -1235,4 +1408,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; fault_cmd;
-            profile_cmd; bench_cmd; inspect_cmd; notary_cmd; verify_cmd ]))
+            serve_cmd; profile_cmd; bench_cmd; inspect_cmd; notary_cmd;
+            verify_cmd ]))

@@ -11,6 +11,7 @@
 
 module Cover = Komodo_spec.Cover
 module Metrics = Komodo_telemetry.Metrics
+module Hist = Komodo_telemetry.Hist
 module Json = Komodo_telemetry.Json
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
@@ -35,6 +36,15 @@ type t = {
   cover : Cover.t;
   metrics : Metrics.t;  (** merged per-trial registries, when collected *)
   mutable have_metrics : bool;
+  (* Serve-campaign counters (komodo serve); [have_serve] gates their
+     appearance so check/fault snapshots are byte-for-byte unchanged. *)
+  mutable s_served : int;
+  mutable s_shed : int;
+  mutable s_warm : int;
+  mutable s_cold : int;
+  s_enter : Hist.t;  (** merged enter-latency histogram, model cycles *)
+  s_attest : Hist.t;  (** merged service-latency histogram, model cycles *)
+  mutable have_serve : bool;
   mutable last_emit : float;
   mutable emitted : int;
 }
@@ -58,6 +68,13 @@ let create ?(interval = 0.5) ?(live = false) ?jsonl ~now ~label ~total () =
     cover = Cover.create ();
     metrics = Metrics.create ();
     have_metrics = false;
+    s_served = 0;
+    s_shed = 0;
+    s_warm = 0;
+    s_cold = 0;
+    s_enter = Hist.create ();
+    s_attest = Hist.create ();
+    have_serve = false;
     last_emit = neg_infinity;
     emitted = 0;
   }
@@ -129,9 +146,41 @@ let snapshot_json t elapsed =
                (Metrics.call_names t.metrics)) );
       ]
   in
-  Json.Obj (base @ fault @ cycles)
+  let serve =
+    if not t.have_serve then []
+    else
+      let total = t.s_warm + t.s_cold in
+      let hit = if total = 0 then 1.0 else float_of_int t.s_warm /. float_of_int total in
+      let sps = if elapsed > 0. then float_of_int t.s_served /. elapsed else 0. in
+      [
+        ( "serve",
+          Json.Obj
+            [
+              ("served", Json.Int t.s_served);
+              ("shed", Json.Int t.s_shed);
+              ("sessions_per_s", Json.Float sps);
+              ("pool_hit_rate", Json.Float hit);
+              ("enter_p50", Json.Int (Hist.p50 t.s_enter));
+              ("enter_p99", Json.Int (Hist.p99 t.s_enter));
+              ("attest_p50", Json.Int (Hist.p50 t.s_attest));
+              ("attest_p99", Json.Int (Hist.p99 t.s_attest));
+            ] );
+      ]
+  in
+  Json.Obj (base @ fault @ cycles @ serve)
 
 let live_line t elapsed =
+  if t.have_serve then begin
+    let total = t.s_warm + t.s_cold in
+    let hit = if total = 0 then 100.0 else 100.0 *. float_of_int t.s_warm /. float_of_int total in
+    let sps = if elapsed > 0. then float_of_int t.s_served /. elapsed else 0. in
+    Printf.sprintf
+      "\rkomodo %s: %d/%d shards, %d sessions (%.0f/s), hit %.1f%%, enter \
+       p50/p99 %d/%d, attest p50/p99 %d/%d"
+      t.label t.trials_done t.total t.s_served sps hit (Hist.p50 t.s_enter)
+      (Hist.p99 t.s_enter) (Hist.p50 t.s_attest) (Hist.p99 t.s_attest)
+  end
+  else
   let tps = if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0. in
   let cover =
     Printf.sprintf "cover smc %d svc %d"
@@ -192,6 +241,22 @@ let fault_trial t _index (tr : Drive.trial) =
       t.blackout <- max t.blackout tr.Drive.t_blackout;
       merge_classes t tr.Drive.t_classes;
       if tr.Drive.t_violation <> None then t.failures <- t.failures + 1;
+      emit t ~final:false)
+
+(* Fold one finished serve shard in. Takes plain scalars and histograms
+   rather than a serve report so the campaign library stays downstream
+   of nothing but telemetry (komodo.serve depends on komodo.campaign,
+   not the other way round). *)
+let serve_trial t _index ~served ~shed ~warm ~cold ~enter ~attest =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.have_serve <- true;
+      t.s_served <- t.s_served + served;
+      t.s_shed <- t.s_shed + shed;
+      t.s_warm <- t.s_warm + warm;
+      t.s_cold <- t.s_cold + cold;
+      Hist.merge_into t.s_enter enter;
+      Hist.merge_into t.s_attest attest;
       emit t ~final:false)
 
 let finish t =

@@ -37,6 +37,22 @@ val check_trial : t -> int -> Komodo_spec.Diff.trial -> unit
 
 val fault_trial : t -> int -> Komodo_fault.Drive.trial -> unit
 
+val serve_trial :
+  t ->
+  int ->
+  served:int ->
+  shed:int ->
+  warm:int ->
+  cold:int ->
+  enter:Komodo_telemetry.Hist.t ->
+  attest:Komodo_telemetry.Hist.t ->
+  unit
+(** Fold one finished serve shard in (scalars and histograms rather
+    than a serve report, keeping this library independent of
+    [komodo.serve]). Switches snapshots and the live line to the serve
+    rendering: sessions/sec, pool hit rate, p50/p99 enter and attest
+    latency. Check/fault snapshot output is unchanged. *)
+
 val finish : t -> unit
 (** Emit a final snapshot unconditionally, terminate the live line,
     flush the JSONL channel. *)

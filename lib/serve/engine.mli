@@ -1,0 +1,29 @@
+(** The per-shard serving engine: a discrete-event simulation over
+    model cycles driving real enclaves. Arrivals come from
+    {!Workload}, admission from {!Backpressure}, service from actually
+    entering pooled notary enclaves ({!Pool}/{!Session}); every shard
+    ends with a PageDB conservation audit. A shard report is a pure
+    function of [(cfg, seed)]. *)
+
+type cfg = {
+  e_sessions : int;  (** sessions this shard must offer *)
+  e_slots : int;  (** pool slots requested *)
+  e_recycle : int;  (** pool recycle period; 0 = never *)
+  e_queue : int;  (** admission queue capacity *)
+  e_policy : Backpressure.policy;
+  e_mode : Workload.mode;
+  e_gap : int;  (** open-loop mean inter-arrival gap, model cycles *)
+  e_everify : int;  (** route every Nth session in-enclave; 0 = never *)
+  e_npages : int;  (** secure pages in the shard's world *)
+}
+
+exception Violation of string
+(** A failure the monitor should have made impossible: a page leak or
+    PageDB invariant break after drain, or session accounting that does
+    not add up. Per-session MAC failures are counted in the report, not
+    raised. *)
+
+val run : cfg -> seed:int -> Report.t
+(** Run one shard to completion ([Report.shards = 1]).
+    @raise Violation as above
+    @raise Invalid_argument on a non-positive session count or gap. *)

@@ -1,0 +1,193 @@
+(* A recycled pool of notary enclaves.
+
+   Slots are pre-warmed: each holds a loaded, finalised notary enclave
+   ready to Enter, so the steady-state session cost is one enclave
+   crossing plus the attestation MAC. A configurable recycle period
+   tears a slot's enclave down and builds a fresh one every N sessions
+   (the full Create -> Init -> Finalise -> Enter ... -> Stop -> Remove
+   churn of Figure 3) — the page-lifecycle traffic a real multi-tenant
+   host sees, paid for in model cycles by the session that triggers it.
+
+   Admission is page-budget aware: a slot costs
+   [Session.pages_per_enclave] secure pages, and the pool never grows
+   past what the OS allocator can actually back — a request for more
+   slots than the world's secure memory can hold is clamped, and the
+   clamp is reported rather than hidden. *)
+
+module Word = Komodo_machine.Word
+module Ptable = Komodo_machine.Ptable
+module Os = Komodo_os.Os
+module Loader = Komodo_os.Loader
+module Alloc = Komodo_os.Alloc
+
+type slot = {
+  id : int;
+  shared : Word.t;  (** this slot's insecure shared window *)
+  mutable handle : Loader.handle;
+  mutable thread : int;
+  mutable measurement : string;
+  mutable since_load : int;  (** sessions since the enclave was (re)built *)
+  mutable served : int;
+  mutable free_at : int;  (** model cycle the slot next falls idle *)
+}
+
+type t = {
+  slots : slot array;
+  recycle : int;  (** recycle period; 0 = never *)
+  requested : int;  (** slots asked for before the page-budget clamp *)
+  mutable warm : int;  (** sessions served on a standing enclave *)
+  mutable cold : int;  (** sessions that paid a rebuild first *)
+  mutable rebuilds : int;  (** enclave rebuilds (excluding initial loads) *)
+  mutable churn_cycles : int;  (** model cycles spent in lifecycle churn *)
+}
+
+(* Slot i's shared window: one insecure page each, placed after the
+   engine's verifier inbox at [Os.shared_base]. *)
+let slot_shared i =
+  Word.add Os.shared_base (Word.of_int ((i + 1) * Ptable.page_size))
+
+let load_slot os i =
+  let shared = slot_shared i in
+  match Loader.load os (Session.notary_image ~shared_target:shared) with
+  | Ok (os, h) ->
+      ( os,
+        {
+          id = i;
+          shared;
+          handle = h;
+          thread = List.hd h.Loader.threads;
+          measurement = h.Loader.measurement;
+          since_load = 0;
+          served = 0;
+          free_at = 0;
+        } )
+  | Error e ->
+      failwith
+        (Format.asprintf "serve pool: loading notary slot %d: %a" i
+           Loader.pp_error e)
+
+(** Build the pool, clamping to the allocator's page budget. Returns
+    the updated world and the pool; [slots t < requested] means the
+    budget clamped the request. *)
+let create os ~slots ~recycle =
+  if slots <= 0 then invalid_arg "Pool.create: need at least one slot";
+  if recycle < 0 then invalid_arg "Pool.create: negative recycle period";
+  let affordable = Alloc.available os.Os.alloc / Session.pages_per_enclave in
+  let n = min slots affordable in
+  if n = 0 then
+    failwith
+      (Printf.sprintf
+         "serve pool: page budget exhausted — %d free pages cannot back one \
+          %d-page enclave"
+         (Alloc.available os.Os.alloc) Session.pages_per_enclave);
+  let os = ref os in
+  let mk i =
+    let os', s = load_slot !os i in
+    os := os';
+    s
+  in
+  let pool =
+    {
+      slots = Array.init n mk;
+      recycle;
+      requested = slots;
+      warm = 0;
+      cold = 0;
+      rebuilds = 0;
+      churn_cycles = 0;
+    }
+  in
+  (!os, pool)
+
+let slots t = Array.length t.slots
+let slot t i = t.slots.(i)
+let requested t = t.requested
+let clamped t = Array.length t.slots < t.requested
+let warm t = t.warm
+let cold t = t.cold
+let rebuilds t = t.rebuilds
+let churn_cycles t = t.churn_cycles
+
+let hit_rate t =
+  let total = t.warm + t.cold in
+  if total = 0 then 1.0 else float_of_int t.warm /. float_of_int total
+
+(** The slot that frees up first (lowest [free_at], ties to the lowest
+    id — a deterministic dispatch order). *)
+let earliest_free t =
+  Array.fold_left
+    (fun best s ->
+      match best with
+      | None -> Some s
+      | Some b -> if s.free_at < b.free_at then Some s else best)
+    None t.slots
+  |> Option.get
+
+(** A slot already idle at cycle [now], if any. *)
+let idle_slot t ~now =
+  let rec go i =
+    if i >= Array.length t.slots then None
+    else if t.slots.(i).free_at <= now then Some t.slots.(i)
+    else go (i + 1)
+  in
+  go 0
+
+type service = {
+  s_cold : bool;
+  s_churn_cycles : int;  (** teardown + rebuild cost, 0 when warm *)
+  s_verdict : Session.verdict;
+}
+
+(* Tear the slot's enclave down and build a fresh one, charging the
+   full lifecycle to the model clock. *)
+let rebuild os slot =
+  let c0 = Os.cycles os in
+  let os =
+    match Loader.unload os slot.handle with
+    | Ok os -> os
+    | Error e ->
+        failwith
+          (Format.asprintf "serve pool: recycling slot %d (unload): %a" slot.id
+             Loader.pp_error e)
+  in
+  let os, fresh = load_slot os slot.id in
+  slot.handle <- fresh.handle;
+  slot.thread <- fresh.thread;
+  slot.measurement <- fresh.measurement;
+  slot.since_load <- 0;
+  (os, Os.cycles os - c0)
+
+(** Serve one session on [slot]: recycle first when the period is due,
+    then run the attestation flow. The verdict's cycles plus
+    [s_churn_cycles] is the slot's total busy time for this session. *)
+let serve t os slot ~nonce =
+  let os, churn =
+    if t.recycle > 0 && slot.since_load >= t.recycle then begin
+      t.rebuilds <- t.rebuilds + 1;
+      rebuild os slot
+    end
+    else (os, 0)
+  in
+  let cold = churn > 0 in
+  if cold then t.cold <- t.cold + 1 else t.warm <- t.warm + 1;
+  t.churn_cycles <- t.churn_cycles + churn;
+  let os, verdict =
+    Session.attest ~os ~thread:slot.thread ~shared:slot.shared
+      ~measurement:slot.measurement ~nonce
+  in
+  slot.since_load <- slot.since_load + 1;
+  slot.served <- slot.served + 1;
+  (os, { s_cold = cold; s_churn_cycles = churn; s_verdict = verdict })
+
+(** Tear down every slot (end of shard); returns pages to the
+    allocator so conservation checks can run. *)
+let drain t os =
+  Array.fold_left
+    (fun os slot ->
+      match Loader.unload os slot.handle with
+      | Ok os -> os
+      | Error e ->
+          failwith
+            (Format.asprintf "serve pool: draining slot %d: %a" slot.id
+               Loader.pp_error e))
+    os t.slots

@@ -1,0 +1,67 @@
+(** A recycled, page-budget-aware pool of notary enclaves.
+
+    Slots are pre-warmed (loaded and finalised at pool creation); a
+    recycle period of N tears each slot's enclave down and rebuilds it
+    every N sessions, charging the full Create...Remove lifecycle to
+    the model clock. Slot admission is clamped to what the OS
+    allocator's free secure pages can back. *)
+
+module Word = Komodo_machine.Word
+module Os = Komodo_os.Os
+
+type slot = {
+  id : int;
+  shared : Word.t;
+  mutable handle : Komodo_os.Loader.handle;
+  mutable thread : int;
+  mutable measurement : string;
+  mutable since_load : int;
+  mutable served : int;
+  mutable free_at : int;  (** model cycle the slot next falls idle
+                              (maintained by the engine) *)
+}
+
+type t
+
+val slot_shared : int -> Word.t
+(** Slot [i]'s insecure shared window (after the verifier inbox). *)
+
+val create : Os.t -> slots:int -> recycle:int -> Os.t * t
+(** Load [min slots budget] notary enclaves.
+    @raise Invalid_argument on a non-positive slot count or negative
+    recycle period.
+    @raise Failure if even one enclave cannot be backed, or a load
+    fails. *)
+
+val slots : t -> int
+
+val slot : t -> int -> slot
+(** Slot by index, for custom drivers and tests. *)
+
+val requested : t -> int
+
+val clamped : t -> bool
+(** True when the page budget admitted fewer slots than requested. *)
+
+val warm : t -> int
+val cold : t -> int
+val rebuilds : t -> int
+val churn_cycles : t -> int
+
+val hit_rate : t -> float
+(** [warm / (warm + cold)]; 1.0 before any session. *)
+
+val earliest_free : t -> slot
+val idle_slot : t -> now:int -> slot option
+
+type service = {
+  s_cold : bool;
+  s_churn_cycles : int;
+  s_verdict : Session.verdict;
+}
+
+val serve : t -> Os.t -> slot -> nonce:string -> Os.t * service
+(** Serve one session (recycling first when due). *)
+
+val drain : t -> Os.t -> Os.t
+(** Unload every slot, returning its pages. *)

@@ -1,0 +1,61 @@
+(** The serve campaign report: per-shard results and their
+    order-insensitive reduction. Every field is a sum, a max, or a
+    histogram multiset, so merges commute and the rendered report is
+    byte-identical at any [-j]. All latency is model cycles; wallclock
+    never appears here. *)
+
+module Hist = Komodo_telemetry.Hist
+module Json = Komodo_telemetry.Json
+
+type t = {
+  mutable shards : int;
+  mutable offered : int;  (** sessions that arrived (served + shed) *)
+  mutable served : int;
+  mutable verify_failures : int;
+      (** genuine MAC rejected, tampered MAC accepted, enclave verifier
+          disagreed, or an Enter failed *)
+  mutable enclave_verified : int;  (** sessions re-checked in-enclave *)
+  mutable shed_full : int;
+  mutable shed_deadline : int;
+  mutable queue_peak : int;  (** max queue depth over all shards *)
+  mutable pool_slots : int;  (** slots per shard (post-clamp) *)
+  mutable pool_requested : int;
+  mutable warm : int;
+  mutable cold : int;
+  mutable rebuilds : int;
+  mutable churn_cycles : int;
+  mutable busy_cycles : int;  (** slot-busy model cycles, all shards *)
+  mutable capacity_cycles : int;  (** slots x makespan, summed over shards *)
+  mutable makespan : int;  (** max shard makespan, model cycles *)
+  h_enter : Hist.t;
+  h_attest : Hist.t;
+  h_wait : Hist.t;
+  h_sojourn : Hist.t;
+}
+
+val create : unit -> t
+(** An empty (zero-shard) report — the merge identity. *)
+
+val shed : t -> int
+(** [shed_full + shed_deadline]. *)
+
+val hit_rate : t -> float
+(** [warm / (warm + cold)]; 1.0 before any session. *)
+
+val utilization : t -> float
+(** [busy_cycles / capacity_cycles]; 0.0 on an empty report. *)
+
+val merge_into : t -> t -> unit
+(** Fold the second report into the first; commutative and associative
+    in the source argument. *)
+
+val merge : t array -> t
+
+val render : t -> string
+(** The deterministic stdout report — a pure function of
+    (sessions, seed, flags), never of wallclock or [-j]. *)
+
+val schema : string
+(** The JSON schema tag, ["komodo-serve/1"]. *)
+
+val to_json : t -> Json.t

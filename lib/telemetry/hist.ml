@@ -91,8 +91,14 @@ let copy t =
   merge_into fresh t;
   fresh
 
-let quantile t q =
-  if t.count = 0 then 0
+(* An empty histogram has no quantiles. [quantile] keeps the historical
+   0 (callers render it as a plain number in reports that are diffed
+   byte-for-byte); [quantile_opt] makes emptiness unmistakable for
+   callers that must distinguish "p99 = 0 cycles" from "no samples". *)
+let quantile_opt t q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg (Printf.sprintf "Hist.quantile: %g outside [0, 1]" q);
+  if t.count = 0 then None
   else begin
     let rank = int_of_float (ceil (q *. float_of_int t.count)) in
     let rank = max 1 (min t.count rank) in
@@ -107,8 +113,10 @@ let quantile t q =
          end
        done
      with Exit -> ());
-    if !found then !result else t.max_v
+    Some (if !found then !result else t.max_v)
   end
+
+let quantile t q = Option.value (quantile_opt t q) ~default:0
 
 let p50 t = quantile t 0.50
 let p90 t = quantile t 0.90

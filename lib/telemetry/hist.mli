@@ -31,8 +31,15 @@ val mean : t -> float
 
 val quantile : t -> float -> int
 (** Nearest-rank quantile, reported as the containing bucket's upper
-    bound (capped at the exact maximum): never understates. 0 when
-    empty. *)
+    bound (capped at the exact maximum): never understates. An empty
+    histogram reports 0 — convenient for byte-diffed reports, but
+    indistinguishable from a genuine 0-cycle quantile; callers that
+    need the distinction use {!quantile_opt}.
+    @raise Invalid_argument if the rank is outside [0, 1] (or NaN). *)
+
+val quantile_opt : t -> float -> int option
+(** As {!quantile}, but [None] on an empty histogram.
+    @raise Invalid_argument if the rank is outside [0, 1] (or NaN). *)
 
 val p50 : t -> int
 val p90 : t -> int

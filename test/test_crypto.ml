@@ -273,4 +273,61 @@ let late_suite =
     Testlib.qcheck prop_compare_total_order;
   ]
 
-let suite = suite @ late_suite
+(* -- Attestation MAC negative paths ------------------------------------- *)
+
+module Attest = Komodo_core.Attest
+
+(* A forged, replayed, or corrupted attestation must never verify: the
+   serving subsystem trusts [Attest.verify] as its per-session oracle,
+   so each rejection class gets its own check. *)
+let test_attest_verify_negative_paths () =
+  let key = Sha256.digest "boot secret" in
+  let measurement = Sha256.digest "enclave" in
+  let data = Sha256.digest "session nonce" in
+  let mac = Attest.create ~key ~measurement ~data in
+  Alcotest.(check bool) "genuine MAC verifies" true
+    (Attest.verify ~key ~measurement ~data ~mac);
+  Alcotest.(check bool) "wrong key rejected" false
+    (Attest.verify ~key:(Sha256.digest "other boot") ~measurement ~data ~mac);
+  Alcotest.(check bool) "wrong measurement rejected" false
+    (Attest.verify ~key ~measurement:(Sha256.digest "impostor") ~data ~mac);
+  Alcotest.(check bool) "wrong data rejected" false
+    (Attest.verify ~key ~measurement ~data:(Sha256.digest "replayed nonce") ~mac);
+  Alcotest.(check bool) "truncated MAC rejected" false
+    (Attest.verify ~key ~measurement ~data ~mac:(String.sub mac 0 31));
+  Alcotest.(check bool) "empty MAC rejected" false
+    (Attest.verify ~key ~measurement ~data ~mac:"");
+  (* every single-bit corruption of the MAC must be rejected *)
+  for byte = 0 to 31 do
+    for bit = 0 to 7 do
+      let flipped =
+        String.mapi
+          (fun i c -> if i = byte then Char.chr (Char.code c lxor (1 lsl bit)) else c)
+          mac
+      in
+      if Attest.verify ~key ~measurement ~data ~mac:flipped then
+        Alcotest.failf "bit-flipped MAC accepted (byte %d bit %d)" byte bit
+    done
+  done
+
+let test_attest_create_validates_sizes () =
+  let k32 = Sha256.digest "k" in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": accepted a bad size")
+  in
+  expect_invalid "short measurement" (fun () ->
+      Attest.create ~key:k32 ~measurement:"short" ~data:k32);
+  expect_invalid "short data" (fun () ->
+      Attest.create ~key:k32 ~measurement:k32 ~data:"short")
+
+let attest_suite =
+  [
+    Alcotest.test_case "Attest.verify negative paths" `Quick
+      test_attest_verify_negative_paths;
+    Alcotest.test_case "Attest.create size validation" `Quick
+      test_attest_create_validates_sizes;
+  ]
+
+let suite = suite @ late_suite @ attest_suite

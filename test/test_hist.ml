@@ -135,6 +135,38 @@ let prop_json_roundtrip =
           | Error _ -> false
           | Ok h' -> Hist.equal h h'))
 
+(* -- Empty-histogram hardening ------------------------------------------ *)
+
+(* An empty histogram has no quantiles: [quantile] reports the
+   documented 0 sentinel (byte-diffed reports), [quantile_opt] makes
+   the emptiness unmistakable, and both reject ranks outside [0, 1]. *)
+let test_empty_quantiles () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty p50 = 0" 0 (Hist.p50 h);
+  Alcotest.(check int) "empty p999 = 0" 0 (Hist.p999 h);
+  Alcotest.(check (option int)) "empty quantile_opt = None" None (Hist.quantile_opt h 0.99);
+  Alcotest.(check (option int)) "empty quantile_opt at 0" None (Hist.quantile_opt h 0.0);
+  Alcotest.(check int) "empty max" 0 (Hist.max_value h);
+  Hist.record h 0;
+  Alcotest.(check (option int))
+    "a genuine 0-cycle sample is Some 0, not None"
+    (Some 0) (Hist.quantile_opt h 0.5);
+  Alcotest.(check int) "quantile agrees" 0 (Hist.quantile h 0.5)
+
+let test_quantile_rank_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": accepted an out-of-range rank")
+  in
+  let empty = Hist.create () in
+  let loaded = of_samples [ 1; 2; 3 ] in
+  expect_invalid "q > 1 (empty)" (fun () -> Hist.quantile empty 1.5);
+  expect_invalid "q < 0" (fun () -> Hist.quantile loaded (-0.1));
+  expect_invalid "NaN" (fun () -> Hist.quantile_opt loaded Float.nan);
+  Alcotest.(check int) "q = 1.0 is the max" 3 (Hist.quantile loaded 1.0);
+  Alcotest.(check int) "q = 0.0 is the first sample's bucket" 1 (Hist.quantile loaded 0.0)
+
 let test_of_json_rejects_garbage () =
   (match Hist.of_json (Json.Str "nope") with
   | Ok _ -> Alcotest.fail "accepted a string"
@@ -154,4 +186,6 @@ let suite =
     Alcotest.test_case "merge leaves source intact" `Quick test_merge_leaves_source_intact;
     qcheck prop_json_roundtrip;
     Alcotest.test_case "of_json rejects garbage" `Quick test_of_json_rejects_garbage;
+    Alcotest.test_case "empty-histogram quantiles" `Quick test_empty_quantiles;
+    Alcotest.test_case "quantile rank validation" `Quick test_quantile_rank_validation;
   ]

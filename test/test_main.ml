@@ -33,4 +33,5 @@ let () =
       ("fault", Test_fault.suite);
       ("seedsplit", Test_seedsplit.suite);
       ("campaign", Test_campaign.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,317 @@
+(* The serving subsystem: deterministic workloads, bounded admission,
+   enclave pooling with lifecycle recycling, per-session attestation,
+   and the campaign-level -j 1 / -j N byte-identity contract.
+
+   The PageDB conservation test is the churn regression the engine also
+   enforces per shard: hundreds of Create -> ... -> Remove recycles
+   must hand back exactly the pages they borrowed. *)
+
+module Os = Komodo_os.Os
+module Alloc = Komodo_os.Alloc
+module Monitor = Komodo_core.Monitor
+module Pagedb = Komodo_core.Pagedb
+module State = Komodo_machine.State
+module Errors = Komodo_core.Errors
+module Hist = Komodo_telemetry.Hist
+module Json = Komodo_telemetry.Json
+module Workload = Komodo_serve.Workload
+module Backpressure = Komodo_serve.Backpressure
+module Session = Komodo_serve.Session
+module Pool = Komodo_serve.Pool
+module Engine = Komodo_serve.Engine
+module Report = Komodo_serve.Report
+module Serve = Komodo_serve.Serve
+
+(* -- Workload ------------------------------------------------------------ *)
+
+let draw_gaps arrival ~seed n =
+  let rng = Workload.rng ~seed in
+  let gen = Workload.gaps arrival ~mean_gap:10_000 rng in
+  List.init n (fun _ -> gen ())
+
+let test_workload_deterministic () =
+  List.iter
+    (fun arrival ->
+      let a = draw_gaps arrival ~seed:7 200 in
+      let b = draw_gaps arrival ~seed:7 200 in
+      Alcotest.(check (list int))
+        (Workload.arrival_name arrival ^ " gaps are a function of the seed")
+        a b;
+      let c = draw_gaps arrival ~seed:8 200 in
+      Alcotest.(check bool)
+        (Workload.arrival_name arrival ^ " seed changes the stream")
+        true (a <> c))
+    [ Workload.Poisson; Workload.Uniform; Workload.Burst ];
+  let n1 = Workload.nonce (Workload.rng ~seed:7) in
+  let n2 = Workload.nonce (Workload.rng ~seed:7) in
+  Alcotest.(check string) "nonces are a function of the seed" n1 n2;
+  Alcotest.(check int) "nonce is 32 bytes" 32 (String.length n1)
+
+let test_workload_means () =
+  List.iter
+    (fun arrival ->
+      let gaps = draw_gaps arrival ~seed:11 20_000 in
+      List.iter
+        (fun g ->
+          if g < 1 then
+            Alcotest.failf "%s emitted gap %d < 1" (Workload.arrival_name arrival) g)
+        gaps;
+      let mean =
+        float_of_int (List.fold_left ( + ) 0 gaps) /. float_of_int (List.length gaps)
+      in
+      let err = Float.abs (mean -. 10_000.) /. 10_000. in
+      if err > 0.1 then
+        Alcotest.failf "%s long-run mean %.0f is off the 10000 target"
+          (Workload.arrival_name arrival) mean)
+    [ Workload.Poisson; Workload.Uniform; Workload.Burst ]
+
+(* -- Backpressure -------------------------------------------------------- *)
+
+let test_backpressure_capacity () =
+  let q = Backpressure.create ~capacity:2 ~policy:Backpressure.Drop in
+  Alcotest.(check bool) "first queued" true (Backpressure.offer q ~now:0 "a" = `Queued);
+  Alcotest.(check bool) "second queued" true (Backpressure.offer q ~now:1 "b" = `Queued);
+  Alcotest.(check bool) "third shed" true (Backpressure.offer q ~now:2 "c" = `Shed);
+  Alcotest.(check int) "depth" 2 (Backpressure.depth q);
+  Alcotest.(check int) "max depth" 2 (Backpressure.max_depth q);
+  Alcotest.(check int) "shed_full" 1 (Backpressure.shed_full q);
+  (match Backpressure.take q ~now:5 ~expired:(fun _ -> ()) with
+  | Some (0, "a") -> ()
+  | _ -> Alcotest.fail "FIFO order broken");
+  Alcotest.(check int) "depth after take" 1 (Backpressure.depth q);
+  (* zero capacity sheds every offer *)
+  let z = Backpressure.create ~capacity:0 ~policy:Backpressure.Drop in
+  Alcotest.(check bool) "zero capacity sheds" true (Backpressure.offer z ~now:0 () = `Shed);
+  match Backpressure.create ~capacity:(-1) ~policy:Backpressure.Drop with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative capacity accepted"
+
+let test_backpressure_deadline () =
+  let q = Backpressure.create ~capacity:8 ~policy:(Backpressure.Deadline 100) in
+  ignore (Backpressure.offer q ~now:0 "stale");
+  ignore (Backpressure.offer q ~now:90 "older");
+  ignore (Backpressure.offer q ~now:150 "fresh");
+  let expired = ref [] in
+  (match Backpressure.take q ~now:200 ~expired:(fun s -> expired := s :: !expired) with
+  | Some (150, "fresh") -> ()
+  | _ -> Alcotest.fail "survivor should be the fresh session");
+  Alcotest.(check (list string))
+    "expired heads reported oldest-first" [ "stale"; "older" ] (List.rev !expired);
+  Alcotest.(check int) "shed_deadline" 2 (Backpressure.shed_deadline q);
+  Alcotest.(check int) "shed total" 2 (Backpressure.shed q);
+  (* a wait of exactly the deadline is still served *)
+  let q2 = Backpressure.create ~capacity:4 ~policy:(Backpressure.Deadline 100) in
+  ignore (Backpressure.offer q2 ~now:0 "edge");
+  match Backpressure.take q2 ~now:100 ~expired:(fun _ -> Alcotest.fail "edge shed") with
+  | Some (0, "edge") -> ()
+  | _ -> Alcotest.fail "deadline-edge session lost"
+
+(* -- Session and pool ---------------------------------------------------- *)
+
+let boot_serve ?(seed = 0xBEEF) ?(npages = 96) () = Os.boot ~seed ~npages ()
+
+let test_session_attest () =
+  let os = boot_serve () in
+  let os, pool = Pool.create os ~slots:1 ~recycle:0 in
+  let slot = Pool.slot pool 0 in
+  let nonce = Workload.nonce (Workload.rng ~seed:3) in
+  let _os, svc = Pool.serve pool os slot ~nonce in
+  let v = svc.Pool.s_verdict in
+  Alcotest.(check bool) "enter succeeded" true (Errors.is_success v.Session.v_err);
+  Alcotest.(check bool) "genuine MAC accepted" true v.Session.v_mac_ok;
+  Alcotest.(check bool) "tampered MAC rejected" true v.Session.v_tamper_rejected;
+  Alcotest.(check bool) "enter costs cycles" true (v.Session.v_enter_cycles > 0)
+
+let test_enclave_verify_path () =
+  let os = boot_serve () in
+  (* verifier in the base shared window, one notary slot above it *)
+  let os, vh =
+    match Komodo_os.Loader.load os (Session.verifier_image ~shared_target:Os.shared_base) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "verifier load: %a" Komodo_os.Loader.pp_error e
+  in
+  let os, pool = Pool.create os ~slots:1 ~recycle:0 in
+  let slot = Pool.slot pool 0 in
+  let nonce = Workload.nonce (Workload.rng ~seed:4) in
+  let os, svc = Pool.serve pool os slot ~nonce in
+  Alcotest.(check bool) "notary session ok" true
+    svc.Pool.s_verdict.Session.v_mac_ok;
+  let mac = Session.published_mac os ~shared:slot.Pool.shared in
+  let vthread = List.hd vh.Komodo_os.Loader.threads in
+  let os, cycles, ok =
+    Session.enclave_verify ~os ~thread:vthread ~shared:Os.shared_base
+      ~measurement:slot.Pool.measurement ~nonce ~mac
+  in
+  Alcotest.(check bool) "in-enclave verify accepts the genuine MAC" true ok;
+  Alcotest.(check bool) "verify enter costs cycles" true (cycles > 0);
+  let bad = String.mapi (fun i c -> if i = 5 then '\xff' else c) mac in
+  let _os, _, ok_bad =
+    Session.enclave_verify ~os ~thread:vthread ~shared:Os.shared_base
+      ~measurement:slot.Pool.measurement ~nonce ~mac:bad
+  in
+  Alcotest.(check bool) "in-enclave verify rejects a corrupted MAC" false ok_bad
+
+let test_pool_budget_clamp () =
+  let os = boot_serve ~npages:96 () in
+  let affordable = Alloc.available os.Os.alloc / Session.pages_per_enclave in
+  let os, pool = Pool.create os ~slots:(affordable + 50) ~recycle:0 in
+  Alcotest.(check int) "clamped to the page budget" affordable (Pool.slots pool);
+  Alcotest.(check bool) "clamp reported" true (Pool.clamped pool);
+  Alcotest.(check int) "request remembered" (affordable + 50) (Pool.requested pool);
+  ignore (Pool.drain pool os);
+  match Pool.create os ~slots:0 ~recycle:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero slots accepted"
+
+let test_pool_recycling () =
+  let os = boot_serve () in
+  let os, pool = Pool.create os ~slots:1 ~recycle:3 in
+  let slot = Pool.slot pool 0 in
+  let rng = Workload.rng ~seed:9 in
+  let os = ref os in
+  for _ = 1 to 10 do
+    let os', _ = Pool.serve pool !os slot ~nonce:(Workload.nonce rng) in
+    os := os'
+  done;
+  (* sessions 4, 7 and 10 (since_load hits 3) pay a rebuild *)
+  Alcotest.(check int) "rebuilds" 3 (Pool.rebuilds pool);
+  Alcotest.(check int) "cold sessions" 3 (Pool.cold pool);
+  Alcotest.(check int) "warm sessions" 7 (Pool.warm pool);
+  Alcotest.(check bool) "churn charged" true (Pool.churn_cycles pool > 0);
+  Alcotest.(check (float 0.001)) "hit rate" 0.7 (Pool.hit_rate pool)
+
+(* Satellite regression: PageDB conservation under recycle churn. The
+   free-page count after draining a heavily recycled pool must equal
+   the pre-pool count, with every invariant intact. *)
+let test_pagedb_conservation_under_churn () =
+  let os = boot_serve ~npages:96 () in
+  let mon0 = os.Os.mon in
+  let free0 = Pagedb.free_count mon0.Monitor.pagedb in
+  let os, pool = Pool.create os ~slots:3 ~recycle:2 in
+  let rng = Workload.rng ~seed:5 in
+  let os = ref os in
+  for i = 0 to 59 do
+    let slot = Pool.slot pool (i mod 3) in
+    let os', svc = Pool.serve pool !os slot ~nonce:(Workload.nonce rng) in
+    os := os';
+    if not svc.Pool.s_verdict.Session.v_mac_ok then
+      Alcotest.failf "session %d MAC rejected" i
+  done;
+  Alcotest.(check bool) "churn actually happened" true (Pool.rebuilds pool > 20);
+  let os = Pool.drain pool !os in
+  let mon = os.Os.mon in
+  Alcotest.(check int) "free pages conserved" free0
+    (Pagedb.free_count mon.Monitor.pagedb);
+  let violations =
+    Pagedb.check mon.Monitor.plat mon.Monitor.mach.State.mem mon.Monitor.pagedb
+  in
+  Alcotest.(check (list string))
+    "PageDB invariants hold after churn" []
+    (List.map (Format.asprintf "%a" Pagedb.pp_violation) violations)
+
+(* -- Engine and campaign ------------------------------------------------- *)
+
+let small_cfg =
+  {
+    Serve.defaults with
+    Serve.sessions = 800;
+    shard_sessions = 200;
+    npages = 96;
+    recycle = 16;
+  }
+
+let test_serve_j1_j4_identical () =
+  let r1 = Serve.run ~jobs:1 ~cfg:small_cfg ~seed:7 () in
+  let r4 = Serve.run ~jobs:4 ~cfg:small_cfg ~seed:7 () in
+  Alcotest.(check string) "rendered report byte-identical"
+    (Report.render r1) (Report.render r4);
+  Alcotest.(check string) "JSON byte-identical"
+    (Json.to_string (Report.to_json r1))
+    (Json.to_string (Report.to_json r4));
+  Alcotest.(check int) "all sessions offered" 800 r1.Report.offered;
+  Alcotest.(check int) "accounting closes" 800
+    (r1.Report.served + Report.shed r1);
+  Alcotest.(check int) "no verification failures" 0 r1.Report.verify_failures
+
+let test_serve_closed_loop () =
+  let cfg =
+    { small_cfg with Serve.mode = Workload.Closed { clients = 16; think = 30_000 } }
+  in
+  let r = Serve.run ~jobs:2 ~cfg ~seed:11 () in
+  Alcotest.(check int) "offered" 800 r.Report.offered;
+  Alcotest.(check int) "accounting closes" 800 (r.Report.served + Report.shed r);
+  Alcotest.(check int) "clean verification" 0 r.Report.verify_failures;
+  Alcotest.(check bool) "histogram counts served sessions" true
+    (Hist.count r.Report.h_sojourn = r.Report.served)
+
+let test_serve_deadline_sheds_under_overload () =
+  let cfg =
+    {
+      small_cfg with
+      Serve.gap = 2_000 (* ~5x oversubscribed *);
+      policy = Backpressure.Deadline 60_000;
+      everify = 0;
+    }
+  in
+  let r = Serve.run ~jobs:2 ~cfg ~seed:13 () in
+  Alcotest.(check bool) "deadline shed some sessions" true (r.Report.shed_deadline > 0);
+  Alcotest.(check int) "accounting still closes" 800
+    (r.Report.served + Report.shed r);
+  Alcotest.(check int) "everify off means none routed" 0 r.Report.enclave_verified;
+  (* served sessions never waited past the deadline *)
+  Alcotest.(check bool) "served waits bounded by the deadline" true
+    (Hist.max_value r.Report.h_wait <= 60_000)
+
+let test_report_merge_order_insensitive () =
+  let mk seed =
+    Engine.run
+      {
+        Engine.e_sessions = 150;
+        e_slots = 2;
+        e_recycle = 8;
+        e_queue = 16;
+        e_policy = Backpressure.Drop;
+        e_mode = Workload.Open Workload.Poisson;
+        e_gap = 15_000;
+        e_everify = 16;
+        e_npages = 96;
+      }
+      ~seed
+  in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  let r1 = Report.merge [| a; b; c |] in
+  let r2 = Report.merge [| c; a; b |] in
+  Alcotest.(check string) "merge order cannot change the report"
+    (Report.render r1) (Report.render r2);
+  Alcotest.(check int) "shards counted" 3 r1.Report.shards
+
+let test_shard_count_pure () =
+  Alcotest.(check int) "exact division" 4
+    (Serve.shards ~sessions:800 ~shard_sessions:200);
+  Alcotest.(check int) "remainder adds a shard" 5
+    (Serve.shards ~sessions:801 ~shard_sessions:200);
+  Alcotest.(check int) "single shard" 1 (Serve.shards ~sessions:5 ~shard_sessions:200);
+  match Serve.shards ~sessions:0 ~shard_sessions:200 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero sessions accepted"
+
+let suite =
+  [
+    Alcotest.test_case "workload streams deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "arrival long-run means" `Quick test_workload_means;
+    Alcotest.test_case "backpressure capacity/shed" `Quick test_backpressure_capacity;
+    Alcotest.test_case "backpressure deadline expiry" `Quick test_backpressure_deadline;
+    Alcotest.test_case "session attest flow" `Quick test_session_attest;
+    Alcotest.test_case "in-enclave verify path" `Quick test_enclave_verify_path;
+    Alcotest.test_case "pool page-budget clamp" `Quick test_pool_budget_clamp;
+    Alcotest.test_case "pool recycling accounting" `Quick test_pool_recycling;
+    Alcotest.test_case "PageDB conservation under churn" `Quick
+      test_pagedb_conservation_under_churn;
+    Alcotest.test_case "serve -j 1 = -j 4 byte-identical" `Quick test_serve_j1_j4_identical;
+    Alcotest.test_case "closed-loop campaign" `Quick test_serve_closed_loop;
+    Alcotest.test_case "deadline shedding under overload" `Quick
+      test_serve_deadline_sheds_under_overload;
+    Alcotest.test_case "report merge order-insensitive" `Quick
+      test_report_merge_order_insensitive;
+    Alcotest.test_case "shard count pure in sessions" `Quick test_shard_count_pure;
+  ]
