@@ -14,6 +14,7 @@ module Cover = Komodo_spec.Cover
 module Metrics = Komodo_telemetry.Metrics
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
+module Vaultdrive = Komodo_fault.Vaultdrive
 
 let covers cs =
   let c = Cover.create () in
@@ -69,6 +70,47 @@ let check ~(prefix : Diff.trial array) ~(failure : check_failure option) :
       }
 
 (* -- fault campaigns ----------------------------------------------------- *)
+
+(* -- vault (storage fault) campaigns ------------------------------------- *)
+
+type vault_failure = {
+  vf_index : int;
+  vf_seed : int;
+  vf_trial : Vaultdrive.trial;
+  vf_shrunk : Vaultdrive.sop list * Vaultdrive.violation;
+}
+
+let vault ~(prefix : Vaultdrive.trial array) ~(failure : vault_failure option) :
+    Vaultdrive.outcome =
+  let all =
+    Array.to_list prefix
+    @ match failure with None -> [] | Some f -> [ f.vf_trial ]
+  in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 all in
+  let total_sops = sum (fun t -> t.Vaultdrive.t_sops_run) in
+  let total_probes = sum (fun t -> t.Vaultdrive.t_probes) in
+  let total_detected = sum (fun t -> t.Vaultdrive.t_detected) in
+  let total_accepted = sum (fun t -> t.Vaultdrive.t_accepted) in
+  match failure with
+  | None ->
+      {
+        Vaultdrive.trials_run = Array.length prefix;
+        total_sops;
+        total_probes;
+        total_detected;
+        total_accepted;
+        violation = None;
+      }
+  | Some f ->
+      let shrunk, v = f.vf_shrunk in
+      {
+        Vaultdrive.trials_run = f.vf_index + 1;
+        total_sops;
+        total_probes;
+        total_detected;
+        total_accepted;
+        violation = Some (f.vf_seed, shrunk, v);
+      }
 
 type fault_failure = {
   ff_index : int;

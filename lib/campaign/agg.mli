@@ -11,6 +11,7 @@ module Cover = Komodo_spec.Cover
 module Metrics = Komodo_telemetry.Metrics
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
+module Vaultdrive = Komodo_fault.Vaultdrive
 
 val covers : Cover.t list -> Cover.t
 (** Merge per-trial coverage tables into a fresh one. *)
@@ -44,3 +45,17 @@ val fault :
   prefix:Drive.trial array -> failure:fault_failure option -> Drive.outcome
 (** Fault-campaign reduction: fop/injection totals are sums, blackout
     is a max, the violation reports the lowest failing trial. *)
+
+type vault_failure = {
+  vf_index : int;
+  vf_seed : int;
+  vf_trial : Vaultdrive.trial;
+  vf_shrunk : Vaultdrive.sop list * Vaultdrive.violation;
+}
+
+val vault :
+  prefix:Vaultdrive.trial array ->
+  failure:vault_failure option ->
+  Vaultdrive.outcome
+(** Storage-campaign reduction: sop/probe/detected/accepted totals are
+    sums, the violation reports the lowest failing trial. *)

@@ -10,6 +10,7 @@
 
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
+module Vaultdrive = Komodo_fault.Vaultdrive
 
 let default_jobs = Pool.default_jobs
 let trial_seed ~root index = Seedsplit.derive ~root index
@@ -87,3 +88,39 @@ let fault ?npages ?ops_per_trial ?(profile = false) ?clock ?progress ?bug ?jobs
       in
       Agg.fault ~prefix
         ~failure:(Some { Agg.ff_index = index; ff_seed; ff_trial = failure; ff_shrunk })
+
+let vault ?npages ?ops_per_trial ?progress ?bug ?jobs ~classes ~trials ~seed ()
+    =
+  let jobs = resolve_jobs jobs in
+  let tseed = trial_seed ~root:seed in
+  let run i =
+    Vaultdrive.run_trial ?npages ?ops_per_trial ?bug ~classes ~seed:(tseed i) ()
+  in
+  let on_trial = Option.map (fun p i t -> Progress.vault_trial p i t) progress in
+  let finish r = Option.iter Progress.finish progress; r in
+  finish
+  @@
+  match
+    Pool.run ~label:(label "vault" tseed) ?on_trial ~jobs ~trials
+      ~failed:(fun t -> t.Vaultdrive.t_violation <> None)
+      run
+  with
+  | Pool.Completed prefix -> Agg.vault ~prefix ~failure:None
+  | Pool.Stopped { prefix; index; failure } ->
+      let vf_seed = tseed index in
+      let vf_shrunk =
+        match
+          Vaultdrive.shrink_trial ?npages ?ops_per_trial ?bug ~classes
+            ~seed:vf_seed ()
+        with
+        | Some r -> r
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "campaign: vault trial %d (seed %d) violated in the pool but \
+                  not when re-run for shrinking — the trial is not a pure \
+                  function of its seed"
+                 index vf_seed)
+      in
+      Agg.vault ~prefix
+        ~failure:(Some { Agg.vf_index = index; vf_seed; vf_trial = failure; vf_shrunk })

@@ -61,3 +61,20 @@ val fault :
   Komodo_fault.Drive.outcome
 (** The fault-injection campaign (`komodo fault`), same engine and
     guarantees. *)
+
+val vault :
+  ?npages:int ->
+  ?ops_per_trial:int ->
+  ?progress:Progress.t ->
+  ?bug:Komodo_user.Vault.bug ->
+  ?jobs:int ->
+  classes:Komodo_fault.Vaultdrive.storage_class list ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Komodo_fault.Vaultdrive.outcome
+(** The sealed-storage fault campaign (`komodo vault`), same engine
+    and guarantees: each trial boots a vault world from its derived
+    seed, injects storage faults, and judges every unseal against
+    {!Komodo_spec.Sealspec}. [bug] arms a detection-disable bug in the
+    vault enclave (self-test). *)

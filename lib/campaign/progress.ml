@@ -15,6 +15,7 @@ module Hist = Komodo_telemetry.Hist
 module Json = Komodo_telemetry.Json
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
+module Vaultdrive = Komodo_fault.Vaultdrive
 
 let schema = "komodo-progress/1"
 
@@ -45,6 +46,11 @@ type t = {
   s_enter : Hist.t;  (** merged enter-latency histogram, model cycles *)
   s_attest : Hist.t;  (** merged service-latency histogram, model cycles *)
   mutable have_serve : bool;
+  (* Vault (storage fault) campaign counters, gated by [have_vault]. *)
+  mutable v_probes : int;
+  mutable v_detected : int;
+  mutable v_accepted : int;
+  mutable have_vault : bool;
   mutable last_emit : float;
   mutable emitted : int;
 }
@@ -75,6 +81,10 @@ let create ?(interval = 0.5) ?(live = false) ?jsonl ~now ~label ~total () =
     s_enter = Hist.create ();
     s_attest = Hist.create ();
     have_serve = false;
+    v_probes = 0;
+    v_detected = 0;
+    v_accepted = 0;
+    have_vault = false;
     last_emit = neg_infinity;
     emitted = 0;
   }
@@ -113,7 +123,8 @@ let snapshot_json t elapsed =
     ]
   in
   let fault =
-    if t.classes = [] && t.injections = 0 && t.blackout = 0 then []
+    if t.have_vault || (t.classes = [] && t.injections = 0 && t.blackout = 0)
+    then []
     else
       [
         ("injections", Json.Int t.injections);
@@ -167,10 +178,42 @@ let snapshot_json t elapsed =
             ] );
       ]
   in
-  Json.Obj (base @ fault @ cycles @ serve)
+  let vault =
+    if not t.have_vault then []
+    else
+      let rate =
+        let refusals = t.v_probes - t.v_accepted in
+        if refusals = 0 then 1.0
+        else float_of_int t.v_detected /. float_of_int refusals
+      in
+      [
+        ( "vault",
+          Json.Obj
+            [
+              ("probes", Json.Int t.v_probes);
+              ("detected", Json.Int t.v_detected);
+              ("accepted", Json.Int t.v_accepted);
+              ("detection_rate", Json.Float rate);
+              ( "storage_classes",
+                Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.classes)
+              );
+            ] );
+      ]
+  in
+  Json.Obj (base @ fault @ cycles @ serve @ vault)
 
 let live_line t elapsed =
-  if t.have_serve then begin
+  if t.have_vault then begin
+    let tps =
+      if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0.
+    in
+    Printf.sprintf
+      "\rkomodo %s: %d/%d trials, %.1f trials/s, %d probes (%d detected, %d \
+       accepted), %d violations"
+      t.label t.trials_done t.total tps t.v_probes t.v_detected t.v_accepted
+      t.failures
+  end
+  else if t.have_serve then begin
     let total = t.s_warm + t.s_cold in
     let hit = if total = 0 then 100.0 else 100.0 *. float_of_int t.s_warm /. float_of_int total in
     let sps = if elapsed > 0. then float_of_int t.s_served /. elapsed else 0. in
@@ -257,6 +300,18 @@ let serve_trial t _index ~served ~shed ~warm ~cold ~enter ~attest =
       t.s_cold <- t.s_cold + cold;
       Hist.merge_into t.s_enter enter;
       Hist.merge_into t.s_attest attest;
+      emit t ~final:false)
+
+let vault_trial t _index (tr : Vaultdrive.trial) =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.have_vault <- true;
+      t.ops <- t.ops + tr.Vaultdrive.t_sops_run;
+      t.v_probes <- t.v_probes + tr.Vaultdrive.t_probes;
+      t.v_detected <- t.v_detected + tr.Vaultdrive.t_detected;
+      t.v_accepted <- t.v_accepted + tr.Vaultdrive.t_accepted;
+      merge_classes t tr.Vaultdrive.t_classes;
+      if tr.Vaultdrive.t_violation <> None then t.failures <- t.failures + 1;
       emit t ~final:false)
 
 let finish t =

@@ -37,6 +37,12 @@ val check_trial : t -> int -> Komodo_spec.Diff.trial -> unit
 
 val fault_trial : t -> int -> Komodo_fault.Drive.trial -> unit
 
+val vault_trial : t -> int -> Komodo_fault.Vaultdrive.trial -> unit
+(** Fold one finished storage-fault trial in. Switches snapshots and
+    the live line to the vault rendering: probe/detected/accepted
+    totals, detection rate, per-class op counts. Check/fault/serve
+    snapshot output is unchanged. *)
+
 val serve_trial :
   t ->
   int ->

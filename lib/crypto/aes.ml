@@ -1,0 +1,150 @@
+(* AES-256 (FIPS 197), forward cipher only.
+
+   The vault enclave seals its persistent state with AES-256-GCM, and
+   GCM needs nothing but the forward block transform (CTR mode for
+   confidentiality, one block over zero for the GHASH subkey), so the
+   inverse cipher is deliberately absent. Tables are derived at module
+   load from the GF(2^8) generator rather than pasted in, keeping the
+   implementation auditable the same way [Sha256]'s constants are. *)
+
+let block_size = 16
+let key_size = 32
+let rounds = 14
+
+(* -- GF(2^8) arithmetic ---------------------------------------------------- *)
+
+(* Log/antilog tables over the AES field x^8 + x^4 + x^3 + x + 1,
+   built from the generator 3. *)
+let exp_table, log_table =
+  let exp = Array.make 256 0 and log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    (* multiply by the generator 0x03 = x * 2 xor x *)
+    let x2 = !x lsl 1 in
+    let x2 = if x2 land 0x100 <> 0 then x2 lxor 0x11b else x2 in
+    x := x2 lxor !x
+  done;
+  exp.(255) <- exp.(0);
+  (exp, log)
+
+let gf_inv b = if b = 0 then 0 else exp_table.(255 - log_table.(b))
+
+(* S-box: multiplicative inverse followed by the affine transform. *)
+let sbox =
+  Array.init 256 (fun b ->
+      let x = gf_inv b in
+      let rotl8 v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+      x lxor rotl8 x 1 lxor rotl8 x 2 lxor rotl8 x 3 lxor rotl8 x 4 lxor 0x63)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b2 land 0x100 <> 0 then (b2 lxor 0x11b) land 0xff else b2
+
+(* -- Key schedule ---------------------------------------------------------- *)
+
+type key = int array
+(** 60 expanded round-key words (4 * (rounds + 1)), each 32-bit. *)
+
+let mask = 0xFFFF_FFFF
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land mask
+
+let rcon =
+  let r = Array.make 10 0 in
+  let c = ref 1 in
+  for i = 0 to 9 do
+    r.(i) <- !c lsl 24;
+    c := xtime !c
+  done;
+  r
+
+let expand key =
+  if String.length key <> key_size then
+    invalid_arg "Aes.expand: key must be 32 bytes";
+  let nk = key_size / 4 in
+  let w = Array.make (4 * (rounds + 1)) 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code key.[4 * i] lsl 24)
+      lor (Char.code key.[(4 * i) + 1] lsl 16)
+      lor (Char.code key.[(4 * i) + 2] lsl 8)
+      lor Char.code key.[(4 * i) + 3]
+  done;
+  for i = nk to (4 * (rounds + 1)) - 1 do
+    let t = w.(i - 1) in
+    let t =
+      if i mod nk = 0 then sub_word (rot_word t) lxor rcon.((i / nk) - 1)
+      else if i mod nk = 4 then sub_word t
+      else t
+    in
+    w.(i) <- w.(i - nk) lxor t
+  done;
+  w
+
+(* -- Forward cipher -------------------------------------------------------- *)
+
+let add_round_key st w round =
+  for c = 0 to 3 do
+    let k = w.((round * 4) + c) in
+    st.((4 * c) + 0) <- st.((4 * c) + 0) lxor ((k lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((k lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((k lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (k land 0xff)
+  done
+
+let sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done
+
+(* State is column-major: st.(4*c + r) is row r of column c. *)
+let shift_rows st =
+  let at r c = st.((4 * c) + r) in
+  let row r s =
+    let v = Array.init 4 (fun c -> at r ((c + s) mod 4)) in
+    for c = 0 to 3 do
+      st.((4 * c) + r) <- v.(c)
+    done
+  in
+  row 1 1;
+  row 2 2;
+  row 3 3
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c)
+    and a1 = st.((4 * c) + 1)
+    and a2 = st.((4 * c) + 2)
+    and a3 = st.((4 * c) + 3) in
+    let m2 x = xtime x and m3 x = xtime x lxor x in
+    st.(4 * c) <- m2 a0 lxor m3 a1 lxor a2 lxor a3;
+    st.((4 * c) + 1) <- a0 lxor m2 a1 lxor m3 a2 lxor a3;
+    st.((4 * c) + 2) <- a0 lxor a1 lxor m2 a2 lxor m3 a3;
+    st.((4 * c) + 3) <- m3 a0 lxor a1 lxor a2 lxor m2 a3
+  done
+
+(** [encrypt_block w block] applies the forward cipher to one 16-byte
+    block under the expanded key [w]. *)
+let encrypt_block w block =
+  if String.length block <> block_size then
+    invalid_arg "Aes.encrypt_block: block must be 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key st w 0;
+  for round = 1 to rounds - 1 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st w round
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key st w rounds;
+  String.init 16 (fun i -> Char.chr st.(i))

@@ -1,0 +1,25 @@
+(** AES-256 (FIPS 197), forward cipher only.
+
+    GCM is built entirely from the forward block transform (CTR mode
+    plus one encryption of the zero block for the GHASH subkey), so
+    the inverse cipher is deliberately absent — the vault never needs
+    it, and leaving it out keeps the trusted surface smaller. *)
+
+val block_size : int
+(** 16 bytes. *)
+
+val key_size : int
+(** 32 bytes (AES-256). *)
+
+val rounds : int
+(** 14. *)
+
+type key
+(** An expanded key schedule (60 round-key words). *)
+
+val expand : string -> key
+(** Expand a 32-byte key. @raise Invalid_argument otherwise. *)
+
+val encrypt_block : key -> string -> string
+(** Forward-cipher one 16-byte block.
+    @raise Invalid_argument if the block is not 16 bytes. *)

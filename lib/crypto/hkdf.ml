@@ -1,0 +1,41 @@
+(* HKDF-SHA256 (RFC 5869).
+
+   The vault derives its sealing material the way SGX's EGETKEY does:
+   a measurement-bound secret (here the monitor's local-attestation
+   MAC over a fixed domain-separation constant) goes in as the IKM,
+   and extract-then-expand turns it into independent keys for the
+   cipher and the nonce schedule. Domain separation lives in [info],
+   so one root secret safely feeds several uses. *)
+
+let hash_len = 32
+
+(** [extract ~salt ikm] is PRK = HMAC-SHA256(salt, IKM); an absent
+    salt is the RFC's zero-filled default. *)
+let extract ?(salt = String.make hash_len '\x00') ikm =
+  Hmac.mac ~key:salt ikm
+
+(** [expand ~prk ~info len] is the first [len] bytes of the T(1) ‖
+    T(2) ‖ ... chain. @raise Invalid_argument if [len] exceeds the
+    RFC bound of 255 * 32 bytes. *)
+let expand ~prk ~info len =
+  if len < 0 || len > 255 * hash_len then
+    invalid_arg "Hkdf.expand: length out of range";
+  let buf = Buffer.create len in
+  let t = ref "" in
+  let i = ref 1 in
+  while Buffer.length buf < len do
+    t := Hmac.mac ~key:prk (!t ^ info ^ String.make 1 (Char.chr !i));
+    Buffer.add_string buf !t;
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+(** Extract-then-expand in one step. *)
+let derive ?salt ~ikm ~info len = expand ~prk:(extract ?salt ikm) ~info len
+
+(** SHA-256 compressions a derivation of [len] bytes from [ikm_len]
+    bytes of keying material costs (cost model). *)
+let compressions ~ikm_len ~info_len len =
+  let n = (len + hash_len - 1) / hash_len in
+  Hmac.compressions ikm_len
+  + (n * Hmac.compressions (hash_len + info_len + 1))

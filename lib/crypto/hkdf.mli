@@ -1,0 +1,24 @@
+(** HKDF-SHA256 (RFC 5869), built on [Hmac].
+
+    Extract-then-expand key derivation. The vault feeds its
+    measurement-bound root secret through this to obtain the sealing
+    key and nonce schedule, with domain separation carried in [info]
+    — the model analogue of SGX's EGETKEY derivation. *)
+
+val hash_len : int
+(** 32 bytes. *)
+
+val extract : ?salt:string -> string -> string
+(** [extract ~salt ikm] is the 32-byte PRK; an absent salt is the
+    RFC's zero-filled default. *)
+
+val expand : prk:string -> info:string -> int -> string
+(** [expand ~prk ~info len]: the first [len] bytes of the T-chain.
+    @raise Invalid_argument if [len] exceeds 255 * 32. *)
+
+val derive : ?salt:string -> ikm:string -> info:string -> int -> string
+(** Extract-then-expand in one step. *)
+
+val compressions : ikm_len:int -> info_len:int -> int -> int
+(** SHA-256 compressions a derivation costs (cost model, like
+    [Hmac.compressions]). *)

@@ -1,0 +1,181 @@
+(* A persistent block device owned by the untrusted OS.
+
+   Komodo leaves persistence entirely to the OS (§9): anything an
+   enclave wants back after a reboot travels through storage the
+   monitor does not protect. This module is that storage, modelled
+   adversarially — it remembers every version ever written so the
+   fault injector can *replay* stale data, and exposes tamper /
+   reorder / truncate / wipe operations so campaigns can drive the
+   full menu of disk misbehaviour. It deliberately lives beside
+   [Os.t], not inside it: a block device survives both
+   [Os.crash_reboot] and a full monitor reboot, which is exactly what
+   makes rollback attacks possible. *)
+
+let default_nblocks = 64
+let default_block_size = 64
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable tampers : int;
+  mutable rollbacks : int;
+  mutable swaps : int;
+  mutable truncates : int;
+  mutable wipes : int;
+}
+
+let empty_stats () =
+  { reads = 0; writes = 0; tampers = 0; rollbacks = 0; swaps = 0;
+    truncates = 0; wipes = 0 }
+
+type t = {
+  nblocks : int;
+  block_size : int;
+  blocks : string array;  (** current contents, each [block_size] bytes *)
+  history : string list array;  (** superseded versions, newest first *)
+  stats : stats;
+}
+
+let create ?(nblocks = default_nblocks) ?(block_size = default_block_size) () =
+  if nblocks <= 0 || block_size <= 0 then
+    invalid_arg "Blockstore.create: sizes must be positive";
+  {
+    nblocks;
+    block_size;
+    blocks = Array.make nblocks (String.make block_size '\x00');
+    history = Array.make nblocks [];
+    stats = empty_stats ();
+  }
+
+let nblocks t = t.nblocks
+let block_size t = t.block_size
+let stats t = t.stats
+
+let check_index t b =
+  if b < 0 || b >= t.nblocks then invalid_arg "Blockstore: block out of range"
+
+let read t b =
+  check_index t b;
+  t.stats.reads <- t.stats.reads + 1;
+  t.blocks.(b)
+
+let write t b data =
+  check_index t b;
+  if String.length data <> t.block_size then
+    invalid_arg "Blockstore.write: wrong block size";
+  t.stats.writes <- t.stats.writes + 1;
+  t.history.(b) <- t.blocks.(b) :: t.history.(b);
+  t.blocks.(b) <- data
+
+(* -- Blob convention ------------------------------------------------------- *)
+
+(* Variable-length byte strings are stored as a 4-byte big-endian
+   length followed by the payload, packed across consecutive blocks.
+   The length prefix is just as tamperable as the payload — [read_blob]
+   clamps it to the device capacity rather than trusting it. *)
+
+let blob_capacity t at = ((t.nblocks - at) * t.block_size) - 4
+
+let write_blob t ~at blob =
+  check_index t at;
+  let n = String.length blob in
+  if n > blob_capacity t at then invalid_arg "Blockstore.write_blob: too large";
+  let packed =
+    String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff)) ^ blob
+  in
+  let used = (String.length packed + t.block_size - 1) / t.block_size in
+  for i = 0 to used - 1 do
+    let off = i * t.block_size in
+    let chunk =
+      let m = min t.block_size (String.length packed - off) in
+      String.sub packed off m ^ String.make (t.block_size - m) '\x00'
+    in
+    write t (at + i) chunk
+  done;
+  used
+
+let read_blob t ~at =
+  check_index t at;
+  let head = read t at in
+  let len =
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 8) lor Char.code head.[i]
+    done;
+    min !v (blob_capacity t at)
+  in
+  let buf = Buffer.create (len + 4) in
+  Buffer.add_string buf head;
+  let b = ref (at + 1) in
+  while Buffer.length buf < len + 4 do
+    Buffer.add_string buf (read t !b);
+    incr b
+  done;
+  String.sub (Buffer.contents buf) 4 len
+
+(* -- The adversary's interface -------------------------------------------- *)
+
+(** Flip one bit of the current contents of a block. *)
+let tamper t ~block ~byte ~bit =
+  check_index t block;
+  let byte = byte mod t.block_size and bit = bit mod 8 in
+  t.stats.tampers <- t.stats.tampers + 1;
+  let b = Bytes.of_string t.blocks.(block) in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  t.blocks.(block) <- Bytes.to_string b
+
+(** Replay a stale version: restore the contents the block had
+    [depth] writes ago (clamped to the oldest surviving version).
+    No-op on a block that was never overwritten. *)
+let rollback t ~block ~depth =
+  check_index t block;
+  let h = t.history.(block) in
+  if h <> [] && depth > 0 then begin
+    t.stats.rollbacks <- t.stats.rollbacks + 1;
+    t.blocks.(block) <- List.nth h (min depth (List.length h) - 1)
+  end
+
+(** Reorder: exchange the current contents of two blocks. *)
+let swap t a b =
+  check_index t a;
+  check_index t b;
+  if a <> b then begin
+    t.stats.swaps <- t.stats.swaps + 1;
+    let tmp = t.blocks.(a) in
+    t.blocks.(a) <- t.blocks.(b);
+    t.blocks.(b) <- tmp
+  end
+
+(** Lose the tail of the device: blocks at index >= [keep] read back
+    as zeros, as a torn write or short file would. *)
+let truncate t ~keep =
+  t.stats.truncates <- t.stats.truncates + 1;
+  for b = max 0 keep to t.nblocks - 1 do
+    if t.blocks.(b) <> String.make t.block_size '\x00' then begin
+      t.history.(b) <- t.blocks.(b) :: t.history.(b);
+      t.blocks.(b) <- String.make t.block_size '\x00'
+    end
+  done
+
+(** Lose everything. *)
+let wipe t =
+  t.stats.wipes <- t.stats.wipes + 1;
+  for b = 0 to t.nblocks - 1 do
+    if t.blocks.(b) <> String.make t.block_size '\x00' then begin
+      t.history.(b) <- t.blocks.(b) :: t.history.(b);
+      t.blocks.(b) <- String.make t.block_size '\x00'
+    end
+  done
+
+(* -- Observation ----------------------------------------------------------- *)
+
+(** Digest of the device's current contents (reporting / shrinking;
+    not a trusted-world value). *)
+let digest t =
+  let ctx = ref Komodo_crypto.Sha256.init in
+  Array.iter (fun b -> ctx := Komodo_crypto.Sha256.absorb !ctx b) t.blocks;
+  Komodo_crypto.Sha256.finalize !ctx
+
+let adversary_ops t =
+  let s = t.stats in
+  s.tampers + s.rollbacks + s.swaps + s.truncates + s.wipes

@@ -1,0 +1,75 @@
+(** A persistent block device owned by the untrusted OS, modelled
+    adversarially.
+
+    Komodo leaves persistence to the OS (§9), so sealed enclave state
+    travels through storage the monitor does not protect. This device
+    remembers every version ever written, letting fault campaigns
+    replay stale data (rollback), flip bits (tamper), reorder, lose
+    the tail (truncate), or lose everything (wipe). It lives beside
+    [Os.t], not inside it: disks survive both [Os.crash_reboot] and a
+    full monitor reboot — which is exactly what makes rollback attacks
+    possible. *)
+
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable tampers : int;
+  mutable rollbacks : int;
+  mutable swaps : int;
+  mutable truncates : int;
+  mutable wipes : int;
+}
+
+val default_nblocks : int
+val default_block_size : int
+
+val create : ?nblocks:int -> ?block_size:int -> unit -> t
+(** Zero-filled device. @raise Invalid_argument on non-positive sizes. *)
+
+val nblocks : t -> int
+val block_size : t -> int
+val stats : t -> stats
+
+val read : t -> int -> string
+(** Current contents of one block. @raise Invalid_argument out of range. *)
+
+val write : t -> int -> string -> unit
+(** Overwrite one block (exactly [block_size] bytes); the superseded
+    contents join the block's history. *)
+
+val write_blob : t -> at:int -> string -> int
+(** Pack a length-prefixed byte string across consecutive blocks
+    starting at [at]; returns the number of blocks used.
+    @raise Invalid_argument if it does not fit. *)
+
+val read_blob : t -> at:int -> string
+(** Read back a blob written by {!write_blob}. The length prefix is
+    untrusted and clamped to device capacity — after tampering the
+    result may be garbage of any length; callers must authenticate. *)
+
+(** {2 The adversary's interface} *)
+
+val tamper : t -> block:int -> byte:int -> bit:int -> unit
+(** Flip one bit ([byte]/[bit] taken mod the valid range). *)
+
+val rollback : t -> block:int -> depth:int -> unit
+(** Replay the version [depth] writes ago (clamped to the oldest);
+    no-op if the block was never overwritten. *)
+
+val swap : t -> int -> int -> unit
+(** Exchange the current contents of two blocks. *)
+
+val truncate : t -> keep:int -> unit
+(** Blocks at index >= [keep] read back as zeros. *)
+
+val wipe : t -> unit
+
+(** {2 Observation} *)
+
+val digest : t -> string
+(** SHA-256 over current contents (reporting; not trusted-world). *)
+
+val adversary_ops : t -> int
+(** Total adversarial operations applied so far. *)

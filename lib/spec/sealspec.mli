@@ -1,0 +1,37 @@
+(** The sealed-storage theorem, stated as a decidable spec.
+
+    A sealed blob unseals iff it is byte-identical to the newest
+    genuinely-sealed blob and the trusted NV counter vouches for its
+    epoch; a blob equal to an older genuine seal must be reported
+    stale (rollback detected); anything else must be reported
+    tampered. An accepted unseal restores exactly the sealed state.
+    The vault never silently accepts.
+
+    [classify] predicts from ground truth (the driver's seal history
+    and NV counter); [judge] compares the vault's observable
+    behaviour against the prediction — any mismatch is a theorem
+    violation, checked by the storage fault campaigns after every
+    injected fault. *)
+
+type genuine = {
+  g_epoch : int;
+  g_blob : string;  (** the exact bytes handed to the OS *)
+  g_digest : string;  (** SHA-256 of the state sealed inside *)
+}
+
+type expectation =
+  | Must_accept of genuine
+  | Must_stale of genuine
+  | Must_tamper
+
+val pp_expectation : expectation -> string
+
+val classify : genuine:genuine list -> nv:int -> blob:string -> expectation
+(** [genuine] newest first; [nv] is the trusted counter value. *)
+
+val verdict_name : int -> string
+
+val judge : expectation -> verdict:int -> digest:string option -> string option
+(** [None] when behaviour matches the theorem, else the violation
+    reason. [digest] is the post-accept published state digest;
+    [None] skips that sub-check. *)

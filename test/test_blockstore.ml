@@ -1,0 +1,118 @@
+(* The adversarial block device: versioned writes, blob packing, and
+   the five corruption primitives the storage campaigns draw from. *)
+
+module Blockstore = Komodo_os.Blockstore
+
+let test_create_and_rw () =
+  let t = Blockstore.create ~nblocks:4 ~block_size:8 () in
+  Alcotest.(check int) "nblocks" 4 (Blockstore.nblocks t);
+  Alcotest.(check int) "block_size" 8 (Blockstore.block_size t);
+  Alcotest.(check string) "starts zeroed" (String.make 8 '\000')
+    (Blockstore.read t 0);
+  Blockstore.write t 2 "abcdefgh";
+  Alcotest.(check string) "write/read" "abcdefgh" (Blockstore.read t 2);
+  Alcotest.(check string) "neighbours untouched" (String.make 8 '\000')
+    (Blockstore.read t 3);
+  Alcotest.check_raises "short write rejected"
+    (Invalid_argument "Blockstore.write: wrong block size") (fun () ->
+      Blockstore.write t 0 "tiny");
+  Alcotest.check_raises "out-of-range read rejected"
+    (Invalid_argument "Blockstore: block out of range") (fun () ->
+      ignore (Blockstore.read t 4))
+
+let test_blob_roundtrip () =
+  let t = Blockstore.create ~nblocks:8 ~block_size:16 () in
+  let blob = "the sealed vault blob, longer than one block" in
+  let used = Blockstore.write_blob t ~at:1 blob in
+  Alcotest.(check bool) "spans several blocks" true (used > 1);
+  Alcotest.(check string) "round-trips" blob (Blockstore.read_blob t ~at:1);
+  (* An empty blob is legal and distinguishable from garbage. *)
+  let _ = Blockstore.write_blob t ~at:5 "" in
+  Alcotest.(check string) "empty blob" "" (Blockstore.read_blob t ~at:5)
+
+let test_blob_length_untrusted () =
+  (* Corrupt the length prefix to something absurd: read_blob must
+     clamp to device capacity instead of raising. *)
+  let t = Blockstore.create ~nblocks:4 ~block_size:16 () in
+  let _ = Blockstore.write_blob t ~at:0 "payload" in
+  let b0 = Bytes.of_string (Blockstore.read t 0) in
+  Bytes.set b0 0 '\xff';
+  Bytes.set b0 1 '\xff';
+  Blockstore.write t 0 (Bytes.to_string b0);
+  let garbage = Blockstore.read_blob t ~at:0 in
+  Alcotest.(check bool) "clamped, not raised" true
+    (String.length garbage <= 4 * 16)
+
+let test_tamper () =
+  let t = Blockstore.create ~nblocks:2 ~block_size:8 () in
+  Blockstore.write t 0 "AAAAAAAA";
+  Blockstore.tamper t ~block:0 ~byte:3 ~bit:1;
+  let now = Blockstore.read t 0 in
+  Alcotest.(check char) "exactly one bit flipped"
+    (Char.chr (Char.code 'A' lxor 2))
+    now.[3];
+  Alcotest.(check string) "rest intact" "AAA" (String.sub now 0 3);
+  Alcotest.(check int) "recorded" 1 (Blockstore.adversary_ops t)
+
+let test_rollback () =
+  let t = Blockstore.create ~nblocks:2 ~block_size:4 () in
+  Blockstore.write t 0 "v1v1";
+  Blockstore.write t 0 "v2v2";
+  Blockstore.write t 0 "v3v3";
+  Blockstore.rollback t ~block:0 ~depth:1;
+  Alcotest.(check string) "depth 1 = previous write" "v2v2"
+    (Blockstore.read t 0);
+  Blockstore.rollback t ~block:0 ~depth:99;
+  Alcotest.(check string) "deep rollback clamps to oldest" (String.make 4 '\000')
+    (Blockstore.read t 0);
+  (* A never-overwritten block has no history to replay. *)
+  Blockstore.rollback t ~block:1 ~depth:1;
+  Alcotest.(check string) "no-op without history" (String.make 4 '\000')
+    (Blockstore.read t 1)
+
+let test_swap_truncate_wipe () =
+  let t = Blockstore.create ~nblocks:3 ~block_size:4 () in
+  Blockstore.write t 0 "aaaa";
+  Blockstore.write t 1 "bbbb";
+  Blockstore.write t 2 "cccc";
+  Blockstore.swap t 0 2;
+  Alcotest.(check string) "swap 0" "cccc" (Blockstore.read t 0);
+  Alcotest.(check string) "swap 2" "aaaa" (Blockstore.read t 2);
+  Blockstore.truncate t ~keep:1;
+  Alcotest.(check string) "kept" "cccc" (Blockstore.read t 0);
+  Alcotest.(check string) "truncated tail zeroed" "\000\000\000\000"
+    (Blockstore.read t 2);
+  Blockstore.wipe t;
+  Alcotest.(check string) "wiped" "\000\000\000\000" (Blockstore.read t 0)
+
+let test_digest_and_stats () =
+  let t = Blockstore.create ~nblocks:2 ~block_size:4 () in
+  let d0 = Blockstore.digest t in
+  Blockstore.write t 0 "aaaa";
+  let d1 = Blockstore.digest t in
+  Alcotest.(check bool) "digest tracks contents" false (String.equal d0 d1);
+  Blockstore.tamper t ~block:0 ~byte:0 ~bit:0;
+  Blockstore.rollback t ~block:0 ~depth:1;
+  Blockstore.swap t 0 1;
+  Blockstore.truncate t ~keep:1;
+  Blockstore.wipe t;
+  let s = Blockstore.stats t in
+  Alcotest.(check int) "writes" 1 s.Blockstore.writes;
+  Alcotest.(check int) "tampers" 1 s.Blockstore.tampers;
+  Alcotest.(check int) "rollbacks" 1 s.Blockstore.rollbacks;
+  Alcotest.(check int) "swaps" 1 s.Blockstore.swaps;
+  Alcotest.(check int) "truncates" 1 s.Blockstore.truncates;
+  Alcotest.(check int) "wipes" 1 s.Blockstore.wipes;
+  Alcotest.(check int) "adversary op total" 5 (Blockstore.adversary_ops t)
+
+let suite =
+  [
+    Alcotest.test_case "create, read, write, bounds" `Quick test_create_and_rw;
+    Alcotest.test_case "blob pack/unpack round-trip" `Quick test_blob_roundtrip;
+    Alcotest.test_case "length prefix is untrusted" `Quick
+      test_blob_length_untrusted;
+    Alcotest.test_case "tamper flips one bit" `Quick test_tamper;
+    Alcotest.test_case "rollback replays history" `Quick test_rollback;
+    Alcotest.test_case "swap, truncate, wipe" `Quick test_swap_truncate_wipe;
+    Alcotest.test_case "digest and stats" `Quick test_digest_and_stats;
+  ]

@@ -330,4 +330,171 @@ let attest_suite =
       test_attest_create_validates_sizes;
   ]
 
-let suite = suite @ late_suite @ attest_suite
+(* -- AES-256-GCM and HKDF-SHA256 (sealed storage substrate) -------------- *)
+
+module Aes = Komodo_crypto.Aes
+module Gcm = Komodo_crypto.Gcm
+module Hkdf = Komodo_crypto.Hkdf
+
+let unhex = Sha256.of_hex
+
+(* FIPS 197 appendix C.3: the AES-256 forward cipher worked example. *)
+let test_aes_fips197 () =
+  let key =
+    Aes.expand
+      (unhex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+  in
+  Alcotest.(check string) "C.3 block"
+    "8ea2b7ca516745bfeafc49904b496089"
+    (hex (Aes.encrypt_block key (unhex "00112233445566778899aabbccddeeff")));
+  Alcotest.check_raises "short key rejected"
+    (Invalid_argument "Aes.expand: key must be 32 bytes") (fun () ->
+      ignore (Aes.expand "short"));
+  Alcotest.check_raises "short block rejected"
+    (Invalid_argument "Aes.encrypt_block: block must be 16 bytes") (fun () ->
+      ignore (Aes.encrypt_block key "short"))
+
+(* NIST GCM spec appendix B, AES-256 test cases 13-16 (the CAVP
+   reference vectors): empty, single-block, four-block, and
+   AAD-plus-truncated-plaintext shapes. *)
+let gcm_tc15_key =
+  unhex "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"
+
+let gcm_tc16_pt =
+  unhex
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+     1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+
+let gcm_tc16_aad = unhex "feedfacedeadbeeffeedfacedeadbeefabaddad2"
+let gcm_iv = unhex "cafebabefacedbaddecaf888"
+
+let test_gcm_nist_vectors () =
+  let t ~key ~nonce ~aad ~pt ~ct ~tag name =
+    let k = Gcm.of_secret key in
+    let got_ct, got_tag = Gcm.encrypt ~key:k ~nonce ~aad pt in
+    Alcotest.(check string) (name ^ " ct") ct (hex got_ct);
+    Alcotest.(check string) (name ^ " tag") tag (hex got_tag);
+    match Gcm.decrypt ~key:k ~nonce ~aad ~tag:got_tag got_ct with
+    | Some back -> Alcotest.(check string) (name ^ " roundtrip") (hex pt) (hex back)
+    | None -> Alcotest.fail (name ^ ": genuine seal failed to open")
+  in
+  t ~key:(String.make 32 '\x00') ~nonce:(String.make 12 '\x00') ~aad:"" ~pt:""
+    ~ct:"" ~tag:"530f8afbc74536b9a963b4f1c4cb738b" "TC13";
+  t ~key:(String.make 32 '\x00') ~nonce:(String.make 12 '\x00') ~aad:""
+    ~pt:(String.make 16 '\x00')
+    ~ct:"cea7403d4d606b6e074ec5d3baf39d18"
+    ~tag:"d0d1c8a799996bf0265b98b5d48ab919" "TC14";
+  t ~key:gcm_tc15_key ~nonce:gcm_iv ~aad:""
+    ~pt:
+      (unhex
+         "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+          1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255")
+    ~ct:
+      "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+       8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad"
+    ~tag:"b094dac5d93471bdec1a502270e3cc6c" "TC15";
+  t ~key:gcm_tc15_key ~nonce:gcm_iv ~aad:gcm_tc16_aad ~pt:gcm_tc16_pt
+    ~ct:
+      "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+       8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+    ~tag:"76fc6ece0f4e1768cddf8853bb2d551b" "TC16"
+
+(* The negative cases the vault's refuse-and-report behaviour rests
+   on: every single-bit flip of the tag, every truncation of the tag,
+   and corruption of ciphertext or AAD must all fail to open. *)
+let test_gcm_reject_forgery () =
+  let k = Gcm.of_secret gcm_tc15_key in
+  let ct, tag = Gcm.encrypt ~key:k ~nonce:gcm_iv ~aad:gcm_tc16_aad gcm_tc16_pt in
+  let open_with ~aad ~tag ct = Gcm.decrypt ~key:k ~nonce:gcm_iv ~aad ~tag ct in
+  let flip s bit =
+    let b = Bytes.of_string s in
+    Bytes.set b (bit / 8) (Char.chr (Char.code s.[bit / 8] lxor (1 lsl (bit mod 8))));
+    Bytes.to_string b
+  in
+  for bit = 0 to (8 * Gcm.tag_size) - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bit-flipped tag %d rejected" bit)
+      true
+      (open_with ~aad:gcm_tc16_aad ~tag:(flip tag bit) ct = None)
+  done;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated tag (%d bytes) rejected" n)
+        true
+        (open_with ~aad:gcm_tc16_aad ~tag:(String.sub tag 0 n) ct = None))
+    [ 0; 1; 4; 8; 12; 15 ];
+  Alcotest.(check bool) "extended tag rejected" true
+    (open_with ~aad:gcm_tc16_aad ~tag:(tag ^ "\x00") ct = None);
+  Alcotest.(check bool) "flipped ciphertext byte rejected" true
+    (open_with ~aad:gcm_tc16_aad ~tag (flip ct 40) = None);
+  Alcotest.(check bool) "flipped AAD byte rejected" true
+    (open_with ~aad:(flip gcm_tc16_aad 3) ~tag ct = None);
+  Alcotest.(check bool) "wrong nonce rejected" true
+    (Gcm.decrypt ~key:k ~nonce:(String.make 12 '\x07') ~aad:gcm_tc16_aad ~tag ct
+    = None)
+
+let prop_gcm_roundtrip =
+  QCheck.Test.make ~name:"gcm: decrypt inverts encrypt at any length"
+    ~count:100
+    QCheck.(pair (string_of_size (Gen.int_range 0 200)) small_string)
+    (fun (pt, aad) ->
+      let k = Gcm.of_secret (Sha256.digest "gcm-roundtrip-key") in
+      let nonce = String.sub (Sha256.digest aad) 0 12 in
+      let ct, tag = Gcm.encrypt ~key:k ~nonce ~aad pt in
+      String.length ct = String.length pt
+      && Gcm.decrypt ~key:k ~nonce ~aad ~tag ct = Some pt)
+
+(* RFC 5869 appendix A test cases 1-3 for HKDF-SHA256. *)
+let test_hkdf_rfc5869 () =
+  let t ?salt ~ikm ~info ~len ~prk ~okm name =
+    Alcotest.(check string) (name ^ " prk") prk (hex (Hkdf.extract ?salt ikm));
+    Alcotest.(check string) (name ^ " okm") okm
+      (hex (Hkdf.derive ?salt ~ikm ~info len))
+  in
+  t ~salt:(unhex "000102030405060708090a0b0c")
+    ~ikm:(String.make 22 '\x0b')
+    ~info:(unhex "f0f1f2f3f4f5f6f7f8f9") ~len:42
+    ~prk:"077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    ~okm:
+      "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+       34007208d5b887185865"
+    "TC1";
+  let seq a b = String.init (b - a + 1) (fun i -> Char.chr (a + i)) in
+  t ~salt:(seq 0x60 0xaf) ~ikm:(seq 0x00 0x4f) ~info:(seq 0xb0 0xff) ~len:82
+    ~prk:"06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244"
+    ~okm:
+      "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+       59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+       cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    "TC2";
+  t ~ikm:(String.make 22 '\x0b') ~info:"" ~len:42
+    ~prk:"19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+    ~okm:
+      "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+       9d201395faa4b61a96c8"
+    "TC3";
+  Alcotest.check_raises "overlong expand rejected"
+    (Invalid_argument "Hkdf.expand: length out of range") (fun () ->
+      ignore (Hkdf.expand ~prk:(String.make 32 'k') ~info:"" (255 * 32 + 1)))
+
+let test_aead_cost_models () =
+  Alcotest.(check int) "aes blocks, empty payload" 1 (Gcm.aes_blocks ~len:0);
+  Alcotest.(check int) "aes blocks, 60-byte payload" 5 (Gcm.aes_blocks ~len:60);
+  Alcotest.(check int) "ghash blocks, TC16 shape" 7
+    (Gcm.ghash_blocks ~aad:20 ~len:60);
+  Alcotest.(check bool) "hkdf cost grows with output" true
+    (Hkdf.compressions ~ikm_len:32 ~info_len:16 96
+    > Hkdf.compressions ~ikm_len:32 ~info_len:16 32)
+
+let aead_suite =
+  [
+    Alcotest.test_case "aes-256 FIPS 197 vector" `Quick test_aes_fips197;
+    Alcotest.test_case "aes-256-gcm NIST vectors" `Quick test_gcm_nist_vectors;
+    Alcotest.test_case "gcm rejects forgeries" `Quick test_gcm_reject_forgery;
+    Alcotest.test_case "hkdf RFC 5869 vectors" `Quick test_hkdf_rfc5869;
+    Alcotest.test_case "aead cost models" `Quick test_aead_cost_models;
+    Testlib.qcheck prop_gcm_roundtrip;
+  ]
+
+let suite = suite @ late_suite @ attest_suite @ aead_suite

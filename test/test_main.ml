@@ -31,6 +31,8 @@ let () =
       ("spec", Test_spec.suite);
       ("errmatrix", Test_errmatrix.suite);
       ("fault", Test_fault.suite);
+      ("blockstore", Test_blockstore.suite);
+      ("vault", Test_vault.suite);
       ("seedsplit", Test_seedsplit.suite);
       ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
