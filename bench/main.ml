@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table3  -- run one section
 
    Sections: table1 table2 table3 figure5 ablations latency security
-   refinement campaign vault throughput serve profile wallclock *)
+   refinement campaign explore vault throughput serve profile
+   wallclock *)
 
 let security () =
   Report.print_header "Security (Theorem 6.1 harness + attack library)";
@@ -51,6 +52,7 @@ let sections =
     ("security", security);
     ("refinement", Refinement.run);
     ("campaign", Campaign_bench.run);
+    ("explore", Explore_bench.run);
     ("vault", Vault_bench.run);
     ("throughput", Throughput.run);
     ("serve", Serve_bench.run);

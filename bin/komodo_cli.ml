@@ -8,6 +8,7 @@
      inspect   boot, load, and dump the PageDB and memory layout
      notary    drive the notary enclave over a document file
      verify    check the noninterference harness at a chosen scale
+     explore   bounded exhaustive model check of the monitor lifecycle
      vault     sealed-storage fault campaigns over an adversarial block store
      serve     attestation-as-a-service over recycled enclave pools
      profile   span-profile a fixed-seed campaign (tree, quantiles, folded)
@@ -573,6 +574,23 @@ let jobs_arg =
            derived from (seed, trial index), failures report the lowest failing \
            trial, and coverage merges are order-insensitive.")
 
+(* Sniff the first non-blank line for the komodo-check-trace/1 schema
+   tag, routing `check --replay` between explore counterexamples and
+   telemetry traces. *)
+let is_explore_trace path =
+  match open_in path with
+  | exception Sys_error _ -> false
+  | ic ->
+      let rec first () =
+        match input_line ic with
+        | line when String.trim line = "" -> first ()
+        | line -> Some line
+        | exception End_of_file -> None
+      in
+      let l = first () in
+      close_in ic;
+      (match l with Some l -> Komodo_spec.Explore.is_trace l | None -> false)
+
 let check_cmd =
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Differential trials to run.")
@@ -609,6 +627,25 @@ let check_cmd =
       progress_out profile_out =
     setup_logs level;
     match replay with
+    | Some path when is_explore_trace path -> (
+        (* A komodo-check-trace/1 counterexample from `komodo explore`:
+           replay it in differential lockstep against a fresh concrete
+           world (under the trace's own mutation, so an abstract
+           counterexample must reproduce as a divergence). *)
+        match Komodo_spec.Explore.replay_file path with
+        | Error e ->
+            Printf.eprintf "komodo check: cannot replay %s: %s\n" path e;
+            2
+        | Ok (Komodo_spec.Explore.Clean n) ->
+            Printf.printf
+              "replayed %d explore ops in differential lockstep: no divergence\n"
+              n;
+            print_endline "trace refines the spec";
+            0
+        | Ok (Komodo_spec.Explore.Diverged d) ->
+            Printf.printf "replayed explore counterexample DIVERGENCE:\n%s\n"
+              (Komodo_spec.Diff.pp_divergence d);
+            4)
     | Some path -> (
         match Komodo_spec.Trace_check.replay_file ~npages:pages path with
         | Error e ->
@@ -685,6 +722,127 @@ let check_cmd =
     Term.(
       const run $ verbosity $ trials $ ops $ check_seed $ check_pages $ replay $ mutate
       $ jobs_arg $ metrics_arg $ progress_arg $ progress_out_arg $ profile_out_arg)
+
+(* -- explore ------------------------------------------------------------ *)
+
+let explore_cmd =
+  let module Explore = Komodo_spec.Explore in
+  let pages =
+    Arg.(
+      value & opt int 6
+      & info [ "pages" ] ~docv:"N"
+          ~doc:
+            "Secure pages in the explored world (at least 6 — the prelude \
+             occupies pages 0-5; worlds above 10 pages use a symmetry-reduced \
+             page-argument pool).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 6
+      & info [ "depth" ] ~docv:"N"
+          ~doc:"BFS depth bound, in monitor calls beyond the prelude.")
+  in
+  let explore_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Concrete-replay seed stamped into counterexample traces (the \
+             search itself is exhaustive, not randomised).")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Explore a deliberately broken spec variant (self-test; expects a \
+             violation). One of: no-alias-check, no-monitor-image-check, \
+             drop-refcount.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:
+            "On violation, save the shortest counterexample as a \
+             komodo-check-trace/1 JSONL file, replayable with komodo check \
+             --replay (exit 4 on the reproduced divergence).")
+  in
+  let run level pages depth seed mutate save jobs progress progress_out =
+    setup_logs level;
+    let mutate =
+      match mutate with
+      | None -> None
+      | Some name -> (
+          match Komodo_spec.Aspec.mutation_of_string name with
+          | Some m -> Some m
+          | None ->
+              Printf.eprintf "komodo explore: unknown mutation %S\n" name;
+              exit 2)
+    in
+    let config = { Explore.pages; depth; seed; mutate } in
+    let prog, prog_close =
+      progress_setup ~progress ~progress_out ~label:"explore" ~total:depth
+    in
+    let r =
+      match Komodo_campaign.Campaign.explore ?progress:prog ~jobs ~config () with
+      | r -> r
+      | exception Invalid_argument msg ->
+          Printf.eprintf "komodo explore: %s\n" msg;
+          exit 2
+    in
+    prog_close ();
+    Printf.printf "explored %d states, %d edges checked (%d pages, depth %d)\n"
+      r.Explore.x_states r.Explore.x_edges pages depth;
+    Printf.printf "new states per level: %s\n"
+      (String.concat " " (List.map string_of_int r.Explore.x_levels));
+    List.iter print_endline (Komodo_spec.Cover.report r.Explore.x_cover);
+    match r.Explore.x_violation with
+    | None ->
+        print_endline
+          "no violation: every explored edge satisfies the lifecycle properties";
+        if mutate <> None then (
+          print_endline "MUTATION SURVIVED: the explorer failed its self-test";
+          1)
+        else 0
+    | Some v ->
+        List.iter print_endline (Explore.render_violation v);
+        (match save with
+        | Some path -> (
+            match
+              let oc = open_out path in
+              List.iter
+                (fun l ->
+                  output_string oc l;
+                  output_char oc '\n')
+                (Explore.trace_lines config v);
+              close_out oc
+            with
+            | () -> Printf.eprintf "[wrote %s]\n%!" path
+            | exception Sys_error e ->
+                Printf.eprintf "komodo explore: cannot write %s: %s\n" path e;
+                exit 2)
+        | None -> ());
+        if mutate <> None then (
+          print_endline "mutation caught: explorer self-test passed";
+          0)
+        else 4
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively model-check the monitor lifecycle: BFS over every \
+          SMC/SVC sequence of the abstract spec up to a depth bound, checking \
+          error priorities, PageDB invariants, measurement monotonicity and \
+          declassification on every edge. Reports are byte-identical at any \
+          -j; violations emit a shortest-path trace replayable with komodo \
+          check --replay. Exits 0 clean, 4 on a violation, 1 if a --mutate \
+          self-test survives, 2 on usage errors.")
+    Term.(
+      const run $ verbosity $ pages $ depth $ explore_seed $ mutate $ save
+      $ jobs_arg $ progress_arg $ progress_out_arg)
 
 (* -- fault -------------------------------------------------------------- *)
 
@@ -1567,6 +1725,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; fault_cmd;
-            vault_cmd; serve_cmd; profile_cmd; bench_cmd; inspect_cmd;
-            notary_cmd; verify_cmd ]))
+          [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; explore_cmd;
+            fault_cmd; vault_cmd; serve_cmd; profile_cmd; bench_cmd;
+            inspect_cmd; notary_cmd; verify_cmd ]))

@@ -13,6 +13,7 @@
 module Cover = Komodo_spec.Cover
 module Metrics = Komodo_telemetry.Metrics
 module Diff = Komodo_spec.Diff
+module Explore = Komodo_spec.Explore
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
 
@@ -150,3 +151,41 @@ let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
         violation = Some (f.ff_seed, shrunk, v);
         spans;
       }
+
+(* -- exhaustive-exploration (explore) levels ----------------------------- *)
+
+type explore_level = {
+  el_edges : int;
+  el_new : (string * Explore.snode * int * Explore.xop) list;
+  el_cover : Cover.t;
+  el_violation : (int * Explore.xop * string) option;
+}
+
+let explore (shards : Explore.shard list) : explore_level =
+  (* Shards arrive in slice order (the pool's Stopped prefix plus the
+     lowest failing shard). Cross-shard key collisions are resolved
+     first-writer-wins in that order, so the merged level — and hence
+     the whole search — is independent of how many domains ran it. *)
+  let seen = Hashtbl.create 256 in
+  let news = ref [] in
+  let edges = ref 0 in
+  let cover = Cover.create () in
+  let violation = ref None in
+  List.iter
+    (fun (sh : Explore.shard) ->
+      edges := !edges + sh.Explore.sh_edges;
+      Cover.merge_into cover sh.Explore.sh_cover;
+      List.iter
+        (fun ((key, _, _, _) as entry) ->
+          if not (Hashtbl.mem seen key) then (
+            Hashtbl.add seen key ();
+            news := entry :: !news))
+        sh.Explore.sh_new;
+      if !violation = None then violation := sh.Explore.sh_violation)
+    shards;
+  {
+    el_edges = !edges;
+    el_new = List.rev !news;
+    el_cover = cover;
+    el_violation = !violation;
+  }

@@ -10,6 +10,7 @@
 module Cover = Komodo_spec.Cover
 module Metrics = Komodo_telemetry.Metrics
 module Diff = Komodo_spec.Diff
+module Explore = Komodo_spec.Explore
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
 
@@ -59,3 +60,18 @@ val vault :
   Vaultdrive.outcome
 (** Storage-campaign reduction: sop/probe/detected/accepted totals are
     sums, the violation reports the lowest failing trial. *)
+
+(** One merged BFS level of the exhaustive explorer. *)
+type explore_level = {
+  el_edges : int;  (** edges checked across the level's shards *)
+  el_new : (string * Explore.snode * int * Explore.xop) list;
+      (** newly discovered states, deduplicated across shards
+          first-writer-wins in shard order *)
+  el_cover : Cover.t;
+  el_violation : (int * Explore.xop * string) option;
+      (** the lowest failing shard's violation, if any *)
+}
+
+val explore : Explore.shard list -> explore_level
+(** Merge one level's shards (the pool's completed prefix, plus the
+    lowest failing shard if the level stopped), in slice order. *)

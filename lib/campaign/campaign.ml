@@ -124,3 +124,100 @@ let vault ?npages ?ops_per_trial ?progress ?bug ?jobs ~classes ~trials ~seed ()
       in
       Agg.vault ~prefix
         ~failure:(Some { Agg.vf_index = index; vf_seed; vf_trial = failure; vf_shrunk })
+
+(* -- exhaustive exploration (komodo explore) ----------------------------- *)
+
+module Explore = Komodo_spec.Explore
+module Cover = Komodo_spec.Cover
+
+(* Frontier slice size per pool shard. Small enough that violation
+   localisation stays tight, large enough that shard overhead is noise
+   against ~1k checked edges per node. *)
+let explore_chunk = 64
+
+let explore ?progress ?jobs ~(config : Explore.config) () : Explore.report =
+  let jobs = resolve_jobs jobs in
+  let w = Explore.make_world config in
+  let cover = Cover.create () in
+  Cover.merge_into cover (Explore.prelude_cover w);
+  let root = Explore.root w in
+  let root_key = Explore.node_key root in
+  (* visited: key -> unit, written only between levels; parents: key ->
+     (parent key, op) for shortest-path reconstruction. BFS discovery
+     order guarantees the recorded parent chain is a shortest path. *)
+  let visited = Hashtbl.create 4096 in
+  let parents = Hashtbl.create 4096 in
+  Hashtbl.add visited root_key ();
+  let path_to key =
+    let rec go key acc =
+      match Hashtbl.find_opt parents key with
+      | None -> acc
+      | Some (pk, x) -> go pk (x :: acc)
+    in
+    go key []
+  in
+  let edges = ref (Explore.prelude_edges w) in
+  let levels = ref [] in
+  let violation = ref (Explore.prelude_violation w) in
+  let frontier = ref [| root |] in
+  let depth = ref 0 in
+  while !violation = None && !depth < config.depth && Array.length !frontier > 0 do
+    incr depth;
+    let front = !frontier in
+    let n = Array.length front in
+    let nshards = (n + explore_chunk - 1) / explore_chunk in
+    let run i =
+      let lo = i * explore_chunk and hi = min n ((i + 1) * explore_chunk) in
+      Explore.expand_range w ~visited:(Hashtbl.mem visited) ~frontier:front ~lo
+        ~hi
+    in
+    let shards =
+      match
+        Pool.run
+          ~label:(fun i -> Printf.sprintf "explore level %d shard %d" !depth i)
+          ~jobs ~trials:nshards
+          ~failed:(fun sh -> sh.Explore.sh_violation <> None)
+          run
+      with
+      | Pool.Completed arr -> Array.to_list arr
+      | Pool.Stopped { prefix; failure; _ } ->
+          Array.to_list prefix @ [ failure ]
+    in
+    let lvl = Agg.explore shards in
+    edges := !edges + lvl.Agg.el_edges;
+    Cover.merge_into cover lvl.Agg.el_cover;
+    List.iter
+      (fun (key, _, pi, x) ->
+        Hashtbl.add visited key ();
+        Hashtbl.add parents key (Explore.node_key front.(pi), x))
+      lvl.Agg.el_new;
+    levels := List.length lvl.Agg.el_new :: !levels;
+    (match lvl.Agg.el_violation with
+    | None -> ()
+    | Some (pi, x, reason) ->
+        let pkey = Explore.node_key front.(pi) in
+        violation :=
+          Some
+            {
+              Explore.v_prelude = false;
+              v_depth = !depth;
+              v_reason = reason;
+              v_ops = Explore.prelude_xops w @ path_to pkey @ [ x ];
+            });
+    frontier :=
+      Array.of_list (List.map (fun (_, nd, _, _) -> nd) lvl.Agg.el_new);
+    Option.iter
+      (fun p ->
+        Progress.explore_level p ~depth:!depth
+          ~states:(Hashtbl.length visited) ~edges:!edges
+          ~violation:(lvl.Agg.el_violation <> None))
+      progress
+  done;
+  Option.iter Progress.finish progress;
+  {
+    Explore.x_states = Hashtbl.length visited;
+    x_edges = !edges;
+    x_levels = List.rev !levels;
+    x_cover = cover;
+    x_violation = !violation;
+  }

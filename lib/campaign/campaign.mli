@@ -78,3 +78,21 @@ val vault :
     seed, injects storage faults, and judges every unseal against
     {!Komodo_spec.Sealspec}. [bug] arms a detection-disable bug in the
     vault enclave (self-test). *)
+
+val explore :
+  ?progress:Progress.t ->
+  ?jobs:int ->
+  config:Komodo_spec.Explore.config ->
+  unit ->
+  Komodo_spec.Explore.report
+(** The bounded exhaustive search (`komodo explore`): BFS levels over
+    {!Komodo_spec.Explore.expand_range}, each level's frontier sharded
+    across the pool in fixed slices. Shards are pure up to the
+    read-only visited set and merged in slice order ({!Agg.explore}),
+    so states, edges, coverage and any counterexample are byte-identical
+    at any [jobs]. On a violation the recorded BFS parent chain (a
+    shortest path) is completed with the violating op and the prelude
+    prepended; deeper levels are not explored.
+    @raise Invalid_argument if the config is out of range
+    (fewer than {!Komodo_spec.Explore.min_pages} pages, negative
+    depth). *)

@@ -51,6 +51,13 @@ type t = {
   mutable v_detected : int;
   mutable v_accepted : int;
   mutable have_vault : bool;
+  (* Exhaustive-exploration (explore) counters, gated by
+     [have_explore]; [total] is the depth bound, [trials_done] the
+     levels folded in. *)
+  mutable x_depth : int;
+  mutable x_states : int;
+  mutable x_edges : int;
+  mutable have_explore : bool;
   mutable last_emit : float;
   mutable emitted : int;
 }
@@ -85,6 +92,10 @@ let create ?(interval = 0.5) ?(live = false) ?jsonl ~now ~label ~total () =
     v_detected = 0;
     v_accepted = 0;
     have_vault = false;
+    x_depth = 0;
+    x_states = 0;
+    x_edges = 0;
+    have_explore = false;
     last_emit = neg_infinity;
     emitted = 0;
   }
@@ -200,10 +211,29 @@ let snapshot_json t elapsed =
             ] );
       ]
   in
-  Json.Obj (base @ fault @ cycles @ serve @ vault)
+  let explore =
+    if not t.have_explore then []
+    else
+      [
+        ( "explore",
+          Json.Obj
+            [
+              ("depth", Json.Int t.x_depth);
+              ("states", Json.Int t.x_states);
+              ("edges", Json.Int t.x_edges);
+            ] );
+      ]
+  in
+  Json.Obj (base @ fault @ cycles @ serve @ vault @ explore)
 
 let live_line t elapsed =
-  if t.have_vault then begin
+  if t.have_explore then begin
+    ignore elapsed;
+    Printf.sprintf
+      "\rkomodo %s: depth %d/%d, %d states, %d edges checked, %d violations"
+      t.label t.x_depth t.total t.x_states t.x_edges t.failures
+  end
+  else if t.have_vault then begin
     let tps =
       if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0.
     in
@@ -312,6 +342,18 @@ let vault_trial t _index (tr : Vaultdrive.trial) =
       t.v_accepted <- t.v_accepted + tr.Vaultdrive.t_accepted;
       merge_classes t tr.Vaultdrive.t_classes;
       if tr.Vaultdrive.t_violation <> None then t.failures <- t.failures + 1;
+      emit t ~final:false)
+
+(* Fold one completed BFS level of the exhaustive explorer in. The
+   totals are running (already summed by the level loop), not deltas. *)
+let explore_level t ~depth ~states ~edges ~violation =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.have_explore <- true;
+      t.x_depth <- depth;
+      t.x_states <- states;
+      t.x_edges <- edges;
+      if violation then t.failures <- t.failures + 1;
       emit t ~final:false)
 
 let finish t =

@@ -65,3 +65,11 @@ val finish : t -> unit
 
 val snapshots : t -> int
 (** Snapshots emitted so far (tests). *)
+
+val explore_level :
+  t -> depth:int -> states:int -> edges:int -> violation:bool -> unit
+(** Fold one completed BFS level of the exhaustive explorer in
+    ([states]/[edges] are running totals, not deltas). Switches
+    snapshots and the live line to the explore rendering: depth versus
+    the bound, distinct states, edges checked. Check/fault/serve/vault
+    snapshot output is unchanged. *)

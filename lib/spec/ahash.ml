@@ -1,0 +1,73 @@
+(* Canonical Astate serialisation + FNV-1a hashing for explore dedup. *)
+
+module Sha256 = Komodo_crypto.Sha256
+module Imap = Map.Make (Int)
+open Astate
+
+(* One page, canonically. Every variant gets a distinct leading tag, so
+   no two page values can serialise alike; map bindings come out of
+   [Imap.bindings] already sorted by slot, and the measurement is its
+   digest — exactly the granularity [Astate.equal] compares at. *)
+let add_page b = function
+  | Afree -> Buffer.add_string b "f"
+  | Aaddrspace a ->
+      let st =
+        match a.st with Sinit -> 0 | Sfinal -> 1 | Sstopped -> 2
+      in
+      let d =
+        match meas_digest a.meas with
+        | Some d -> Sha256.to_hex d
+        | None ->
+            invalid_arg
+              "Ahash.key: opaque measurement transcript has no canonical form"
+      in
+      Printf.bprintf b "A%d,%d,%d,%s" a.l1pt a.refcount st d
+  | Athread th ->
+      Printf.bprintf b "T%d,%d,%d%d%d,%d" th.tasp th.entry
+        (Bool.to_int th.entered) (Bool.to_int th.has_ctx)
+        (Bool.to_int th.has_fault_ctx)
+        (match th.dispatcher with None -> -1 | Some d -> d)
+  | Al1 { asp; slots } ->
+      Printf.bprintf b "1%d[" asp;
+      List.iter (fun (i, pg) -> Printf.bprintf b "%d>%d;" i pg)
+        (Imap.bindings slots);
+      Buffer.add_char b ']'
+  | Al2 { asp; slots } ->
+      Printf.bprintf b "2%d[" asp;
+      List.iter
+        (fun (i, pte) ->
+          match pte with
+          | Psec (pg, p) ->
+              Printf.bprintf b "%d>s%d%d%d;" i pg (Bool.to_int p.w)
+                (Bool.to_int p.x)
+          | Pins (pa, p) ->
+              Printf.bprintf b "%d>i%d%d%d;" i pa (Bool.to_int p.w)
+                (Bool.to_int p.x))
+        (Imap.bindings slots);
+      Buffer.add_char b ']'
+  | Adata { asp } -> Printf.bprintf b "D%d" asp
+  | Aspare { asp } -> Printf.bprintf b "S%d" asp
+
+let key t =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "P%d" t.plat.npages;
+  for n = 0 to t.plat.npages - 1 do
+    Buffer.add_char b '|';
+    add_page b (get t n)
+  done;
+  Buffer.contents b
+
+(* FNV-1a, 64-bit. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let hash t = hash_string (key t)
+let hex h = Printf.sprintf "%016Lx" h

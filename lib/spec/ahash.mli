@@ -1,0 +1,35 @@
+(** Canonical hashing of abstract states, the dedup key of the bounded
+    model checker ({!Explore}).
+
+    [key] serialises an {!Astate.t} into a canonical byte string such
+    that [key a = key b  <=>  Astate.equal a b] for the states the
+    checker explores: page maps are emitted in ascending page order
+    (the [Map] binding order, so insertion history cannot leak), and a
+    measurement transcript is emitted as its current digest only — the
+    exact equality {!Astate.equal_meas} uses — never as internal hash
+    context structure.
+
+    Opaque transcripts ([Mopaque]) compare equal to {e anything}, so no
+    canonical key can represent them; [key] raises instead. The
+    explorer guarantees they never arise by always supplying concrete
+    page contents to the spec.
+
+    The exact serialisation is frozen by golden tests: the explorer
+    uses the full key string for dedup (no collision risk), and the
+    64-bit FNV-1a [hash] of it for compact display and for the frozen
+    goldens. Changing either silently renames every recorded state. *)
+
+val key : Astate.t -> string
+(** Canonical serialisation; equal iff {!Astate.equal}.
+    @raise Invalid_argument on an [Mopaque] measurement transcript. *)
+
+val hash : Astate.t -> int64
+(** FNV-1a 64-bit hash of {!key} (display/goldens only — dedup uses the
+    full key). *)
+
+val hash_string : string -> int64
+(** FNV-1a 64-bit of an arbitrary string (exposed so callers hashing
+    [key]-derived composites stay consistent). *)
+
+val hex : int64 -> string
+(** 16 lowercase hex digits. *)

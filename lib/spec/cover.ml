@@ -80,3 +80,27 @@ let equal a b =
   sorted_bindings a.smc = sorted_bindings b.smc
   && sorted_bindings a.svc = sorted_bindings b.svc
   && sorted_bindings a.trans = sorted_bindings b.trans
+
+(* Coverage-point domination: every (call, error) pair and transition
+   [small] observed at least once must appear in [big] (counts are
+   irrelevant — an exhaustive run and a random campaign hit points with
+   wildly different frequencies). Returned missing points are sorted by
+   construction (sorted_bindings), so the listing is deterministic. *)
+let dominates big small =
+  let missing = ref [] in
+  let miss kind rendered = missing := (kind, rendered) :: !missing in
+  List.iter
+    (fun ((call, err), n) ->
+      if n > 0 && not (Hashtbl.mem big.smc (call, err)) then
+        miss "smc" (Printf.sprintf "%s/%s" (Aspec.smc_name call) (Aspec.err_name err)))
+    (sorted_bindings small.smc);
+  List.iter
+    (fun ((call, err), n) ->
+      if n > 0 && not (Hashtbl.mem big.svc (call, err)) then
+        miss "svc" (Printf.sprintf "%s/%s" (Aspec.svc_name call) (Aspec.err_name err)))
+    (sorted_bindings small.svc);
+  List.iter
+    (fun (tr, n) ->
+      if n > 0 && not (Hashtbl.mem big.trans tr) then miss "transition" tr)
+    (sorted_bindings small.trans);
+  List.rev !missing

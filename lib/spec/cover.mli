@@ -39,3 +39,11 @@ val merge_into : t -> t -> unit
 val equal : t -> t -> bool
 (** Same counts for every (call, error) pair and transition, however
     the tables were built or merged. *)
+
+val dominates : t -> t -> (string * string) list
+(** [dominates big small] lists the coverage points — (call, error)
+    pairs and page-type transitions — that [small] observed but [big]
+    never did, as [(kind, point)] with [kind] one of ["smc"], ["svc"],
+    ["transition"]. An empty list means [big]'s coverage is a superset
+    of [small]'s (counts are ignored, only presence). The listing is
+    sorted, hence deterministic. *)

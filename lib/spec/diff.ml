@@ -202,12 +202,22 @@ let apply_op_checked ?mutate ?cover ?(opaque_contents = false)
           record_transitions cover os.Os.mon os'.Os.mon;
           (match cover with Some c -> Cover.record_smc c ~call ~err:ew | None -> ());
           let finish spec_final =
+            (* Break-only latch: probe_ok drops (permanently) when an op
+               takes the probe shape from intact to broken. For worlds
+               built by [make_world] the shape is intact from op 0, so
+               this is extensionally identical to re-ANDing the shape on
+               every op; the explorer's shorter prelude leaves the probe
+               enclave un-finalised, and the break-only rule is what
+               lets its traces replay here without the latch dropping
+               before the shape was ever established. *)
             Ok
               {
                 rs with
                 os = os';
                 spec = spec_final;
-                probe_ok = rs.probe_ok && probe_shape spec_final;
+                probe_ok =
+                  rs.probe_ok
+                  && ((not (probe_shape rs.spec)) || probe_shape spec_final);
               }
           in
           match

@@ -72,6 +72,14 @@ val world_cover : world -> Cover.t
 val probe_thread : world -> int
 (** The probe enclave's thread page. *)
 
+val probe_shape : Astate.t -> bool
+(** Whether the prelude's probe enclave is still intact in an abstract
+    state: addrspace 0 final with its original first-level table, and
+    page 5 the original idle thread. This is the exact predicate behind
+    the [probe_ok] latch — exposed so the exhaustive explorer
+    ({!Explore}) latches identically and its traces replay through this
+    checker without spurious probe-opacity divergences. *)
+
 val apply_op :
   ?mutate:Aspec.mutation ->
   ?cover:Cover.t ->

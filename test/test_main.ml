@@ -36,4 +36,5 @@ let () =
       ("seedsplit", Test_seedsplit.suite);
       ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
+      ("explore", Test_explore.suite);
     ]
