@@ -82,43 +82,63 @@ let finalise_o1 () =
 
 
 
-(** Multi-core global-lock scaling (paper §9.2): total cycles and lock
-    overhead for N cores issuing the same monitor-call load. Shows the
-    coarse lock's serialisation cost stays a small fraction of the
-    work, as the microkernel experience the paper cites suggests. *)
+(** Multi-core contention sweep: N cores repeatedly building the same
+    minimal enclave, either on disjoint page sets (no lock overlap —
+    every acquisition uncontended) or all on one shared set (maximal
+    overlap — the losers spin). The fine-grained per-page locks keep
+    the disjoint sweep's lock cost flat per call while the shared sweep
+    shows contention as spin cycles, all under the deterministic cycle
+    model (seeded scheduler, so every figure is reproducible). *)
 let smp_lock () =
-  Report.print_header "Extension: global monitor lock, N OS cores (paper 9.2)";
-  let per_core = 50 in
+  Report.print_header "Extension: multi-core monitor, fine-grained page locks";
+  let module Smp = Komodo_os.Smp in
+  let reps = 10 in
+  let sweep ~ncores ~disjoint =
+    let os = Os.boot ~seed:0x10C4 ~npages:64 () in
+    let scripts =
+      List.init ncores (fun c ->
+          let base = if disjoint then 5 * c else 0 in
+          List.concat
+            (List.init reps (fun _ ->
+                 Smp.build_script
+                   ~pages:(base, base + 1, base + 2, base + 3, base + 4))))
+    in
+    Smp.run ~seed:5 os ~scripts
+  in
   let rows =
     List.map
       (fun ncores ->
-        let os = Komodo_os.Os.boot ~seed:0x10C4 ~npages:32 () in
-        let script =
-          List.init per_core (fun _ ->
-              { Komodo_os.Smp.call = Komodo_core.Smc.sm_get_phys_pages; args = [] })
-        in
-        let c0 = Komodo_os.Os.cycles os in
-        let os, _, stats =
-          Komodo_os.Smp.run ~seed:5 os ~scripts:(List.init ncores (fun _ -> script))
-        in
-        let total = Komodo_os.Os.cycles os - c0 in
+        let d = (sweep ~ncores ~disjoint:true).Smp.stats in
+        let s = sweep ~ncores ~disjoint:false in
+        let st = s.Smp.stats in
         [
           string_of_int ncores;
-          string_of_int stats.Komodo_os.Smp.total_calls;
-          string_of_int total;
-          string_of_int stats.Komodo_os.Smp.lock_cycles;
-          Printf.sprintf "%.1f%%"
-            (100. *. float_of_int stats.Komodo_os.Smp.lock_cycles /. float_of_int total);
+          string_of_int st.Smp.total_calls;
+          string_of_int d.Smp.lock_cycles;
+          string_of_int st.Smp.lock_cycles;
+          string_of_int st.Smp.contended_acquisitions;
+          string_of_int st.Smp.uncontended_acquisitions;
+          string_of_int st.Smp.spin_iterations;
         ])
-      [ 1; 2; 4; 8 ]
+      [ 1; 2; 4 ]
   in
   Report.print_table ~json_name:"smp_lock"
-    ~columns:[ "Cores"; "Calls"; "Total cycles"; "Lock cycles"; "Lock share" ]
+    ~columns:
+      [
+        "Cores";
+        "Calls";
+        "Disjoint lock cyc";
+        "Shared lock cyc";
+        "Contended";
+        "Uncontended";
+        "Spins";
+      ]
     rows;
   print_endline
-    "\n(worst case: the null SMC is the shortest possible critical section,\n\
-    \ so the lock share here is an upper bound — real calls such as\n\
-    \ enclave crossings or MapSecure amortise it to a few percent)"
+    "\n(disjoint enclaves: per-page locks never overlap, so lock cost is a\n\
+    \ flat 40 cycles per acquisition at any core count; one shared enclave\n\
+    \ is the worst case — every call locks the same pages and the losers'\n\
+    \ spin cycles grow with the core count)"
 
 let run () =
   Microbench.run_ablation ();

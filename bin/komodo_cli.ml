@@ -1151,6 +1151,164 @@ let vault_cmd =
       const run $ verbosity $ trials $ ops $ vseed $ vpages $ classes $ bug
       $ replay $ save $ jobs_arg $ progress_arg $ progress_out_arg)
 
+(* -- smp ----------------------------------------------------------------- *)
+
+let smp_cmd =
+  let module Smpdrive = Komodo_fault.Smpdrive in
+  let module Smp = Komodo_os.Smp in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc:"Multi-core trials to run.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~docv:"N" ~doc:"Monitor calls per CPU per trial.")
+  in
+  let sseed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.") in
+  let cpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc:"Cores racing in each trial.")
+  in
+  let spages =
+    Arg.(value & opt int 32 & info [ "pages" ] ~docv:"N" ~doc:"Secure pages per trial world.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"NAME"
+          ~doc:
+            "Re-enable a deliberate lock-discipline bug in the stepper \
+             (self-test; expects the campaign to catch it). One of: \
+             missing_page_lock, lock_inversion.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Also fire the fault injector at lock acquire/release boundaries \
+             (insecure-memory writes, interrupts, RNG glitches); the campaign \
+             must stay clean.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run the smp campaign trace in $(docv) instead of generating trials.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"On violation, save the shrunk campaign as a replayable JSONL trace.")
+  in
+  let run level trials ops seed cpus pages bug faults replay save jobs progress
+      progress_out =
+    setup_logs level;
+    match replay with
+    | Some path -> (
+        let ic = open_in path in
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let lines = read [] in
+        close_in ic;
+        match Smpdrive.trace_parse lines with
+        | Error e ->
+            Printf.eprintf "komodo smp: cannot replay %s: %s\n" path e;
+            2
+        | Ok (h, sops) -> (
+            match Smpdrive.replay h sops with
+            | Ok st ->
+                Printf.printf
+                  "replayed %d calls on %d cpus (%d contended, %d spins): no \
+                   violation\n"
+                  st.Smpdrive.calls h.Smpdrive.h_cpus st.Smpdrive.contended
+                  st.Smpdrive.spins;
+                0
+            | Error v ->
+                Printf.printf "replayed campaign VIOLATION:\n%s\n"
+                  (Smpdrive.pp_violation v);
+                4))
+    | None -> (
+        let bug =
+          match bug with
+          | None -> None
+          | Some name -> (
+              match Smp.bug_of_string name with
+              | Some b -> Some b
+              | None ->
+                  Printf.eprintf "komodo smp: unknown bug %S\n" name;
+                  exit 2)
+        in
+        let prog, prog_close =
+          progress_setup ~progress ~progress_out ~label:"smp" ~total:trials
+        in
+        let o =
+          Komodo_campaign.Campaign.smp ~npages:pages ~cpus ~ops_per_cpu:ops
+            ?progress:prog ?bug ~faults ~jobs ~trials ~seed ()
+        in
+        prog_close ();
+        Printf.printf "%d trials, %d racing calls on %d cpus\n"
+          o.Smpdrive.trials_run o.Smpdrive.total_calls cpus;
+        Printf.printf
+          "lock cycles %d: %d contended + %d uncontended acquisitions, %d \
+           spins, %d footprint retries, %d lock-boundary faults\n"
+          o.Smpdrive.total_lock_cycles o.Smpdrive.total_contended
+          o.Smpdrive.total_uncontended o.Smpdrive.total_spins
+          o.Smpdrive.total_retries o.Smpdrive.total_injections;
+        match o.Smpdrive.violation with
+        | None ->
+            if bug <> None then (
+              print_endline "BUG SURVIVED: the smp campaign failed its self-test";
+              1)
+            else (
+              print_endline
+                "no violation: every interleaving linearisable, no deadlock, \
+                 invariants held";
+              0)
+        | Some (tseed, shrunk, v) ->
+            Printf.printf "VIOLATION (trial seed %d), shrunk to %d calls:\n"
+              tseed (List.length shrunk);
+            List.iteri
+              (fun i s -> Printf.printf "  %2d. %s\n" i (Smpdrive.pp_sop s))
+              shrunk;
+            print_endline (Smpdrive.pp_violation v);
+            (match save with
+            | None -> ()
+            | Some file ->
+                let oc = open_out file in
+                List.iter
+                  (fun l -> output_string oc (l ^ "\n"))
+                  (Smpdrive.trace_lines ~seed:tseed ~npages:pages ~cpus ~bug
+                     shrunk);
+                close_out oc;
+                Printf.printf "shrunk campaign saved to %s\n" file);
+            if bug <> None then (
+              print_endline "bug caught: smp-campaign self-test passed";
+              0)
+            else 4)
+  in
+  Cmd.v
+    (Cmd.info "smp"
+       ~doc:
+         "Race seeded per-CPU monitor-call streams through the multi-core \
+          stepper (per-CPU register banks, fine-grained per-page locks, \
+          seeded interleaving scheduler) and judge every run with three \
+          oracles: deadlock freedom, PageDB invariants, and \
+          linearisability against the sequential abstract spec. Trials run \
+          on a domain pool (-j) with byte-identical reports at any worker \
+          count. Exits 0 on a clean campaign (or a caught --bug), 4 on a \
+          violation with a shrunk minimal trace, 1 when an armed --bug \
+          survives, 2 on setup errors.")
+    Term.(
+      const run $ verbosity $ trials $ ops $ sseed $ cpus $ spages $ bug
+      $ faults $ replay $ save $ jobs_arg $ progress_arg $ progress_out_arg)
+
 (* -- serve --------------------------------------------------------------- *)
 
 let serve_cmd =
@@ -1726,5 +1884,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; trace_cmd; asm_cmd; attest_cmd; check_cmd; explore_cmd;
-            fault_cmd; vault_cmd; serve_cmd; profile_cmd; bench_cmd;
+            fault_cmd; vault_cmd; smp_cmd; serve_cmd; profile_cmd; bench_cmd;
             inspect_cmd; notary_cmd; verify_cmd ]))

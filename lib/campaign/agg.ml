@@ -16,6 +16,7 @@ module Diff = Komodo_spec.Diff
 module Explore = Komodo_spec.Explore
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
+module Smpdrive = Komodo_fault.Smpdrive
 
 let covers cs =
   let c = Cover.create () in
@@ -150,6 +151,56 @@ let fault ~(prefix : Drive.trial array) ~(failure : fault_failure option) :
         blackout;
         violation = Some (f.ff_seed, shrunk, v);
         spans;
+      }
+
+(* -- multi-core (smp) campaigns ------------------------------------------ *)
+
+type smp_failure = {
+  sf_index : int;
+  sf_seed : int;
+  sf_trial : Smpdrive.trial;
+  sf_shrunk : Smpdrive.sop list * Smpdrive.violation;
+}
+
+let smp ~(prefix : Smpdrive.trial array) ~(failure : smp_failure option) :
+    Smpdrive.outcome =
+  let all =
+    Array.to_list prefix
+    @ match failure with None -> [] | Some f -> [ f.sf_trial ]
+  in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 all in
+  let total_calls = sum (fun t -> t.Smpdrive.t_calls) in
+  let total_contended = sum (fun t -> t.Smpdrive.t_contended) in
+  let total_uncontended = sum (fun t -> t.Smpdrive.t_uncontended) in
+  let total_spins = sum (fun t -> t.Smpdrive.t_spins) in
+  let total_retries = sum (fun t -> t.Smpdrive.t_retries) in
+  let total_lock_cycles = sum (fun t -> t.Smpdrive.t_lock_cycles) in
+  let total_injections = sum (fun t -> t.Smpdrive.t_injections) in
+  match failure with
+  | None ->
+      {
+        Smpdrive.trials_run = Array.length prefix;
+        total_calls;
+        total_contended;
+        total_uncontended;
+        total_spins;
+        total_retries;
+        total_lock_cycles;
+        total_injections;
+        violation = None;
+      }
+  | Some f ->
+      let shrunk, v = f.sf_shrunk in
+      {
+        Smpdrive.trials_run = f.sf_index + 1;
+        total_calls;
+        total_contended;
+        total_uncontended;
+        total_spins;
+        total_retries;
+        total_lock_cycles;
+        total_injections;
+        violation = Some (f.sf_seed, shrunk, v);
       }
 
 (* -- exhaustive-exploration (explore) levels ----------------------------- *)

@@ -13,6 +13,7 @@ module Diff = Komodo_spec.Diff
 module Explore = Komodo_spec.Explore
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
+module Smpdrive = Komodo_fault.Smpdrive
 
 val covers : Cover.t list -> Cover.t
 (** Merge per-trial coverage tables into a fresh one. *)
@@ -60,6 +61,20 @@ val vault :
   Vaultdrive.outcome
 (** Storage-campaign reduction: sop/probe/detected/accepted totals are
     sums, the violation reports the lowest failing trial. *)
+
+type smp_failure = {
+  sf_index : int;
+  sf_seed : int;
+  sf_trial : Smpdrive.trial;
+  sf_shrunk : Smpdrive.sop list * Smpdrive.violation;
+}
+
+val smp :
+  prefix:Smpdrive.trial array ->
+  failure:smp_failure option ->
+  Smpdrive.outcome
+(** Multi-core campaign reduction: call/lock-statistic totals are sums,
+    the violation reports the lowest failing trial. *)
 
 (** One merged BFS level of the exhaustive explorer. *)
 type explore_level = {

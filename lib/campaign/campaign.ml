@@ -11,6 +11,7 @@
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
+module Smpdrive = Komodo_fault.Smpdrive
 
 let default_jobs = Pool.default_jobs
 let trial_seed ~root index = Seedsplit.derive ~root index
@@ -124,6 +125,45 @@ let vault ?npages ?ops_per_trial ?progress ?bug ?jobs ~classes ~trials ~seed ()
       in
       Agg.vault ~prefix
         ~failure:(Some { Agg.vf_index = index; vf_seed; vf_trial = failure; vf_shrunk })
+
+(* -- multi-core lock-discipline campaigns (komodo smp) ------------------- *)
+
+let smp ?npages ?cpus ?ops_per_cpu ?progress ?bug ?(faults = false) ?jobs
+    ~trials ~seed () =
+  let jobs = resolve_jobs jobs in
+  let tseed = trial_seed ~root:seed in
+  let run i =
+    Smpdrive.run_trial ?npages ?cpus ?ops_per_cpu ?bug ~faults ~seed:(tseed i)
+      ()
+  in
+  let on_trial = Option.map (fun p i t -> Progress.smp_trial p i t) progress in
+  let finish r = Option.iter Progress.finish progress; r in
+  finish
+  @@
+  match
+    Pool.run ~label:(label "smp" tseed) ?on_trial ~jobs ~trials
+      ~failed:(fun t -> t.Smpdrive.t_violation <> None)
+      run
+  with
+  | Pool.Completed prefix -> Agg.smp ~prefix ~failure:None
+  | Pool.Stopped { prefix; index; failure } ->
+      let sf_seed = tseed index in
+      let sf_shrunk =
+        match
+          Smpdrive.shrink_trial ?npages ?cpus ?ops_per_cpu ?bug ~faults
+            ~seed:sf_seed ()
+        with
+        | Some r -> r
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "campaign: smp trial %d (seed %d) violated in the pool but \
+                  not when re-run for shrinking — the trial is not a pure \
+                  function of its seed"
+                 index sf_seed)
+      in
+      Agg.smp ~prefix
+        ~failure:(Some { Agg.sf_index = index; sf_seed; sf_trial = failure; sf_shrunk })
 
 (* -- exhaustive exploration (komodo explore) ----------------------------- *)
 

@@ -79,6 +79,26 @@ val vault :
     {!Komodo_spec.Sealspec}. [bug] arms a detection-disable bug in the
     vault enclave (self-test). *)
 
+val smp :
+  ?npages:int ->
+  ?cpus:int ->
+  ?ops_per_cpu:int ->
+  ?progress:Progress.t ->
+  ?bug:Komodo_os.Smp.bug ->
+  ?faults:bool ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Komodo_fault.Smpdrive.outcome
+(** The multi-core lock-discipline campaign (`komodo smp`), same
+    engine and guarantees: each trial races seeded per-CPU call
+    streams through the interleaved stepper and judges the run with
+    the deadlock, PageDB-invariant, and linearisability oracles
+    ({!Komodo_fault.Smpdrive}). [bug] re-arms a seeded
+    lock-discipline bug (self-test); [faults] additionally fires the
+    injector at lock acquire/release boundaries. *)
+
 val explore :
   ?progress:Progress.t ->
   ?jobs:int ->

@@ -16,6 +16,7 @@ module Json = Komodo_telemetry.Json
 module Diff = Komodo_spec.Diff
 module Drive = Komodo_fault.Drive
 module Vaultdrive = Komodo_fault.Vaultdrive
+module Smpdrive = Komodo_fault.Smpdrive
 
 let schema = "komodo-progress/1"
 
@@ -51,6 +52,13 @@ type t = {
   mutable v_detected : int;
   mutable v_accepted : int;
   mutable have_vault : bool;
+  (* Multi-core (smp) campaign counters, gated by [have_smp]. *)
+  mutable m_contended : int;
+  mutable m_uncontended : int;
+  mutable m_spins : int;
+  mutable m_lock_cycles : int;
+  mutable m_injections : int;
+  mutable have_smp : bool;
   (* Exhaustive-exploration (explore) counters, gated by
      [have_explore]; [total] is the depth bound, [trials_done] the
      levels folded in. *)
@@ -92,6 +100,12 @@ let create ?(interval = 0.5) ?(live = false) ?jsonl ~now ~label ~total () =
     v_detected = 0;
     v_accepted = 0;
     have_vault = false;
+    m_contended = 0;
+    m_uncontended = 0;
+    m_spins = 0;
+    m_lock_cycles = 0;
+    m_injections = 0;
+    have_smp = false;
     x_depth = 0;
     x_states = 0;
     x_edges = 0;
@@ -211,6 +225,21 @@ let snapshot_json t elapsed =
             ] );
       ]
   in
+  let smp =
+    if not t.have_smp then []
+    else
+      [
+        ( "smp",
+          Json.Obj
+            [
+              ("contended", Json.Int t.m_contended);
+              ("uncontended", Json.Int t.m_uncontended);
+              ("spins", Json.Int t.m_spins);
+              ("lock_cycles", Json.Int t.m_lock_cycles);
+              ("injections", Json.Int t.m_injections);
+            ] );
+      ]
+  in
   let explore =
     if not t.have_explore then []
     else
@@ -224,7 +253,7 @@ let snapshot_json t elapsed =
             ] );
       ]
   in
-  Json.Obj (base @ fault @ cycles @ serve @ vault @ explore)
+  Json.Obj (base @ fault @ cycles @ serve @ vault @ smp @ explore)
 
 let live_line t elapsed =
   if t.have_explore then begin
@@ -232,6 +261,16 @@ let live_line t elapsed =
     Printf.sprintf
       "\rkomodo %s: depth %d/%d, %d states, %d edges checked, %d violations"
       t.label t.x_depth t.total t.x_states t.x_edges t.failures
+  end
+  else if t.have_smp then begin
+    let tps =
+      if elapsed > 0. then float_of_int t.trials_done /. elapsed else 0.
+    in
+    Printf.sprintf
+      "\rkomodo %s: %d/%d trials, %.1f trials/s, %d calls, lock cyc %d \
+       (%d contended, %d spins), %d violations"
+      t.label t.trials_done t.total tps t.ops t.m_lock_cycles t.m_contended
+      t.m_spins t.failures
   end
   else if t.have_vault then begin
     let tps =
@@ -342,6 +381,19 @@ let vault_trial t _index (tr : Vaultdrive.trial) =
       t.v_accepted <- t.v_accepted + tr.Vaultdrive.t_accepted;
       merge_classes t tr.Vaultdrive.t_classes;
       if tr.Vaultdrive.t_violation <> None then t.failures <- t.failures + 1;
+      emit t ~final:false)
+
+let smp_trial t _index (tr : Smpdrive.trial) =
+  locked t (fun () ->
+      t.trials_done <- t.trials_done + 1;
+      t.have_smp <- true;
+      t.ops <- t.ops + tr.Smpdrive.t_calls;
+      t.m_contended <- t.m_contended + tr.Smpdrive.t_contended;
+      t.m_uncontended <- t.m_uncontended + tr.Smpdrive.t_uncontended;
+      t.m_spins <- t.m_spins + tr.Smpdrive.t_spins;
+      t.m_lock_cycles <- t.m_lock_cycles + tr.Smpdrive.t_lock_cycles;
+      t.m_injections <- t.m_injections + tr.Smpdrive.t_injections;
+      if tr.Smpdrive.t_violation <> None then t.failures <- t.failures + 1;
       emit t ~final:false)
 
 (* Fold one completed BFS level of the exhaustive explorer in. The

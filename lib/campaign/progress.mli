@@ -43,6 +43,12 @@ val vault_trial : t -> int -> Komodo_fault.Vaultdrive.trial -> unit
     totals, detection rate, per-class op counts. Check/fault/serve
     snapshot output is unchanged. *)
 
+val smp_trial : t -> int -> Komodo_fault.Smpdrive.trial -> unit
+(** Fold one finished multi-core trial in. Switches snapshots and the
+    live line to the smp rendering: calls, lock cycles,
+    contended/uncontended acquisitions, spins, violations. Other
+    campaigns' snapshot output is unchanged. *)
+
 val serve_trial :
   t ->
   int ->

@@ -1,44 +1,7 @@
-(* Splittable seed derivation (splitmix64-style).
+(* Re-export of the splittable seed derivation, which moved to
+   [lib/rand] (the bottom of the dependency graph) so that layers below
+   the campaign engine — notably the SMP scheduler in [lib/os] — can
+   draw from the same determinism discipline. Campaign callers keep
+   their historical path [Komodo_campaign.Seedsplit]. *)
 
-   The campaign engine runs trials on whichever domain grabs them
-   first, so per-trial randomness must never flow through shared
-   generator state: each trial's seed is derived purely from
-   (root_seed, trial_index). We use the splitmix64 finalizer — the
-   construction Java's SplittableRandom and JAX's key-splitting use —
-   whose output is a bijection of its 64-bit input with full avalanche,
-   so consecutive indices yield statistically independent seeds and no
-   two indices of the same root collide (distinct inputs, bijective
-   mix). The derivation is part of the reproducibility contract:
-   `--seed S` names the same trial sequence forever, at any -j. *)
-
-let golden_gamma = 0x9E3779B97F4A7C15L
-
-(* The splitmix64 finalizer: xor-shift/multiply avalanche, bijective on
-   int64. Constants are Stafford's mix13 variant, as in the reference
-   implementation. *)
-let mix64 z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let derive ~root index =
-  if index < 0 then invalid_arg "Seedsplit.derive: negative index";
-  (* Hash the root first so nearby roots land in unrelated gamma
-     sequences, then step by the golden gamma per index: exactly the
-     splitmix64 stream seeded at mix64(root), read at position
-     [index]. Drop to 62 bits so the result is a non-negative OCaml
-     int on 64-bit platforms. *)
-  let state =
-    Int64.add (mix64 (Int64.of_int root))
-      (Int64.mul (Int64.of_int (index + 1)) golden_gamma)
-  in
-  Int64.to_int (Int64.shift_right_logical (mix64 state) 2)
-
-type stream = { root : int; mutable next_index : int }
-
-let stream ~root () = { root; next_index = 0 }
-
-let next s =
-  let v = derive ~root:s.root s.next_index in
-  s.next_index <- s.next_index + 1;
-  v
+include Komodo_rand.Seedsplit

@@ -1,0 +1,68 @@
+(** Fine-grained PageDB locking for the multi-core monitor.
+
+    One lock per secure page. The {e level} records how a call treats
+    the page — [Addrspace] locks guard an address space's entry,
+    lifecycle, refcount, measurement and all its page-table contents;
+    [Page] locks guard a single page's entry and contents — but lock
+    {e identity} (and hence mutual exclusion) is the page number alone,
+    so a page racing to become an address space is serialised with
+    calls already treating it as one.
+
+    Deadlock freedom is by construction: every call computes its
+    complete footprint up front and acquires in ascending page-number
+    order ({!compare_order}), so no wait-for cycle can form. {!acyclic}
+    checks observed acquisition histories against that claim without
+    assuming the order. *)
+
+type level = Addrspace | Page
+
+type t = { level : level; page : int }
+
+val name : t -> string
+(** ["A7"] / ["P12"] — level initial + page number. *)
+
+val same : t -> t -> bool
+(** Same page (levels are ignored — they are reporting metadata). *)
+
+val compare_order : t -> t -> int
+(** The global acquisition order: ascending page number. *)
+
+val sort_footprint : t list -> t list
+(** Sort into acquisition order, dropping same-page duplicates. *)
+
+val footprint : Pagedb.t -> npages:int -> call:int -> args:int list -> t list
+(** The complete lock set of one SMC, in acquisition order. Computed
+    from the call number and arguments plus a PageDB read for
+    ownership-dependent guards (Remove locks the page {e and} its
+    owning address space; Enter/Resume lock the thread page and its
+    address space). Out-of-range arguments take no lock — the handler
+    rejects them without touching shared state. A footprint read
+    without holding locks may be stale; callers re-derive it after
+    acquisition and retry on mismatch. *)
+
+(** {2 The lock table} *)
+
+type table
+(** Owner CPU per held lock. Functional. *)
+
+val empty : table
+
+val owner : table -> t -> int option
+
+val acquire : table -> t -> cpu:int -> (table, int) result
+(** [Error holder] when contended.
+    @raise Invalid_argument on re-entry by the same CPU. *)
+
+val release : table -> t -> cpu:int -> table
+(** @raise Invalid_argument if not held by [cpu]. *)
+
+val held_by : table -> cpu:int -> t list
+
+(** {2 Acquisition-order consistency} *)
+
+val acyclic : t list list -> bool
+(** Is the union of held-before-acquired edges over the given
+    acquisition histories (one per completed call, locks in acquisition
+    order) cycle-free — i.e. is there {e some} total order consistent
+    with every history? The correct monitor always satisfies this; the
+    [lock_inversion] bug does not. *)

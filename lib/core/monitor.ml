@@ -24,8 +24,13 @@ module Rng = Komodo_tz.Rng
     point sits between a call's validation phase and its (single,
     atomic) commit — exactly where a concurrent core's write to
     insecure memory, an interrupt assertion, or an entropy-source
-    failure would land on real hardware. *)
-type phase = Ph_commit of { smc : bool; call : int }
+    failure would land on real hardware. Lock boundaries are the
+    multi-core analogue: the instants just after an acquisition and
+    just before a release, where another core's effects become visible
+    to (or hidden from) the holder. *)
+type phase =
+  | Ph_commit of { smc : bool; call : int }
+  | Ph_lock of { acquire : bool; cpu : int; page : int; call : int }
 
 (** Deliberately re-enabled partial-mutation bugs, for checker
     self-tests: each breaks the validate-then-commit discipline the

@@ -16,8 +16,13 @@ module Rng = Komodo_tz.Rng
 (** Fault-injection points inside a handler: the commit point sits
     between a call's pure validation phase and its single atomic
     commit, where asynchronous environment actions (concurrent-core
-    stores, interrupt assertion, entropy failure) would land. *)
-type phase = Ph_commit of { smc : bool; call : int }
+    stores, interrupt assertion, entropy failure) would land; lock
+    boundaries (fired by the multi-core stepper, [acquire] true just
+    after an acquisition, false just before a release) are where a
+    concurrent core's effects become visible to the holder. *)
+type phase =
+  | Ph_commit of { smc : bool; call : int }
+  | Ph_lock of { acquire : bool; cpu : int; page : int; call : int }
 
 (** Deliberately re-enabled partial-mutation bugs for checker
     self-tests (the analogue of {!Aspec.mutation} on the

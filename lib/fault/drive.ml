@@ -76,13 +76,18 @@ let is_exec_call call = call = Aspec.smc_enter || call = Aspec.smc_resume
 let has_commit_action pred items =
   List.exists
     (fun i ->
-      (match i.Inject.point with Inject.Commit -> true | Inject.Insn _ -> false)
+      (match i.Inject.point with
+      | Inject.Commit -> true
+      | Inject.Insn _ | Inject.Lockstep _ -> false)
       && pred i.Inject.action)
     items
 
 let has_insn_point items =
   List.exists
-    (fun i -> match i.Inject.point with Inject.Insn _ -> true | Inject.Commit -> false)
+    (fun i ->
+      match i.Inject.point with
+      | Inject.Insn _ -> true
+      | Inject.Commit | Inject.Lockstep _ -> false)
     items
 
 let step inj ~worst rs i fop : (Diff.rstate, violation) result =
@@ -401,6 +406,7 @@ type header = { h_seed : int; h_npages : int; h_bug : Monitor.bug option }
 let point_to_json = function
   | Inject.Commit -> Json.Str "commit"
   | Inject.Insn n -> Json.Obj [ ("insn", Json.Int n) ]
+  | Inject.Lockstep n -> Json.Obj [ ("lock", Json.Int n) ]
 
 let action_to_json = function
   | Inject.Irq -> Json.Str "irq"
@@ -450,9 +456,12 @@ let int_field name j = req name (Option.bind (Json.member name j) Json.to_int_op
 let point_of_json j =
   match j with
   | Json.Str "commit" -> Ok Inject.Commit
-  | Json.Obj _ ->
-      let* n = int_field "insn" j in
-      Ok (Inject.Insn n)
+  | Json.Obj _ -> (
+      match Option.bind (Json.member "insn" j) Json.to_int_opt with
+      | Some n -> Ok (Inject.Insn n)
+      | None ->
+          let* n = int_field "lock" j in
+          Ok (Inject.Lockstep n))
   | _ -> Error "bad injection point"
 
 let action_of_json j =

@@ -40,6 +40,11 @@ type action =
 type point =
   | Commit  (** the validate/commit boundary of the current call *)
   | Insn of int  (** the [n]th user instruction boundary of the call *)
+  | Lockstep of int
+      (** the [n]th lock acquire/release boundary of the current call,
+          as fired by the multi-core stepper
+          ({!Komodo_core.Monitor.phase}[ Ph_lock]) — the instants where
+          another core's effects become visible to the holder *)
 
 type plan_item = { point : point; action : action }
 
@@ -74,7 +79,10 @@ val hook : t -> Monitor.phase -> Monitor.t -> Monitor.t
 (** The {!Komodo_core.Monitor.t}[.inject] hook: fires every armed
     [Commit]-point action at the first commit boundary encountered,
     then disarms them (fire-once, so a deterministic plan stays
-    predictable across the several commits of one Enter). *)
+    predictable across the several commits of one Enter); counts
+    [Ph_lock] boundaries and fires armed [Lockstep] actions at the
+    matching index, with identical action semantics (the TZASC gate
+    applies at lock boundaries too). *)
 
 val exec_inject : t -> State.t -> State.t * Exec.event option
 (** The machine-layer hook for {!Komodo_machine.Exec.run}: counts

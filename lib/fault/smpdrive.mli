@@ -1,0 +1,130 @@
+(** Multi-core lock-discipline campaigns over the interleaved stepper.
+
+    Each trial boots the platform, runs a sequential prelude giving
+    every CPU its own unfinalised address space, then races a seeded
+    per-CPU stream of construction calls over a small shared page pool
+    through {!Komodo_os.Smp.run}. Three oracles judge the run: the
+    stepper's deadlock detector (any wait-for cycle is a violation —
+    the ascending acquisition order excludes them by construction),
+    {!Komodo_core.Pagedb.check} on the final shared state, and
+    {!Komodo_spec.Linz.check} (some sequential order must explain the
+    observed results and final abstract state). Violations shrink to a
+    1-minimal op list and serialise to JSONL replay traces. *)
+
+module Smp = Komodo_os.Smp
+
+type sop = { s_cpu : int; s_call : int; s_args : int list }
+
+val pp_sop : sop -> string
+
+type violation = {
+  index : int;  (** last op index of the violating run (for shrinking) *)
+  kind : string;  (** ["deadlock"] | ["invariant"] | ["linearisability"] *)
+  reason : string;
+}
+
+val pp_violation : violation -> string
+
+val asp_page : int -> int
+(** The prelude address-space page of a CPU (pages [3c .. 3c+2] are cpu
+    [c]'s addrspace / l1pt / l2pt). *)
+
+val pool_base : cpus:int -> int
+(** First page of the contended pool (the 8 pages every CPU races on). *)
+
+val pool_pages : int
+
+val boot_world : seed:int -> npages:int -> cpus:int -> Komodo_os.Os.t
+(** Boot and run the per-CPU preludes. Exposed for tests.
+    @raise Invalid_argument if [npages] cannot hold the preludes + pool.
+    @raise Failure if a prelude call fails (harness bug). *)
+
+val gen_faults : seed:int -> n:int -> Inject.plan_item list
+(** A seeded lock-boundary fault plan ({!Inject.Lockstep} points only):
+    insecure-window writes, interrupts, RNG glitches. *)
+
+type stats = {
+  calls : int;
+  contended : int;
+  uncontended : int;
+  spins : int;
+  retries : int;
+  lock_cycles : int;
+  injections : int;  (** lock-boundary faults actually fired *)
+}
+
+val run_sops :
+  ?bug:Smp.bug ->
+  ?faults:bool ->
+  seed:int ->
+  npages:int ->
+  cpus:int ->
+  sop list ->
+  (stats, violation) result
+(** Deterministic: rebuilds the whole world from [seed] each call. *)
+
+val gen_sops : seed:int -> npages:int -> cpus:int -> ops_per_cpu:int -> sop list
+
+type trial = {
+  t_calls : int;
+  t_contended : int;
+  t_uncontended : int;
+  t_spins : int;
+  t_retries : int;
+  t_lock_cycles : int;
+  t_injections : int;
+  t_violation : violation option;
+}
+
+val default_npages : int
+val default_cpus : int
+val default_ops : int
+
+val run_trial :
+  ?npages:int ->
+  ?cpus:int ->
+  ?ops_per_cpu:int ->
+  ?bug:Smp.bug ->
+  ?faults:bool ->
+  seed:int ->
+  unit ->
+  trial
+
+val shrink_trial :
+  ?npages:int ->
+  ?cpus:int ->
+  ?ops_per_cpu:int ->
+  ?bug:Smp.bug ->
+  ?faults:bool ->
+  seed:int ->
+  unit ->
+  (sop list * violation) option
+(** [None] if the trial does not violate when re-run from its seed. *)
+
+type outcome = {
+  trials_run : int;
+  total_calls : int;
+  total_contended : int;
+  total_uncontended : int;
+  total_spins : int;
+  total_retries : int;
+  total_lock_cycles : int;
+  total_injections : int;
+  violation : (int * sop list * violation) option;
+}
+
+(** {2 Replay traces} (JSONL, like {!Drive}'s) *)
+
+type header = {
+  h_seed : int;
+  h_npages : int;
+  h_cpus : int;
+  h_bug : Smp.bug option;
+}
+
+val trace_lines :
+  seed:int -> npages:int -> cpus:int -> bug:Smp.bug option -> sop list ->
+  string list
+
+val trace_parse : string list -> (header * sop list, string) result
+val replay : header -> sop list -> (stats, violation) result

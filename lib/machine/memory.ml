@@ -381,6 +381,34 @@ let pp fmt t =
         c.data)
     t
 
+(** Page numbers on which two memories may differ, ascending. Physically
+    shared chunks are skipped in O(1) without comparing contents, so
+    diffing a state against a snapshot it was derived from costs O(pages
+    actually written). The result can overapproximate (distinct chunks
+    with equal contents are reported only when a word differs — the
+    word-level comparison below keeps it exact). *)
+let diff_pages ma mb =
+  let out = ref [] in
+  ignore
+    (Page_map.merge
+       (fun pg oa ob ->
+         (match (oa, ob) with
+         | None, None -> ()
+         | Some ca, Some cb when chunk_equal ca cb -> ()
+         | _ -> out := pg :: !out);
+         None)
+       ma mb);
+  List.rev !out
+
+(** [blit_page ~src dst pg] rebinds page [pg] of [dst] to [src]'s chunk
+    for that page — O(log pages), sharing the chunk physically. The
+    write-set install primitive: commit a validated page image into the
+    current global memory without touching any other page. *)
+let blit_page ~src dst pg =
+  match Page_map.find_opt pg src with
+  | None -> Page_map.remove pg dst
+  | Some c -> Page_map.add pg c dst
+
 let page_at t a = Page_map.find_opt (page_of (Word.to_int a)) t
 
 let same_page p q =

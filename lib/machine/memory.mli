@@ -83,6 +83,18 @@ val cardinal : t -> int
 
 val pp : Format.formatter -> t -> unit
 
+val diff_pages : t -> t -> int list
+(** Page numbers on which the two memories differ, ascending. Pages
+    whose chunks are physically shared are skipped without comparison,
+    so diffing a state against the snapshot it was derived from costs
+    O(pages written). Page numbers are physical-address page indices
+    ([pa lsr 12]), not PageDB page numbers. *)
+
+val blit_page : src:t -> t -> int -> t
+(** [blit_page ~src dst pg] rebinds (physical) page [pg] of [dst] to
+    [src]'s chunk for that page, sharing it physically — the write-set
+    install primitive of the multi-core stepper. *)
+
 (** {2 Page identity}
 
     Chunk identity for content-keyed caches: if [same_page] holds for

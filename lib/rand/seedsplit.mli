@@ -1,0 +1,31 @@
+(** Splittable seed derivation (splitmix64-style).
+
+    Campaign trials are independent worlds keyed only by a seed. To
+    make a parallel campaign bit-identical to a sequential one, each
+    trial's seed is a pure function of the root seed and the trial
+    index — no generator state is threaded through the schedule, so
+    results cannot depend on which domain ran which trial first.
+
+    The derivation is frozen by golden-value tests
+    ({!test/test_seedsplit.ml}): changing it would silently rename
+    every recorded trial, so it must never change. *)
+
+val derive : root:int -> int -> int
+(** [derive ~root index] is trial [index]'s seed under [root]: the
+    splitmix64 stream seeded at [mix64 root], read at position
+    [index], truncated to 62 bits (always non-negative).
+    Injective in [index] for a fixed root (bijective finalizer over
+    distinct inputs, then a 2-bit truncation — collisions within the
+    campaign sizes we run are not observed; the test suite checks
+    10^5 indices).
+    @raise Invalid_argument on a negative index. *)
+
+val mix64 : int64 -> int64
+(** The raw splitmix64 finalizer (exposed for tests). Bijective. *)
+
+type stream
+(** A sequential reader of one root's derived seeds. *)
+
+val stream : root:int -> unit -> stream
+val next : stream -> int
+(** [next s] is [derive ~root i] for consecutive [i] starting at 0. *)

@@ -347,6 +347,92 @@ let test_progress_totals_schedule_independent () =
       Alcotest.(check bool) "storm injected something" true (n > 0)
   | _ -> Alcotest.fail "fault snapshot lacks injections"
 
+(* -- smp campaigns: -j 1 vs -j 4 ---------------------------------------- *)
+
+module Smpdrive = Komodo_fault.Smpdrive
+module Smp = Komodo_os.Smp
+
+let smp_violation_str = function
+  | None -> "none"
+  | Some (tseed, sops, v) ->
+      String.concat "\n"
+        (Smpdrive.trace_lines ~seed:tseed ~npages:Smpdrive.default_npages
+           ~cpus:Smpdrive.default_cpus ~bug:None sops)
+      ^ "\n" ^ Smpdrive.pp_violation v
+
+let same_smp_outcome name (a : Smpdrive.outcome) (b : Smpdrive.outcome) =
+  Alcotest.(check int) (name ^ ": trials_run") a.Smpdrive.trials_run
+    b.Smpdrive.trials_run;
+  Alcotest.(check int) (name ^ ": total_calls") a.Smpdrive.total_calls
+    b.Smpdrive.total_calls;
+  Alcotest.(check int) (name ^ ": contended") a.Smpdrive.total_contended
+    b.Smpdrive.total_contended;
+  Alcotest.(check int) (name ^ ": spins") a.Smpdrive.total_spins
+    b.Smpdrive.total_spins;
+  Alcotest.(check int) (name ^ ": lock_cycles") a.Smpdrive.total_lock_cycles
+    b.Smpdrive.total_lock_cycles;
+  Alcotest.(check string)
+    (name ^ ": violation + shrunk trace")
+    (smp_violation_str a.Smpdrive.violation)
+    (smp_violation_str b.Smpdrive.violation)
+
+let test_smp_deterministic () =
+  let run jobs = Campaign.smp ~jobs ~trials:25 ~seed:7 () in
+  let a = run 1 and b = run 4 in
+  (match a.Smpdrive.violation with
+  | Some _ -> Alcotest.fail "clean smp campaign violated"
+  | None -> ());
+  same_smp_outcome "clean smp" a b
+
+let test_smp_faults_clean () =
+  (* Lock-boundary fault injection: the construction-call alphabet
+     cannot observe insecure-memory writes, interrupts, or RNG
+     glitches, so the campaign must stay violation-free. *)
+  let o = Campaign.smp ~faults:true ~trials:25 ~seed:7 () in
+  Alcotest.(check bool) "no violation under lock-boundary faults" true
+    (o.Smpdrive.violation = None);
+  Alcotest.(check bool) "faults actually fired" true
+    (o.Smpdrive.total_injections > 0)
+
+let test_smp_bug_same_shrunk_trace bug () =
+  let run jobs = Campaign.smp ~jobs ~trials:60 ~seed:42 ~bug () in
+  let a = run 1 and b = run 4 in
+  (match a.Smpdrive.violation with
+  | None ->
+      Alcotest.failf "%s survived the smp campaign" (Smp.bug_name bug)
+  | Some (_, shrunk, _) ->
+      Alcotest.(check bool) "shrunk trace nonempty" true (shrunk <> []));
+  same_smp_outcome (Smp.bug_name bug) a b
+
+let test_smp_committed_trace_replays () =
+  (* The committed regression trace: a campaign shrunk from the
+     lock-inversion self-test must keep reproducing its deadlock. *)
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (read_lines "traces/smp_lock_inversion.jsonl")
+  in
+  match Smpdrive.trace_parse lines with
+  | Error e -> Alcotest.failf "committed trace unparseable: %s" e
+  | Ok (h, sops) -> (
+      Alcotest.(check bool) "trace carries the bug" true
+        (h.Smpdrive.h_bug = Some Smp.Lock_inversion);
+      match Smpdrive.replay h sops with
+      | Ok _ -> Alcotest.fail "committed violation no longer reproduces"
+      | Error v ->
+          Alcotest.(check string) "still a deadlock" "deadlock" v.Smpdrive.kind)
+
 let suite =
   [
     Alcotest.test_case "check: -j 1 = -j 4 across seeds" `Quick
@@ -382,4 +468,14 @@ let suite =
       test_progress_reports_campaign;
     Alcotest.test_case "progress: totals schedule-independent" `Quick
       test_progress_totals_schedule_independent;
+    Alcotest.test_case "smp: -j 1 = -j 4 on a clean campaign" `Quick
+      test_smp_deterministic;
+    Alcotest.test_case "smp: clean under lock-boundary faults" `Quick
+      test_smp_faults_clean;
+    Alcotest.test_case "smp: missing_page_lock shrunk trace identical" `Quick
+      (test_smp_bug_same_shrunk_trace Smp.Missing_page_lock);
+    Alcotest.test_case "smp: lock_inversion shrunk trace identical" `Quick
+      (test_smp_bug_same_shrunk_trace Smp.Lock_inversion);
+    Alcotest.test_case "smp: committed deadlock trace replays" `Quick
+      test_smp_committed_trace_replays;
   ]
